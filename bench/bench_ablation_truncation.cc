@@ -1,0 +1,145 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  (1) τ sweep — ranking agreement of the truncated DP vs the exact linear
+//      solve (§4.1 claims τ=15 ≈ exact);
+//  (2) weighted (rating) vs unweighted edges;
+//  (3) entropy-cost constant C sweep around the auto (mean-entropy) value;
+//  (4) PPR restart at the user node vs at the rated-item set.
+#include <algorithm>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "core/absorbing_cost.h"
+#include "core/absorbing_time.h"
+#include "baselines/pagerank.h"
+
+namespace longtail {
+namespace {
+
+// Fraction of the top-k lists of two recommenders that overlap, averaged
+// over users.
+double TopKOverlap(const Recommender& a, const Recommender& b,
+                   const std::vector<UserId>& users, int k) {
+  double total = 0.0;
+  int counted = 0;
+  for (UserId u : users) {
+    auto ta = a.RecommendTopK(u, k);
+    auto tb = b.RecommendTopK(u, k);
+    if (!ta.ok() || !tb.ok() || ta->empty() || tb->empty()) continue;
+    std::set<ItemId> sa;
+    for (const auto& si : *ta) sa.insert(si.item);
+    int hits = 0;
+    for (const auto& si : *tb) hits += sa.count(si.item);
+    total += static_cast<double>(hits) /
+             std::max<size_t>(ta->size(), tb->size());
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+double MeanListPopularity(const Recommender& rec, const Dataset& data,
+                          const std::vector<UserId>& users, int k) {
+  double total = 0.0;
+  int counted = 0;
+  for (UserId u : users) {
+    auto top = rec.RecommendTopK(u, k);
+    if (!top.ok()) continue;
+    for (const auto& si : *top) {
+      total += data.ItemPopularity(si.item);
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+void Run(const bench::BenchFlags& flags) {
+  const SyntheticData corpus = bench::MakeMovieLensCorpus(flags);
+  const Dataset& data = corpus.dataset;
+  bench::PrintCorpusHeader("MovieLens-like", data);
+  const std::vector<UserId> users = SampleTestUsers(data, 150, 10, 4);
+
+  // ---- (1) τ sweep vs exact.
+  std::printf("\n[1] truncated DP vs exact solve: top-%d overlap by tau\n",
+              flags.k);
+  GraphWalkOptions exact_options;
+  exact_options.exact = true;
+  exact_options.max_subgraph_items = flags.mu;
+  AbsorbingTimeRecommender exact_at(exact_options);
+  LT_CHECK_OK(exact_at.Fit(data));
+  std::printf("%6s %10s\n", "tau", "overlap");
+  for (int tau : {1, 2, 4, 8, 15, 30, 60}) {
+    GraphWalkOptions options;
+    options.iterations = tau;
+    options.max_subgraph_items = flags.mu;
+    AbsorbingTimeRecommender at(options);
+    LT_CHECK_OK(at.Fit(data));
+    std::printf("%6d %10.3f\n", tau, TopKOverlap(exact_at, at, users, flags.k));
+  }
+
+  // ---- (2) weighted vs unweighted edges.
+  std::printf("\n[2] rating-weighted vs unweighted edges (AT)\n");
+  GraphWalkOptions weighted;
+  weighted.iterations = flags.tau;
+  weighted.max_subgraph_items = flags.mu;
+  GraphWalkOptions unweighted = weighted;
+  unweighted.weighted_edges = false;
+  AbsorbingTimeRecommender at_w(weighted);
+  AbsorbingTimeRecommender at_u(unweighted);
+  LT_CHECK_OK(at_w.Fit(data));
+  LT_CHECK_OK(at_u.Fit(data));
+  std::printf("  top-%d overlap: %.3f  mean popularity: weighted=%.1f "
+              "unweighted=%.1f\n",
+              flags.k, TopKOverlap(at_w, at_u, users, flags.k),
+              MeanListPopularity(at_w, data, users, flags.k),
+              MeanListPopularity(at_u, data, users, flags.k));
+
+  // ---- (3) C sweep for AC1.
+  std::printf("\n[3] entropy-cost constant C sweep (AC1, auto = mean "
+              "user entropy)\n");
+  std::printf("%12s %12s %14s\n", "C", "vs-AT", "mean popularity");
+  AbsorbingTimeRecommender at_base(weighted);
+  LT_CHECK_OK(at_base.Fit(data));
+  for (double c : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    AbsorbingCostOptions options;
+    options.walk = weighted;
+    options.user_jump_cost = c;  // 0 = auto
+    AbsorbingCostRecommender ac1(EntropySource::kItemBased, options);
+    LT_CHECK_OK(ac1.Fit(data));
+    char label[32];
+    if (c == 0.0) {
+      std::snprintf(label, sizeof(label), "auto(%.2f)",
+                    ac1.resolved_user_jump_cost());
+    } else {
+      std::snprintf(label, sizeof(label), "%.1f", c);
+    }
+    std::printf("%12s %12.3f %14.1f\n", label,
+                TopKOverlap(at_base, ac1, users, flags.k),
+                MeanListPopularity(ac1, data, users, flags.k));
+  }
+
+  // ---- (4) PPR restart modes.
+  std::printf("\n[4] PPR restart: user node vs rated-item set (DPPR)\n");
+  PageRankOptions user_restart;
+  PageRankOptions item_restart;
+  item_restart.restart_at_items = true;
+  PageRankRecommender dppr_user(true, user_restart);
+  PageRankRecommender dppr_items(true, item_restart);
+  LT_CHECK_OK(dppr_user.Fit(data));
+  LT_CHECK_OK(dppr_items.Fit(data));
+  std::printf("  top-%d overlap: %.3f  mean popularity: user=%.1f "
+              "items=%.1f\n",
+              flags.k, TopKOverlap(dppr_user, dppr_items, users, flags.k),
+              MeanListPopularity(dppr_user, data, users, flags.k),
+              MeanListPopularity(dppr_items, data, users, flags.k));
+}
+
+}  // namespace
+}  // namespace longtail
+
+int main(int argc, char** argv) {
+  using namespace longtail;
+  using namespace longtail::bench;
+  BenchFlags flags = ParseFlagsOrDie(argc, argv);
+  std::printf("== Ablations: truncation, edge weights, C, PPR restart ==\n\n");
+  Run(flags);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the computational kernels behind the
+// reproduction: BFS subgraph extraction, the truncated absorbing-time DP,
+// one collapsed-Gibbs sweep, randomized SVD, one PPR power iteration, and
+// entropy computation.
+#include <benchmark/benchmark.h>
+
+#include "util/logging.h"
+
+#include "baselines/pagerank.h"
+#include "core/entropy.h"
+#include "data/generator.h"
+#include "graph/markov.h"
+#include "graph/random_walk.h"
+#include "graph/subgraph.h"
+#include "linalg/svd.h"
+#include "topics/lda.h"
+
+namespace longtail {
+namespace {
+
+const SyntheticData& Corpus() {
+  static const SyntheticData* corpus = [] {
+    auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.15));
+    LT_CHECK(data.ok());
+    return new SyntheticData(std::move(data).value());
+  }();
+  return *corpus;
+}
+
+const BipartiteGraph& Graph() {
+  static const BipartiteGraph* graph =
+      new BipartiteGraph(BipartiteGraph::FromDataset(Corpus().dataset));
+  return *graph;
+}
+
+void BM_BfsSubgraphExtraction(benchmark::State& state) {
+  const BipartiteGraph& g = Graph();
+  SubgraphOptions options;
+  options.max_items = static_cast<int32_t>(state.range(0));
+  UserId user = 0;
+  for (auto _ : state) {
+    Subgraph sub = ExtractSubgraph(g, {g.UserNode(user)}, options);
+    benchmark::DoNotOptimize(sub.items.size());
+    user = (user + 1) % g.num_users();
+  }
+}
+BENCHMARK(BM_BfsSubgraphExtraction)->Arg(100)->Arg(500)->Arg(0);
+
+void BM_AbsorbingTimeTruncated(benchmark::State& state) {
+  const BipartiteGraph& g = Graph();
+  std::vector<bool> absorbing(g.num_nodes(), false);
+  const auto items = Corpus().dataset.UserItems(0);
+  for (ItemId i : items) absorbing[g.ItemNode(i)] = true;
+  const int tau = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto values = AbsorbingTimeTruncated(g, absorbing, tau);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tau * g.num_edges() * 2);
+}
+BENCHMARK(BM_AbsorbingTimeTruncated)->Arg(5)->Arg(15)->Arg(30);
+
+void BM_GibbsSweep(benchmark::State& state) {
+  LdaOptions options;
+  options.num_topics = static_cast<int>(state.range(0));
+  options.iterations = 1;
+  for (auto _ : state) {
+    auto model = LdaModel::Train(Corpus().dataset, options);
+    benchmark::DoNotOptimize(model.ok());
+  }
+}
+BENCHMARK(BM_GibbsSweep)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  const Dataset& d = Corpus().dataset;
+  std::vector<Triplet> triplets;
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    const auto items = d.UserItems(u);
+    const auto values = d.UserValues(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      triplets.push_back({u, items[k], static_cast<double>(values[k])});
+    }
+  }
+  auto r = CsrMatrix::FromTriplets(d.num_users(), d.num_items(),
+                                   std::move(triplets));
+  LT_CHECK(r.ok());
+  SvdOptions options;
+  options.rank = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto svd = RandomizedSvd(*r, options);
+    benchmark::DoNotOptimize(svd.ok());
+  }
+}
+BENCHMARK(BM_RandomizedSvd)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_PprQuery(benchmark::State& state) {
+  static PageRankRecommender* rec = [] {
+    auto* r = new PageRankRecommender(/*discounted=*/true);
+    LT_CHECK_OK(r->Fit(Corpus().dataset));
+    return r;
+  }();
+  UserId user = 0;
+  for (auto _ : state) {
+    auto ppr = rec->ComputePpr(user);
+    benchmark::DoNotOptimize(ppr.ok());
+    user = (user + 1) % Corpus().dataset.num_users();
+  }
+}
+BENCHMARK(BM_PprQuery)->Unit(benchmark::kMillisecond);
+
+void BM_ItemEntropy(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = ItemBasedUserEntropy(Corpus().dataset);
+    benchmark::DoNotOptimize(e.data());
+  }
+}
+BENCHMARK(BM_ItemEntropy);
+
+void BM_StationaryDistribution(benchmark::State& state) {
+  for (auto _ : state) {
+    auto pi = StationaryDistribution(Graph());
+    benchmark::DoNotOptimize(pi.data());
+  }
+}
+BENCHMARK(BM_StationaryDistribution);
+
+}  // namespace
+}  // namespace longtail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 4 reproduction: impact of the subgraph cap µ on AC2's Popularity /
+// Similarity / Diversity / Efficiency (Douban-like corpus).
+//
+// Paper row (µ = 3000, 4000, 5000, 6000, 89908):
+//   Popularity 100.6 100.1 95.7 93.2 94.8 | Similarity .44..48 flat |
+//   Diversity ~0.58 flat | Efficiency 0.17s → 12.7s at full scan.
+// The µ values sweep proportionally to the scaled catalog.
+#include "bench/bench_common.h"
+
+#include "core/absorbing_cost.h"
+
+namespace longtail {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  const SyntheticData corpus = bench::MakeDoubanCorpus(flags);
+  bench::PrintCorpusHeader("Douban-like", corpus.dataset);
+  const std::vector<UserId> users =
+      SampleTestUsers(corpus.dataset, flags.users, 10, 2000);
+
+  // µ sweep: the paper's {3000..6000, all} scaled to the catalog size.
+  const int32_t catalog = corpus.dataset.num_items();
+  std::vector<int32_t> mu_values;
+  for (double frac : {1.0 / 30.0, 4.0 / 90.0, 5.0 / 90.0, 6.0 / 90.0}) {
+    mu_values.push_back(
+        std::max<int32_t>(50, static_cast<int32_t>(frac * catalog)));
+  }
+  mu_values.push_back(0);  // 0 = whole graph (the paper's µ = 89908 row)
+
+  // Train the LDA/entropy part once; refit the walk options per µ (the
+  // entropy model is µ-independent, but Fit is one-shot by design, so we
+  // rebuild and let the suite share nothing — the timing comparison only
+  // cares about query cost).
+  std::printf("\n%10s %12s %12s %12s %14s\n", "mu", "Popularity",
+              "Similarity", "Diversity", "Efficiency(s)");
+  for (int32_t mu : mu_values) {
+    AbsorbingCostOptions options;
+    options.walk.iterations = flags.tau;
+    options.walk.max_subgraph_items = mu;
+    options.lda.num_topics = flags.topics;
+    options.lda.iterations = flags.lda_iters;
+    AbsorbingCostRecommender ac2(EntropySource::kTopicBased, options);
+    LT_CHECK_OK(ac2.Fit(corpus.dataset));
+    auto report = EvaluateTopN(ac2, corpus.dataset, users, flags.k,
+                               &corpus.ontology, flags.threads);
+    LT_CHECK(report.ok()) << report.status().ToString();
+    double mean_pop = 0.0;
+    for (double p : report->popularity_at) mean_pop += p;
+    mean_pop /= report->popularity_at.size();
+    std::printf("%10s %12.1f %12.3f %12.3f %14.5f\n",
+                mu == 0 ? "all" : std::to_string(mu).c_str(), mean_pop,
+                report->similarity, report->diversity,
+                report->seconds_per_user);
+  }
+  std::printf(
+      "\nExpected shape: popularity drifts slightly down with µ, similarity\n"
+      "saturates, diversity stays flat, per-user time grows with µ and\n"
+      "jumps for the full-graph scan.\n");
+}
+
+}  // namespace
+}  // namespace longtail
+
+int main(int argc, char** argv) {
+  using namespace longtail;
+  using namespace longtail::bench;
+  BenchFlags flags = ParseFlagsOrDie(argc, argv);
+  std::printf("== Table 4: impact of subgraph cap mu on AC2 ==\n\n");
+  Run(flags);
+  return 0;
+}

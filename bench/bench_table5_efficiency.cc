@@ -1,0 +1,76 @@
+// Table 5 reproduction: online recommendation time cost for LDA, PureSVD,
+// AC2 and DPPR on the Douban-like corpus, top-10 per user. Offline training
+// (LDA Gibbs, SVD) is excluded, as in the paper.
+//
+// Paper row: LDA 0.47s, PureSVD 0.45s, AC2 0.52s, DPPR 13.5s (per user,
+// single-threaded, 2011-era Java on the full 89,908-item Douban corpus).
+// Absolute numbers differ on the scaled C++ substrate; the shape to check
+// is pruned AC2 ≪ DPPR (full-graph power iteration per query). An extra
+// µ-pruned AC2 row makes the paper's subgraph cost mechanism explicit.
+#include "bench/bench_common.h"
+
+#include "core/absorbing_cost.h"
+
+namespace longtail {
+namespace {
+
+void Run(const bench::BenchFlags& flags) {
+  const SyntheticData corpus = bench::MakeDoubanCorpus(flags);
+  bench::PrintCorpusHeader("Douban-like", corpus.dataset);
+  AlgorithmSuite suite = bench::FitSuiteOrDie(
+      corpus.dataset, flags.Suite(corpus.dataset, /*douban_like=*/true));
+  const std::vector<UserId> users =
+      SampleTestUsers(corpus.dataset, flags.users, 10, 2000);
+  std::printf("# %zu users, top-%d, single-threaded query timing\n\n",
+              users.size(), flags.k);
+
+  std::printf("%16s %16s %18s\n", "algorithm", "s/user", "users/second");
+  for (const char* name : {"LDA", "PureSVD", "AC2", "DPPR"}) {
+    const Recommender* alg = suite.Find(name);
+    LT_CHECK(alg != nullptr) << name;
+    // Single-threaded to mirror the paper's per-query cost measurement.
+    auto report = EvaluateTopN(*alg, corpus.dataset, users, flags.k,
+                               nullptr, /*num_threads=*/1);
+    LT_CHECK(report.ok()) << report.status().ToString();
+    std::printf("%16s %16.5f %18.1f\n", name, report->seconds_per_user,
+                1.0 / std::max(1e-9, report->seconds_per_user));
+  }
+
+  // The paper's efficiency win for AC2 comes from the µ-capped subgraph
+  // (µ = 6000 ≈ 6.7% of the Douban catalog). Show the pruned configuration
+  // so the cost mechanism is visible at this scale too.
+  {
+    AbsorbingCostOptions options;
+    options.walk.iterations = flags.tau;
+    options.walk.max_subgraph_items = std::max<int32_t>(
+        60, static_cast<int32_t>(0.067 * corpus.dataset.num_items()));
+    options.lda.num_topics = flags.topics;
+    options.lda.iterations = flags.lda_iters;
+    AbsorbingCostRecommender pruned(EntropySource::kTopicBased, options);
+    LT_CHECK_OK(pruned.Fit(corpus.dataset));
+    auto report = EvaluateTopN(pruned, corpus.dataset, users, flags.k,
+                               nullptr, /*num_threads=*/1);
+    LT_CHECK(report.ok()) << report.status().ToString();
+    std::printf("%16s %16.5f %18.1f   (mu = 6.7%% of the catalog, the\n"
+                "%52s paper's Douban ratio; recall quality at reduced\n"
+                "%52s scale needs larger mu — see bench_table4_mu)\n",
+                "AC2-pruned", report->seconds_per_user,
+                1.0 / std::max(1e-9, report->seconds_per_user), "", "");
+  }
+  std::printf(
+      "\nExpected shape: pruned AC2 approaches the model-based methods and\n"
+      "beats DPPR (global power iteration per query, no pruning); the\n"
+      "advantage widens with catalog size as in the paper's Table 5.\n");
+}
+
+}  // namespace
+}  // namespace longtail
+
+int main(int argc, char** argv) {
+  using namespace longtail;
+  using namespace longtail::bench;
+  BenchFlags flags = ParseFlagsOrDie(argc, argv);
+  std::printf("== Table 5: comparison on online time cost ==\n\n");
+  Run(flags);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Bookstore scenario (the paper's Douban evaluation): a sparse book-rating
+// corpus with a category ontology. Fits AC1 and shows how ontology path
+// similarity (Eq. 18-19) certifies that the recommended tail books match
+// the reader's shelves.
+//
+//   $ ./bookstore_douban [--scale 0.01]
+#include <cstdio>
+
+#include "core/absorbing_cost.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+
+using namespace longtail;
+
+int main(int argc, char** argv) {
+  double scale = 0.01;
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "Douban-like scale (1.0 = 383k users)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+
+  auto data = GenerateSyntheticData(SyntheticSpec::DoubanLike(scale));
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& books = data->dataset;
+  const CategoryOntology& ontology = data->ontology;
+  std::printf("bookstore: %d readers, %d books, %lld ratings "
+              "(density %.3f%%)\n\n",
+              books.num_users(), books.num_items(),
+              static_cast<long long>(books.num_ratings()),
+              100.0 * books.Density());
+
+  AbsorbingCostRecommender ac1(EntropySource::kItemBased);
+  if (Status s = ac1.Fit(books); !s.ok()) {
+    std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<UserId> readers = SampleTestUsers(books, 3, 15, 11);
+  for (UserId reader : readers) {
+    std::printf("reader %d -- shelves (%d books), e.g.:\n", reader,
+                books.UserDegree(reader));
+    const auto shelf = books.UserItems(reader);
+    for (size_t k = 0; k < std::min<size_t>(3, shelf.size()); ++k) {
+      std::printf("    %s\n",
+                  ontology.LeafPathString(books.item_categories[shelf[k]])
+                      .c_str());
+    }
+    auto top = ac1.RecommendTopK(reader, 5);
+    if (!top.ok()) continue;
+    std::printf("  AC1 recommends:\n");
+    for (const auto& si : *top) {
+      const double sim = UserItemSimilarity(books, ontology, reader, si.item);
+      std::printf("    pop=%-4d sim=%.2f  %s\n",
+                  books.ItemPopularity(si.item), sim,
+                  ontology.LeafPathString(books.item_categories[si.item])
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("Low-popularity books from the reader's own category branches\n"
+              "-- long-tail recommendations that still match taste.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// MovieLens-scale walkthrough: generate (or load) a MovieLens-like corpus,
+// hold out long-tail 5-star ratings, fit AC2 and PureSVD, and compare their
+// long-tail recall and the popularity of what they recommend.
+//
+//   $ ./movielens_longtail [--scale 0.25] [--ratings_file path/ratings.dat]
+#include <cstdio>
+
+#include "baselines/pure_svd.h"
+#include "core/absorbing_cost.h"
+#include "data/generator.h"
+#include "data/longtail_stats.h"
+#include "data/movielens_io.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+
+using namespace longtail;
+
+int main(int argc, char** argv) {
+  double scale = 0.2;
+  std::string ratings_file;
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "synthetic MovieLens-like scale");
+  flags.AddString("ratings_file", &ratings_file,
+                  "optional real ratings.dat (MovieLens-1M format)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+
+  Dataset dataset;
+  if (!ratings_file.empty()) {
+    auto loaded = LoadMovieLensRatings(ratings_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+  } else {
+    auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(scale));
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(data).value().dataset;
+  }
+
+  const LongTailStats stats = ComputeLongTailStats(dataset);
+  std::printf("corpus: %d users, %d items, %lld ratings; %.0f%% of items "
+              "form the 20%%-of-ratings tail\n",
+              dataset.num_users(), dataset.num_items(),
+              static_cast<long long>(dataset.num_ratings()),
+              100.0 * stats.tail_item_fraction);
+
+  LongTailSplitOptions split_options;
+  split_options.num_test_cases = 300;
+  auto split = MakeLongTailSplit(dataset, split_options);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("held out %zu long-tail 5-star ratings as test cases\n\n",
+              split->test.size());
+
+  // AC2: the paper's best variant (topic-entropy absorbing cost).
+  AbsorbingCostOptions ac_options;
+  ac_options.lda.num_topics = 16;
+  ac_options.lda.iterations = 50;
+  AbsorbingCostRecommender ac2(EntropySource::kTopicBased, ac_options);
+  if (Status s = ac2.Fit(split->train); !s.ok()) {
+    std::fprintf(stderr, "AC2 fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // PureSVD: the strongest matrix-factorization baseline in the paper.
+  PureSvdRecommender svd;
+  if (Status s = svd.Fit(split->train); !s.ok()) {
+    std::fprintf(stderr, "PureSVD fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  RecallProtocolOptions recall_options;
+  recall_options.num_decoys = 500;
+  recall_options.max_n = 50;
+  for (const Recommender* rec :
+       std::initializer_list<const Recommender*>{&ac2, &svd}) {
+    auto curve = EvaluateRecall(*rec, split->train, split->test,
+                                recall_options);
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8s recall@10=%.3f recall@50=%.3f\n", rec->name().c_str(),
+                curve->At(10), curve->At(50));
+  }
+
+  // Show one user's lists side by side with item popularity.
+  const std::vector<UserId> users = SampleTestUsers(split->train, 1, 30, 9);
+  if (!users.empty()) {
+    const UserId u = users[0];
+    std::printf("\nuser %d (rated %d items) -- top-5 lists:\n", u,
+                split->train.UserDegree(u));
+    for (const Recommender* rec :
+         std::initializer_list<const Recommender*>{&ac2, &svd}) {
+      auto top = rec->RecommendTopK(u, 5);
+      if (!top.ok()) continue;
+      std::printf("  %-8s:", rec->name().c_str());
+      for (const auto& si : *top) {
+        std::printf(" item%d(pop=%d)", si.item,
+                    split->train.ItemPopularity(si.item));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nAC2's lists sit visibly deeper in the tail (compare the pop= "
+      "counts);\nits recall edge over PureSVD grows with corpus size — see "
+      "bench_fig5_recall\nand EXPERIMENTS.md.\n");
+  return 0;
+}

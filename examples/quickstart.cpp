@@ -1,0 +1,64 @@
+// Quickstart: build a tiny rating dataset, fit the Absorbing Time
+// recommender, and print long-tail recommendations for one user.
+//
+// This is the paper's Figure 2 example end to end: user U5 likes the action
+// movies M2/M3, and the graph walk surfaces the niche action movie M4 that
+// classic popularity-driven CF would bury.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/absorbing_time.h"
+#include "core/hitting_time.h"
+#include "data/dataset.h"
+
+using namespace longtail;
+
+int main() {
+  // Ratings from Figure 2 of the paper (5 users, 6 movies, 1-5 stars).
+  const char* movie_names[] = {"Patton",      "Gandhi",  "First Blood",
+                               "Highlander",  "Ben-Hur", "The Seventh Scroll"};
+  std::vector<RatingEntry> ratings = {
+      {0, 0, 5}, {0, 1, 3}, {0, 4, 3}, {0, 5, 5},             // U1
+      {1, 0, 5}, {1, 1, 4}, {1, 2, 5}, {1, 4, 4}, {1, 5, 5},  // U2
+      {2, 0, 4}, {2, 1, 5}, {2, 2, 4},                        // U3
+      {3, 2, 5}, {3, 3, 5},                                   // U4
+      {4, 1, 4}, {4, 2, 5},                                   // U5
+  };
+  auto dataset = Dataset::Create(/*num_users=*/5, /*num_items=*/6,
+                                 std::move(ratings));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset error: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // The Absorbing Time recommender (Algorithm 1): the query user's rated
+  // items become absorbing states; items are ranked by how quickly a random
+  // walker starting from them falls into that set.
+  AbsorbingTimeRecommender recommender;
+  if (Status s = recommender.Fit(*dataset); !s.ok()) {
+    std::fprintf(stderr, "fit error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const UserId query_user = 4;  // U5, who rated Gandhi and First Blood.
+  auto top = recommender.RecommendTopK(query_user, 4);
+  if (!top.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 top.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Recommendations for U5 (rated: Gandhi=4, First Blood=5):\n");
+  for (const ScoredItem& item : *top) {
+    std::printf("  %-20s absorbing time %.2f  (rated by %d user%s)\n",
+                movie_names[item.item], -item.score,
+                dataset->ItemPopularity(item.item),
+                dataset->ItemPopularity(item.item) == 1 ? "" : "s");
+  }
+  std::printf(
+      "\nThe niche 'Highlander' (one rating, same taste community) ranks\n"
+      "first -- the long-tail behaviour of Figure 2 in the paper.\n");
+  return 0;
+}

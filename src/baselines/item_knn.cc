@@ -1,0 +1,96 @@
+#include "baselines/item_knn.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace longtail {
+
+Status ItemKnnRecommender::Fit(const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  if (options_.num_neighbors < 1) {
+    return Status::InvalidArgument("num_neighbors must be >= 1");
+  }
+  data_ = &data;
+  const int32_t num_items = data.num_items();
+
+  // Item vector norms.
+  std::vector<double> norm(num_items, 0.0);
+  for (ItemId i = 0; i < num_items; ++i) {
+    for (float v : data.ItemValues(i)) norm[i] += static_cast<double>(v) * v;
+    norm[i] = std::sqrt(norm[i]);
+  }
+
+  // Co-rating dot products accumulated per item via its raters' lists.
+  neighbors_.assign(num_items, {});
+  std::unordered_map<ItemId, double> dot;
+  for (ItemId i = 0; i < num_items; ++i) {
+    dot.clear();
+    const auto users = data.ItemUsers(i);
+    const auto values = data.ItemValues(i);
+    for (size_t k = 0; k < users.size(); ++k) {
+      const UserId u = users[k];
+      if (data.UserDegree(u) > options_.max_user_degree) continue;
+      const double wui = values[k];
+      const auto user_items = data.UserItems(u);
+      const auto user_values = data.UserValues(u);
+      for (size_t j = 0; j < user_items.size(); ++j) {
+        const ItemId other = user_items[j];
+        if (other == i) continue;
+        dot[other] += wui * static_cast<double>(user_values[j]);
+      }
+    }
+    std::vector<ScoredItem> sims;
+    sims.reserve(dot.size());
+    for (const auto& [other, d] : dot) {
+      const double denom = norm[i] * norm[other];
+      if (denom <= 0.0) continue;
+      sims.push_back({other, d / denom});
+    }
+    neighbors_[i] = TopKScoredItems(std::move(sims), options_.num_neighbors);
+  }
+  return Status::OK();
+}
+
+std::vector<double> ItemKnnRecommender::AccumulateScores(UserId user) const {
+  std::vector<double> acc(data_->num_items(), 0.0);
+  const auto items = data_->UserItems(user);
+  const auto values = data_->UserValues(user);
+  for (size_t k = 0; k < items.size(); ++k) {
+    const double w = values[k];
+    for (const ScoredItem& nbr : neighbors_[items[k]]) {
+      acc[nbr.item] += nbr.score * w;
+    }
+  }
+  return acc;
+}
+
+Result<std::vector<ScoredItem>> ItemKnnRecommender::RecommendTopK(
+    UserId user, int k) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  const std::vector<double> acc = AccumulateScores(user);
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(acc.size());
+  for (ItemId i = 0; i < data_->num_items(); ++i) {
+    if (acc[i] <= 0.0 || data_->HasRating(user, i)) continue;
+    candidates.push_back({i, acc[i]});
+  }
+  return TopKScoredItems(std::move(candidates), k);
+}
+
+Result<std::vector<double>> ItemKnnRecommender::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  const std::vector<double> acc = AccumulateScores(user);
+  std::vector<double> scores(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (items[k] < 0 || items[k] >= data_->num_items()) {
+      return Status::OutOfRange("candidate item id out of range");
+    }
+    scores[k] = acc[items[k]];
+  }
+  return scores;
+}
+
+}  // namespace longtail

@@ -1,0 +1,53 @@
+// Item-based k-nearest-neighbour collaborative filtering.
+//
+// The classic neighbourhood model referenced in §2 (Herlocker et al.):
+// cosine similarity between item rating vectors; a user's score for item i
+// is Σ_{j ∈ S_u} sim(i, j) · w(u, j) over the stored top-M neighbour lists.
+#ifndef LONGTAIL_BASELINES_ITEM_KNN_H_
+#define LONGTAIL_BASELINES_ITEM_KNN_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+
+namespace longtail {
+
+struct ItemKnnOptions {
+  /// Neighbours retained per item.
+  int num_neighbors = 50;
+  /// Users rating more than this many items are skipped during similarity
+  /// accumulation (standard guard: they contribute O(degree²) pairs while
+  /// carrying little signal).
+  int32_t max_user_degree = 2000;
+};
+
+/// Item-based kNN recommender with precomputed neighbour lists.
+class ItemKnnRecommender : public Recommender {
+ public:
+  explicit ItemKnnRecommender(ItemKnnOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "ItemKNN"; }
+  Status Fit(const Dataset& data) override;
+  Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
+                                                int k) const override;
+  Result<std::vector<double>> ScoreItems(
+      UserId user, std::span<const ItemId> items) const override;
+
+  /// Stored neighbours of `item`: (neighbour, cosine), best first.
+  const std::vector<ScoredItem>& Neighbors(ItemId item) const {
+    return neighbors_[item];
+  }
+
+ private:
+  /// Accumulates user scores over all items; shared by both query paths.
+  std::vector<double> AccumulateScores(UserId user) const;
+
+  ItemKnnOptions options_;
+  const Dataset* data_ = nullptr;
+  std::vector<std::vector<ScoredItem>> neighbors_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_BASELINES_ITEM_KNN_H_

@@ -1,0 +1,73 @@
+#include "baselines/katz.h"
+
+namespace longtail {
+
+Status KatzRecommender::Fit(const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  if (options_.beta <= 0.0) {
+    return Status::InvalidArgument("beta must be positive");
+  }
+  if (options_.max_path_length < 2) {
+    return Status::InvalidArgument(
+        "max_path_length must be >= 2 to reach items");
+  }
+  data_ = &data;
+  graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
+  return Status::OK();
+}
+
+Result<std::vector<double>> KatzRecommender::ComputeKatzVector(
+    UserId user) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  const int32_t n = graph_.num_nodes();
+  std::vector<double> frontier(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> accum(n, 0.0);
+  frontier[graph_.UserNode(user)] = 1.0;
+  for (int step = 0; step < options_.max_path_length; ++step) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int32_t v = 0; v < n; ++v) {
+      const double mass = frontier[v];
+      if (mass == 0.0) continue;
+      const auto nbrs = graph_.Neighbors(v);
+      const auto wts = graph_.Weights(v);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        next[nbrs[k]] += options_.beta * mass * wts[k];
+      }
+    }
+    for (int32_t v = 0; v < n; ++v) accum[v] += next[v];
+    frontier.swap(next);
+  }
+  return accum;
+}
+
+Result<std::vector<ScoredItem>> KatzRecommender::RecommendTopK(UserId user,
+                                                               int k) const {
+  LT_ASSIGN_OR_RETURN(std::vector<double> katz, ComputeKatzVector(user));
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(data_->num_items());
+  for (ItemId i = 0; i < data_->num_items(); ++i) {
+    if (data_->HasRating(user, i)) continue;
+    const double s = katz[graph_.ItemNode(i)];
+    if (s <= 0.0) continue;
+    candidates.push_back({i, s});
+  }
+  return TopKScoredItems(std::move(candidates), k);
+}
+
+Result<std::vector<double>> KatzRecommender::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  LT_ASSIGN_OR_RETURN(std::vector<double> katz, ComputeKatzVector(user));
+  std::vector<double> scores(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (items[k] < 0 || items[k] >= data_->num_items()) {
+      return Status::OutOfRange("candidate item id out of range");
+    }
+    scores[k] = katz[graph_.ItemNode(items[k])];
+  }
+  return scores;
+}
+
+}  // namespace longtail

@@ -1,0 +1,47 @@
+#include "baselines/lda_recommender.h"
+
+namespace longtail {
+
+Status LdaRecommender::Fit(const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  data_ = &data;
+  if (!model_.has_value()) {
+    LT_ASSIGN_OR_RETURN(LdaModel model, LdaModel::Train(data, options_));
+    model_ = std::move(model);
+  }
+  if (model_->theta().rows() != static_cast<size_t>(data.num_users()) ||
+      model_->phi().cols() != static_cast<size_t>(data.num_items())) {
+    return Status::InvalidArgument(
+        "adopted LDA model dimensions do not match the dataset");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ScoredItem>> LdaRecommender::RecommendTopK(UserId user,
+                                                              int k) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(data_->num_items());
+  for (ItemId i = 0; i < data_->num_items(); ++i) {
+    if (data_->HasRating(user, i)) continue;
+    candidates.push_back({i, model_->Score(user, i)});
+  }
+  return TopKScoredItems(std::move(candidates), k);
+}
+
+Result<std::vector<double>> LdaRecommender::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  std::vector<double> scores(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (items[k] < 0 || items[k] >= data_->num_items()) {
+      return Status::OutOfRange("candidate item id out of range");
+    }
+    scores[k] = model_->Score(user, items[k]);
+  }
+  return scores;
+}
+
+}  // namespace longtail

@@ -1,0 +1,40 @@
+// LDA recommender baseline (§5.1.1): rank items by the predictive
+// probability score(u, i) = Σ_z θ_uz φ_zi of the user-item LDA model.
+#ifndef LONGTAIL_BASELINES_LDA_RECOMMENDER_H_
+#define LONGTAIL_BASELINES_LDA_RECOMMENDER_H_
+
+#include <optional>
+
+#include "core/recommender.h"
+#include "topics/lda.h"
+
+namespace longtail {
+
+/// Latent-topic baseline recommender.
+class LdaRecommender : public Recommender {
+ public:
+  explicit LdaRecommender(LdaOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "LDA"; }
+
+  /// Reuses an already-trained model (e.g. the one AC2 trained) so that Fit
+  /// skips Gibbs sampling. Must be called before Fit.
+  void AdoptModel(LdaModel model) { model_ = std::move(model); }
+
+  Status Fit(const Dataset& data) override;
+  Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
+                                                int k) const override;
+  Result<std::vector<double>> ScoreItems(
+      UserId user, std::span<const ItemId> items) const override;
+
+  const LdaModel& model() const { return *model_; }
+
+ private:
+  LdaOptions options_;
+  const Dataset* data_ = nullptr;
+  std::optional<LdaModel> model_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_BASELINES_LDA_RECOMMENDER_H_

@@ -1,0 +1,97 @@
+#include "baselines/pagerank.h"
+
+#include <cmath>
+
+namespace longtail {
+
+Status PageRankRecommender::Fit(const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  if (options_.damping <= 0.0 || options_.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  data_ = &data;
+  graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
+  return Status::OK();
+}
+
+Result<std::vector<double>> PageRankRecommender::ComputePpr(
+    UserId user) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  const int32_t n = graph_.num_nodes();
+  std::vector<double> restart(n, 0.0);
+  if (options_.restart_at_items) {
+    const auto items = data_->UserItems(user);
+    if (items.empty()) {
+      return Status::FailedPrecondition("user " + std::to_string(user) +
+                                        " has no ratings");
+    }
+    const double p = 1.0 / static_cast<double>(items.size());
+    for (ItemId i : items) restart[graph_.ItemNode(i)] = p;
+  } else {
+    restart[graph_.UserNode(user)] = 1.0;
+  }
+
+  const double lambda = options_.damping;
+  std::vector<double> pi = restart;
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    // next = (1-λ) restart + λ Pᵀ π, accumulated edge-by-edge.
+    for (int32_t v = 0; v < n; ++v) next[v] = (1.0 - lambda) * restart[v];
+    for (int32_t v = 0; v < n; ++v) {
+      const double d = graph_.WeightedDegree(v);
+      if (d <= 0.0 || pi[v] == 0.0) continue;
+      const double out = lambda * pi[v] / d;
+      const auto nbrs = graph_.Neighbors(v);
+      const auto wts = graph_.Weights(v);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        next[nbrs[k]] += out * wts[k];
+      }
+    }
+    double delta = 0.0;
+    for (int32_t v = 0; v < n; ++v) delta += std::abs(next[v] - pi[v]);
+    pi.swap(next);
+    if (delta < options_.tolerance) break;
+  }
+  return pi;
+}
+
+double PageRankRecommender::ItemScore(const std::vector<double>& ppr,
+                                      ItemId item) const {
+  const double value = ppr[graph_.ItemNode(item)];
+  if (!discounted_) return value;
+  const int32_t pop = data_->ItemPopularity(item);
+  // Unrated items have PPR 0 and popularity 0; keep them at 0 (Eq. 15 is
+  // undefined there, and such items are unreachable anyway).
+  return pop > 0 ? value / static_cast<double>(pop) : 0.0;
+}
+
+Result<std::vector<ScoredItem>> PageRankRecommender::RecommendTopK(
+    UserId user, int k) const {
+  LT_ASSIGN_OR_RETURN(std::vector<double> ppr, ComputePpr(user));
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(data_->num_items());
+  for (ItemId i = 0; i < data_->num_items(); ++i) {
+    if (data_->HasRating(user, i)) continue;
+    const double s = ItemScore(ppr, i);
+    if (s <= 0.0) continue;  // Unreachable from the restart set.
+    candidates.push_back({i, s});
+  }
+  return TopKScoredItems(std::move(candidates), k);
+}
+
+Result<std::vector<double>> PageRankRecommender::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  LT_ASSIGN_OR_RETURN(std::vector<double> ppr, ComputePpr(user));
+  std::vector<double> scores(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (items[k] < 0 || items[k] >= data_->num_items()) {
+      return Status::OutOfRange("candidate item id out of range");
+    }
+    scores[k] = ItemScore(ppr, items[k]);
+  }
+  return scores;
+}
+
+}  // namespace longtail

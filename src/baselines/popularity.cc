@@ -1,0 +1,38 @@
+#include "baselines/popularity.h"
+
+namespace longtail {
+
+Status PopularityRecommender::Fit(const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  data_ = &data;
+  return Status::OK();
+}
+
+Result<std::vector<ScoredItem>> PopularityRecommender::RecommendTopK(
+    UserId user, int k) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(data_->num_items());
+  for (ItemId i = 0; i < data_->num_items(); ++i) {
+    if (data_->HasRating(user, i)) continue;
+    candidates.push_back({i, static_cast<double>(data_->ItemPopularity(i))});
+  }
+  return TopKScoredItems(std::move(candidates), k);
+}
+
+Result<std::vector<double>> PopularityRecommender::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  std::vector<double> scores(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (items[k] < 0 || items[k] >= data_->num_items()) {
+      return Status::OutOfRange("candidate item id out of range");
+    }
+    scores[k] = static_cast<double>(data_->ItemPopularity(items[k]));
+  }
+  return scores;
+}
+
+}  // namespace longtail

@@ -1,0 +1,28 @@
+// Most-popular baseline: scores every item by its rating count.
+//
+// Not evaluated in the paper's tables but referenced throughout (§1–2) as
+// what classic CF degenerates to; useful as a floor for long-tail metrics.
+#ifndef LONGTAIL_BASELINES_POPULARITY_H_
+#define LONGTAIL_BASELINES_POPULARITY_H_
+
+#include "core/recommender.h"
+
+namespace longtail {
+
+/// Recommends globally popular items the user has not rated.
+class PopularityRecommender : public Recommender {
+ public:
+  std::string name() const override { return "MostPopular"; }
+  Status Fit(const Dataset& data) override;
+  Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
+                                                int k) const override;
+  Result<std::vector<double>> ScoreItems(
+      UserId user, std::span<const ItemId> items) const override;
+
+ private:
+  const Dataset* data_ = nullptr;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_BASELINES_POPULARITY_H_

@@ -1,0 +1,80 @@
+#include "baselines/pure_svd.h"
+
+#include "linalg/csr_matrix.h"
+
+namespace longtail {
+
+Status PureSvdRecommender::Fit(const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  if (options_.num_factors < 1) {
+    return Status::InvalidArgument("num_factors must be >= 1");
+  }
+  data_ = &data;
+
+  // Assemble R in CSR (users × items), missing entries implicit zeros.
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(data.num_ratings()));
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    const auto items = data.UserItems(u);
+    const auto values = data.UserValues(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      triplets.push_back({u, items[k], static_cast<double>(values[k])});
+    }
+  }
+  LT_ASSIGN_OR_RETURN(
+      CsrMatrix r,
+      CsrMatrix::FromTriplets(data.num_users(), data.num_items(),
+                              std::move(triplets)));
+
+  SvdOptions svd_options = options_.svd;
+  svd_options.rank =
+      std::min(options_.num_factors,
+               std::min(data.num_users(), data.num_items()));
+  LT_ASSIGN_OR_RETURN(SvdResult svd, RandomizedSvd(r, svd_options));
+  item_factors_ = std::move(svd.v);  // num_items × f
+  return Status::OK();
+}
+
+std::vector<double> PureSvdRecommender::UserEmbedding(UserId user) const {
+  const size_t f = item_factors_.cols();
+  std::vector<double> e(f, 0.0);
+  const auto items = data_->UserItems(user);
+  const auto values = data_->UserValues(user);
+  for (size_t k = 0; k < items.size(); ++k) {
+    const auto q = item_factors_.Row(items[k]);
+    const double w = values[k];
+    for (size_t j = 0; j < f; ++j) e[j] += w * q[j];
+  }
+  return e;
+}
+
+Result<std::vector<ScoredItem>> PureSvdRecommender::RecommendTopK(
+    UserId user, int k) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  const std::vector<double> e = UserEmbedding(user);
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(data_->num_items());
+  for (ItemId i = 0; i < data_->num_items(); ++i) {
+    if (data_->HasRating(user, i)) continue;
+    candidates.push_back({i, Dot(e, item_factors_.Row(i))});
+  }
+  return TopKScoredItems(std::move(candidates), k);
+}
+
+Result<std::vector<double>> PureSvdRecommender::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  const std::vector<double> e = UserEmbedding(user);
+  std::vector<double> scores(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (items[k] < 0 || items[k] >= data_->num_items()) {
+      return Status::OutOfRange("candidate item id out of range");
+    }
+    scores[k] = Dot(e, item_factors_.Row(items[k]));
+  }
+  return scores;
+}
+
+}  // namespace longtail

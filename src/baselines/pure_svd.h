@@ -1,0 +1,51 @@
+// PureSVD (Cremonesi, Koren & Turrin, RecSys 2010) — the strongest
+// matrix-factorization baseline in the paper's comparison (§5.1.1).
+//
+// The rating matrix R (missing entries as zero) is factorized
+// R ≈ U Σ Qᵀ by truncated SVD; the score of item i for user u is
+// r_u · Q q_iᵀ, i.e. the user's rating row projected into the item factor
+// space. We compute the factorization with the from-scratch randomized SVD
+// in linalg/svd.h.
+#ifndef LONGTAIL_BASELINES_PURE_SVD_H_
+#define LONGTAIL_BASELINES_PURE_SVD_H_
+
+#include "core/recommender.h"
+#include "linalg/dense.h"
+#include "linalg/svd.h"
+
+namespace longtail {
+
+struct PureSvdOptions {
+  /// Number of latent factors f (paper-era sweet spot: tens).
+  int num_factors = 50;
+  SvdOptions svd;
+};
+
+/// PureSVD top-N recommender.
+class PureSvdRecommender : public Recommender {
+ public:
+  explicit PureSvdRecommender(PureSvdOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "PureSVD"; }
+  Status Fit(const Dataset& data) override;
+  Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
+                                                int k) const override;
+  Result<std::vector<double>> ScoreItems(
+      UserId user, std::span<const ItemId> items) const override;
+
+  /// Item factor matrix Q (num_items × f).
+  const DenseMatrix& item_factors() const { return item_factors_; }
+
+ private:
+  /// e_u = r_u · Q, the user's f-dimensional embedding (folding-in).
+  std::vector<double> UserEmbedding(UserId user) const;
+
+  PureSvdOptions options_;
+  const Dataset* data_ = nullptr;
+  DenseMatrix item_factors_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_BASELINES_PURE_SVD_H_

@@ -1,0 +1,49 @@
+#include "core/absorbing_cost.h"
+
+#include <algorithm>
+
+#include "core/entropy.h"
+#include "graph/markov.h"
+
+namespace longtail {
+
+Status AbsorbingCostRecommender::FitImpl() {
+  switch (source_) {
+    case EntropySource::kItemBased:
+      user_entropy_ = ItemBasedUserEntropy(*data_);
+      break;
+    case EntropySource::kTopicBased: {
+      LT_ASSIGN_OR_RETURN(LdaModel model,
+                          LdaModel::Train(*data_, cost_options_.lda));
+      user_entropy_ = TopicBasedUserEntropy(model.theta());
+      lda_model_ = std::move(model);
+      break;
+    }
+  }
+  if (cost_options_.user_jump_cost > 0.0) {
+    resolved_jump_cost_ = cost_options_.user_jump_cost;
+  } else {
+    // Paper default: C is "the mean cost of jumping from V2 to V1" — the
+    // mean user entropy. Floor at a small epsilon so the walk never takes
+    // free steps (degenerate ranking) on pathological datasets.
+    double sum = 0.0;
+    for (double e : user_entropy_) sum += e;
+    const double mean =
+        user_entropy_.empty() ? 0.0 : sum / user_entropy_.size();
+    resolved_jump_cost_ = std::max(mean, 1e-3);
+  }
+  return Status::OK();
+}
+
+std::vector<double> AbsorbingCostRecommender::NodeCosts(
+    const Subgraph& sub) const {
+  // Map global entropies onto the subgraph's local user ids, then build the
+  // per-node expected-immediate-cost vector of Eq. 9.
+  std::vector<double> local_entropy(sub.users.size(), 0.0);
+  for (size_t lu = 0; lu < sub.users.size(); ++lu) {
+    local_entropy[lu] = user_entropy_[sub.users[lu]];
+  }
+  return EntropyNodeCosts(sub.graph, local_entropy, resolved_jump_cost_);
+}
+
+}  // namespace longtail

@@ -1,0 +1,41 @@
+#include "core/entropy.h"
+
+#include <cmath>
+
+namespace longtail {
+
+namespace {
+template <typename T>
+double EntropyImpl(std::span<const T> weights) {
+  double total = 0.0;
+  for (T w : weights) total += static_cast<double>(w);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (T w : weights) {
+    const double p = static_cast<double>(w) / total;
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+}  // namespace
+
+double Entropy(std::span<const double> weights) { return EntropyImpl(weights); }
+double Entropy(std::span<const float> weights) { return EntropyImpl(weights); }
+
+std::vector<double> ItemBasedUserEntropy(const Dataset& data) {
+  std::vector<double> entropy(data.num_users(), 0.0);
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    entropy[u] = Entropy(data.UserValues(u));
+  }
+  return entropy;
+}
+
+std::vector<double> TopicBasedUserEntropy(const DenseMatrix& theta) {
+  std::vector<double> entropy(theta.rows(), 0.0);
+  for (size_t u = 0; u < theta.rows(); ++u) {
+    entropy[u] = Entropy(theta.Row(u));
+  }
+  return entropy;
+}
+
+}  // namespace longtail

@@ -1,0 +1,34 @@
+// User entropy — the paper's novel feature (§4.2).
+//
+// Item-based (Eq. 10): E(u) = -Σ_{i∈S_u} p(i|u) log p(i|u) with
+// p(i|u) = w(u,i) / Σ w(u,·). Broad raters have high entropy; taste-specific
+// raters low entropy. Ratings from low-entropy users are more informative,
+// so jumping from an item to such a user should be cheap (Eq. 9).
+//
+// Topic-based (Eq. 11): E(u) = -Σ_z p(z|θ_u) log p(z|θ_u) over the user's
+// LDA topic distribution — robust to prolific users with narrow taste.
+#ifndef LONGTAIL_CORE_ENTROPY_H_
+#define LONGTAIL_CORE_ENTROPY_H_
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/dense.h"
+
+namespace longtail {
+
+/// Shannon entropy (nats) of an unnormalized non-negative weight vector.
+/// Zero-weight entries contribute 0; an all-zero vector has entropy 0.
+double Entropy(std::span<const double> weights);
+double Entropy(std::span<const float> weights);
+
+/// Eq. 10 for every user: entropy of the user's rating-weight distribution.
+std::vector<double> ItemBasedUserEntropy(const Dataset& data);
+
+/// Eq. 11 for every user: entropy of each row of θ (num_users × K).
+std::vector<double> TopicBasedUserEntropy(const DenseMatrix& theta);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_CORE_ENTROPY_H_

@@ -1,0 +1,81 @@
+#include "core/graph_recommender_base.h"
+
+#include <cmath>
+#include <limits>
+
+namespace longtail {
+
+Status GraphRecommenderBase::Fit(const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  data_ = &data;
+  graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
+  return FitImpl();
+}
+
+std::vector<double> GraphRecommenderBase::NodeCosts(const Subgraph& sub) const {
+  return std::vector<double>(sub.graph.num_nodes(), 1.0);
+}
+
+Result<GraphRecommenderBase::WalkValues> GraphRecommenderBase::ComputeWalk(
+    UserId user) const {
+  LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+  LT_ASSIGN_OR_RETURN(std::vector<NodeId> seeds, SeedNodes(user));
+  if (seeds.empty()) {
+    return Status::FailedPrecondition(
+        "no seed nodes for user " + std::to_string(user) +
+        " (cold-start users cannot be served by graph recommenders)");
+  }
+  WalkValues out;
+  SubgraphOptions sub_options;
+  sub_options.max_items = options_.max_subgraph_items;
+  out.sub = ExtractSubgraph(graph_, seeds, sub_options);
+  const std::vector<bool> absorbing = AbsorbingFlags(out.sub, user);
+  const std::vector<double> costs = NodeCosts(out.sub);
+  if (options_.exact) {
+    LT_ASSIGN_OR_RETURN(out.values, AbsorbingValueExact(out.sub.graph,
+                                                        absorbing, costs,
+                                                        options_.solver));
+  } else {
+    out.values = AbsorbingValueTruncated(out.sub.graph, absorbing, costs,
+                                         options_.iterations);
+  }
+  return out;
+}
+
+Result<std::vector<ScoredItem>> GraphRecommenderBase::RecommendTopK(
+    UserId user, int k) const {
+  LT_ASSIGN_OR_RETURN(WalkValues walk, ComputeWalk(user));
+  const int32_t num_local_users =
+      static_cast<int32_t>(walk.sub.users.size());
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(walk.sub.items.size());
+  for (size_t li = 0; li < walk.sub.items.size(); ++li) {
+    const ItemId item = walk.sub.items[li];
+    if (data_->HasRating(user, item)) continue;
+    const double value = walk.values[num_local_users + static_cast<int32_t>(li)];
+    if (!std::isfinite(value)) continue;  // Unreachable from absorbing set.
+    candidates.push_back({item, -value});
+  }
+  return TopKScoredItems(std::move(candidates), k);
+}
+
+Result<std::vector<double>> GraphRecommenderBase::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  LT_ASSIGN_OR_RETURN(WalkValues walk, ComputeWalk(user));
+  std::vector<double> scores(items.size(), kUnreachableScore);
+  for (size_t k = 0; k < items.size(); ++k) {
+    const ItemId item = items[k];
+    if (item < 0 || item >= data_->num_items()) {
+      return Status::OutOfRange("candidate item id out of range");
+    }
+    const NodeId local = walk.sub.LocalItemNode(item);
+    if (local < 0) continue;  // Outside the subgraph: unreachable.
+    const double value = walk.values[local];
+    if (std::isfinite(value)) scores[k] = -value;
+  }
+  return scores;
+}
+
+}  // namespace longtail

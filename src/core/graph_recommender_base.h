@@ -1,0 +1,77 @@
+// Shared machinery for the paper's graph recommenders (HT, AT, AC1, AC2).
+//
+// Query flow (Algorithm 1): seed nodes → BFS subgraph capped at µ item
+// nodes → truncated DP for τ iterations (or an exact linear solve when
+// configured) → rank items by smallest time/cost.
+#ifndef LONGTAIL_CORE_GRAPH_RECOMMENDER_BASE_H_
+#define LONGTAIL_CORE_GRAPH_RECOMMENDER_BASE_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "graph/bipartite_graph.h"
+#include "graph/markov.h"
+#include "graph/subgraph.h"
+
+namespace longtail {
+
+/// Options shared by all graph-walk recommenders.
+struct GraphWalkOptions {
+  /// τ: truncated-DP sweeps (paper default 15, §5.2.2).
+  int iterations = 15;
+  /// µ: BFS subgraph cap on item nodes (paper default 6000, §5.2.2).
+  /// <= 0 disables the cap (whole reachable component).
+  int32_t max_subgraph_items = 6000;
+  /// Edge weight = rating (paper) vs 1.0 (ablation).
+  bool weighted_edges = true;
+  /// Replace the truncated DP with an exact Gauss–Seidel solve
+  /// (tests/ablation; slower).
+  bool exact = false;
+  SolverOptions solver;
+};
+
+/// Base class implementing Fit/RecommendTopK/ScoreItems on top of three
+/// hooks: seed nodes, absorbing flags, and per-node costs.
+class GraphRecommenderBase : public Recommender {
+ public:
+  Status Fit(const Dataset& data) override;
+  Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
+                                                int k) const override;
+  Result<std::vector<double>> ScoreItems(
+      UserId user, std::span<const ItemId> items) const override;
+
+  const GraphWalkOptions& options() const { return options_; }
+  const BipartiteGraph& graph() const { return graph_; }
+
+ protected:
+  explicit GraphRecommenderBase(GraphWalkOptions options)
+      : options_(options) {}
+
+  /// Extra training after the graph is built (entropies, LDA). Default none.
+  virtual Status FitImpl() { return Status::OK(); }
+
+  /// Global node ids to seed the BFS subgraph for this query.
+  virtual Result<std::vector<NodeId>> SeedNodes(UserId user) const = 0;
+
+  /// Local absorbing flags on the extracted subgraph.
+  virtual std::vector<bool> AbsorbingFlags(const Subgraph& sub,
+                                           UserId user) const = 0;
+
+  /// Local per-node immediate costs; default unit cost (absorbing *time*).
+  virtual std::vector<double> NodeCosts(const Subgraph& sub) const;
+
+  const Dataset* data_ = nullptr;
+  BipartiteGraph graph_;
+  GraphWalkOptions options_;
+
+ private:
+  struct WalkValues {
+    Subgraph sub;
+    std::vector<double> values;  // per local node; +inf = unreachable
+  };
+  Result<WalkValues> ComputeWalk(UserId user) const;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_CORE_GRAPH_RECOMMENDER_BASE_H_

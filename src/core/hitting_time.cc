@@ -1,0 +1,25 @@
+#include "core/hitting_time.h"
+
+#include "util/logging.h"
+
+namespace longtail {
+
+Result<std::vector<NodeId>> HittingTimeRecommender::SeedNodes(
+    UserId user) const {
+  if (data_->UserDegree(user) == 0) {
+    return Status::FailedPrecondition("user " + std::to_string(user) +
+                                      " has no ratings");
+  }
+  return std::vector<NodeId>{graph_.UserNode(user)};
+}
+
+std::vector<bool> HittingTimeRecommender::AbsorbingFlags(const Subgraph& sub,
+                                                         UserId user) const {
+  std::vector<bool> absorbing(sub.graph.num_nodes(), false);
+  const NodeId local = sub.LocalUserNode(user);
+  LT_CHECK_GE(local, 0) << "query user must be in its own subgraph";
+  absorbing[local] = true;
+  return absorbing;
+}
+
+}  // namespace longtail

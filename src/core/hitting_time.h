@@ -1,0 +1,31 @@
+// HT — the user-based Hitting Time recommender (§3.3, Problem 2).
+//
+// For a query user q, H(q|j) is the expected number of steps for a walker
+// starting at item j to first reach q (Def. 1). Eq. 5 shows
+// H(q|j) = π_j / (p_qj π_q): small hitting time ⇔ relevant to q *and* low
+// stationary probability (unpopular) — exactly the long-tail objective.
+// Operationally this is the absorbing time with S = {q}.
+#ifndef LONGTAIL_CORE_HITTING_TIME_H_
+#define LONGTAIL_CORE_HITTING_TIME_H_
+
+#include "core/graph_recommender_base.h"
+
+namespace longtail {
+
+/// Hitting-time recommender: rank items by smallest H(q|item).
+class HittingTimeRecommender : public GraphRecommenderBase {
+ public:
+  explicit HittingTimeRecommender(GraphWalkOptions options = {})
+      : GraphRecommenderBase(options) {}
+
+  std::string name() const override { return "HT"; }
+
+ protected:
+  Result<std::vector<NodeId>> SeedNodes(UserId user) const override;
+  std::vector<bool> AbsorbingFlags(const Subgraph& sub,
+                                   UserId user) const override;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_CORE_HITTING_TIME_H_

@@ -1,0 +1,33 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+
+namespace longtail {
+
+std::vector<ScoredItem> TopKScoredItems(std::vector<ScoredItem> candidates,
+                                        int k) {
+  if (k < 0) k = 0;
+  const size_t keep = std::min<size_t>(candidates.size(), k);
+  auto better = [](const ScoredItem& a, const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
+  std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                    candidates.end(), better);
+  candidates.resize(keep);
+  return candidates;
+}
+
+Status CheckQueryUser(const Dataset* data, UserId user) {
+  if (data == nullptr) {
+    return Status::FailedPrecondition("recommender is not fitted; call Fit()");
+  }
+  if (user < 0 || user >= data->num_users()) {
+    return Status::OutOfRange("user id " + std::to_string(user) +
+                              " outside [0, " +
+                              std::to_string(data->num_users()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace longtail

@@ -1,0 +1,59 @@
+// The recommender interface shared by the paper's algorithms (HT, AT, AC1,
+// AC2) and every baseline (LDA, PureSVD, PPR, DPPR, popularity, item-kNN).
+//
+// Two query shapes are needed by the paper's evaluation:
+//  * RecommendTopK — top-k unrated items for a user (Figures 6, Tables 2-6).
+//  * ScoreItems    — scores for an explicit candidate list (the Recall@N
+//                    protocol of §5.2.1 ranks 1 test item among 1000 decoys).
+// Scores are "higher is better"; graph methods return negated times/costs.
+#ifndef LONGTAIL_CORE_RECOMMENDER_H_
+#define LONGTAIL_CORE_RECOMMENDER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace longtail {
+
+/// Score assigned to candidates that a recommender cannot reach or rank
+/// (e.g. items outside the BFS subgraph). Ranks below every real score.
+inline constexpr double kUnreachableScore = -1e300;
+
+/// Abstract recommender. Implementations are immutable after Fit and safe
+/// for concurrent queries from multiple threads.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Short identifier used in reports ("AC2", "PureSVD", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on the dataset. Must be called exactly once before querying.
+  /// The dataset must outlive the recommender.
+  virtual Status Fit(const Dataset& data) = 0;
+
+  /// Returns up to k items not rated by `user`, best first.
+  virtual Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
+                                                        int k) const = 0;
+
+  /// Returns one score per candidate item (aligned with `items`).
+  virtual Result<std::vector<double>> ScoreItems(
+      UserId user, std::span<const ItemId> items) const = 0;
+};
+
+/// Sorts candidates by (score desc, item id asc) and keeps the best k.
+std::vector<ScoredItem> TopKScoredItems(std::vector<ScoredItem> candidates,
+                                        int k);
+
+/// Validates that `user` is in range and `data` is fitted; shared by
+/// implementations.
+Status CheckQueryUser(const Dataset* data, UserId user);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_CORE_RECOMMENDER_H_

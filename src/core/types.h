@@ -1,0 +1,34 @@
+// Shared primitive types for the longtail library.
+#ifndef LONGTAIL_CORE_TYPES_H_
+#define LONGTAIL_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace longtail {
+
+/// Contiguous 0-based user id within a Dataset.
+using UserId = int32_t;
+/// Contiguous 0-based item id within a Dataset.
+using ItemId = int32_t;
+/// Graph node id: users occupy [0, num_users), items
+/// [num_users, num_users + num_items).
+using NodeId = int32_t;
+
+/// One observed rating event.
+struct RatingEntry {
+  UserId user;
+  ItemId item;
+  /// Rating value; the paper's datasets use 1..5 stars. Used as the edge
+  /// weight of the user-item graph and as token multiplicity in LDA.
+  float value;
+};
+
+/// An item with a recommender-assigned score; higher is better.
+struct ScoredItem {
+  ItemId item;
+  double score;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_CORE_TYPES_H_

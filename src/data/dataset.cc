@@ -1,0 +1,109 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+Result<Dataset> Dataset::Create(int32_t num_users, int32_t num_items,
+                                std::vector<RatingEntry> ratings) {
+  if (num_users < 0 || num_items < 0) {
+    return Status::InvalidArgument("dataset dimensions must be non-negative");
+  }
+  for (const RatingEntry& r : ratings) {
+    if (r.user < 0 || r.user >= num_users) {
+      return Status::OutOfRange("rating has user id " + std::to_string(r.user) +
+                                " outside [0, " + std::to_string(num_users) +
+                                ")");
+    }
+    if (r.item < 0 || r.item >= num_items) {
+      return Status::OutOfRange("rating has item id " + std::to_string(r.item) +
+                                " outside [0, " + std::to_string(num_items) +
+                                ")");
+    }
+    if (!(r.value > 0.0f)) {
+      return Status::InvalidArgument(
+          "rating values must be positive (got " + std::to_string(r.value) +
+          "); the user-item graph requires positive edge weights");
+    }
+  }
+  // Stable sort so the *last* duplicate wins below.
+  std::stable_sort(ratings.begin(), ratings.end(),
+                   [](const RatingEntry& a, const RatingEntry& b) {
+                     return a.user != b.user ? a.user < b.user
+                                             : a.item < b.item;
+                   });
+  Dataset d;
+  d.num_users_ = num_users;
+  d.num_items_ = num_items;
+  d.user_ptr_.assign(num_users + 1, 0);
+  d.rating_items_.reserve(ratings.size());
+  d.rating_values_.reserve(ratings.size());
+  for (size_t i = 0; i < ratings.size();) {
+    const UserId u = ratings[i].user;
+    const ItemId it = ratings[i].item;
+    float value = ratings[i].value;
+    while (i < ratings.size() && ratings[i].user == u &&
+           ratings[i].item == it) {
+      value = ratings[i].value;  // Last duplicate wins.
+      ++i;
+    }
+    d.rating_items_.push_back(it);
+    d.rating_values_.push_back(value);
+    d.user_ptr_[u + 1] = static_cast<int64_t>(d.rating_items_.size());
+  }
+  for (int32_t u = 0; u < num_users; ++u) {
+    d.user_ptr_[u + 1] = std::max(d.user_ptr_[u + 1], d.user_ptr_[u]);
+  }
+
+  // Build the item orientation by counting sort.
+  d.item_ptr_.assign(num_items + 1, 0);
+  for (ItemId it : d.rating_items_) ++d.item_ptr_[it + 1];
+  for (int32_t i = 0; i < num_items; ++i) d.item_ptr_[i + 1] += d.item_ptr_[i];
+  d.rated_by_users_.resize(d.rating_items_.size());
+  d.rated_by_values_.resize(d.rating_items_.size());
+  std::vector<int64_t> next(d.item_ptr_.begin(), d.item_ptr_.end() - 1);
+  for (int32_t u = 0; u < num_users; ++u) {
+    for (int64_t k = d.user_ptr_[u]; k < d.user_ptr_[u + 1]; ++k) {
+      const ItemId it = d.rating_items_[k];
+      const int64_t pos = next[it]++;
+      d.rated_by_users_[pos] = u;
+      d.rated_by_values_[pos] = d.rating_values_[k];
+    }
+  }
+  return d;
+}
+
+double Dataset::Density() const {
+  const double cells =
+      static_cast<double>(num_users_) * static_cast<double>(num_items_);
+  return cells > 0 ? static_cast<double>(num_ratings()) / cells : 0.0;
+}
+
+bool Dataset::HasRating(UserId user, ItemId item) const {
+  const auto items = UserItems(user);
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+float Dataset::GetRating(UserId user, ItemId item) const {
+  const auto items = UserItems(user);
+  const auto it = std::lower_bound(items.begin(), items.end(), item);
+  if (it == items.end() || *it != item) return 0.0f;
+  return UserValues(user)[static_cast<size_t>(it - items.begin())];
+}
+
+std::vector<RatingEntry> Dataset::ToRatingList() const {
+  std::vector<RatingEntry> out;
+  out.reserve(static_cast<size_t>(num_ratings()));
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto items = UserItems(u);
+    const auto values = UserValues(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      out.push_back({u, items[k], values[k]});
+    }
+  }
+  return out;
+}
+
+}  // namespace longtail

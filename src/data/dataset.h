@@ -1,0 +1,110 @@
+// The in-memory rating dataset: the single source of truth every algorithm
+// consumes. Construction validates ids and builds both orientations of the
+// rating matrix (user→items and item→users) in CSR form.
+#ifndef LONGTAIL_DATA_DATASET_H_
+#define LONGTAIL_DATA_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace longtail {
+
+/// Immutable rating dataset with CSR indexes in both orientations.
+///
+/// Optional metadata (labels, ground-truth genres, ontology categories) is
+/// carried for synthetic datasets; algorithms never read it, only
+/// evaluation/reporting code does.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Validates ids, deduplicates (user,item) pairs keeping the last value,
+  /// and builds indexes. Ratings must have 0 <= user < num_users,
+  /// 0 <= item < num_items, value > 0.
+  static Result<Dataset> Create(int32_t num_users, int32_t num_items,
+                                std::vector<RatingEntry> ratings);
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int64_t num_ratings() const {
+    return static_cast<int64_t>(rating_items_.size());
+  }
+
+  /// Fraction of the user×item matrix that is observed.
+  double Density() const;
+
+  /// Items rated by `user`, ascending item id.
+  std::span<const ItemId> UserItems(UserId user) const {
+    return {rating_items_.data() + user_ptr_[user],
+            static_cast<size_t>(user_ptr_[user + 1] - user_ptr_[user])};
+  }
+  /// Rating values aligned with UserItems(user).
+  std::span<const float> UserValues(UserId user) const {
+    return {rating_values_.data() + user_ptr_[user],
+            static_cast<size_t>(user_ptr_[user + 1] - user_ptr_[user])};
+  }
+  int32_t UserDegree(UserId user) const {
+    return static_cast<int32_t>(user_ptr_[user + 1] - user_ptr_[user]);
+  }
+
+  /// Users who rated `item`, ascending user id.
+  std::span<const UserId> ItemUsers(ItemId item) const {
+    return {rated_by_users_.data() + item_ptr_[item],
+            static_cast<size_t>(item_ptr_[item + 1] - item_ptr_[item])};
+  }
+  /// Rating values aligned with ItemUsers(item).
+  std::span<const float> ItemValues(ItemId item) const {
+    return {rated_by_values_.data() + item_ptr_[item],
+            static_cast<size_t>(item_ptr_[item + 1] - item_ptr_[item])};
+  }
+
+  /// Number of ratings an item received — the paper's "popularity" measure
+  /// (§5.1.3 "We define the popularity of recommended item as its frequency
+  /// of rating").
+  int32_t ItemPopularity(ItemId item) const {
+    return static_cast<int32_t>(item_ptr_[item + 1] - item_ptr_[item]);
+  }
+
+  /// True if (user, item) is observed.
+  bool HasRating(UserId user, ItemId item) const;
+
+  /// Rating value or 0 if absent.
+  float GetRating(UserId user, ItemId item) const;
+
+  /// Returns all ratings as a flat list (user-major order).
+  std::vector<RatingEntry> ToRatingList() const;
+
+  // ---- Optional metadata (may be empty) ----
+
+  /// Display names, e.g. "Sleeping Beauty (1959)"; size num_items or empty.
+  std::vector<std::string> item_labels;
+  /// Ground-truth latent genre per item (synthetic data); size num_items
+  /// or empty. Used to validate LDA topics (Table 1) and the user study.
+  std::vector<int32_t> item_genres;
+  /// Ontology leaf category per item; size num_items or empty (§5.2.4).
+  std::vector<int32_t> item_categories;
+  /// Ground-truth user topic preference (synthetic data); row-major
+  /// num_users × num_genres, or empty.
+  std::vector<double> user_genre_prefs;
+  int32_t num_genres = 0;
+
+ private:
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  // user → (item, value), CSR.
+  std::vector<int64_t> user_ptr_{0};
+  std::vector<ItemId> rating_items_;
+  std::vector<float> rating_values_;
+  // item → (user, value), CSR.
+  std::vector<int64_t> item_ptr_{0};
+  std::vector<UserId> rated_by_users_;
+  std::vector<float> rated_by_values_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_DATA_DATASET_H_

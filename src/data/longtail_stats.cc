@@ -1,0 +1,95 @@
+#include "data/longtail_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace longtail {
+
+namespace {
+// Item ids sorted by (popularity asc, id asc).
+std::vector<ItemId> ItemsByPopularityAscending(const Dataset& data) {
+  std::vector<ItemId> order(data.num_items());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    const int32_t pa = data.ItemPopularity(a);
+    const int32_t pb = data.ItemPopularity(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  return order;
+}
+}  // namespace
+
+std::vector<bool> TailItemFlags(const Dataset& data,
+                                double tail_rating_share) {
+  std::vector<bool> tail(data.num_items(), false);
+  const int64_t total = data.num_ratings();
+  const double budget = tail_rating_share * static_cast<double>(total);
+  const std::vector<ItemId> order = ItemsByPopularityAscending(data);
+  double used = 0.0;
+  for (ItemId i : order) {
+    const double pop = data.ItemPopularity(i);
+    if (used + pop > budget) break;
+    used += pop;
+    tail[i] = true;
+  }
+  return tail;
+}
+
+LongTailStats ComputeLongTailStats(const Dataset& data,
+                                   double tail_rating_share) {
+  LongTailStats stats;
+  stats.num_items = data.num_items();
+  stats.total_ratings = data.num_ratings();
+  const std::vector<bool> tail = TailItemFlags(data, tail_rating_share);
+  int64_t tail_ratings = 0;
+  std::vector<double> pops;
+  pops.reserve(data.num_items());
+  int32_t max_pop = 0;
+  int32_t min_pop = data.num_items() > 0 ? data.ItemPopularity(0) : 0;
+  for (ItemId i = 0; i < data.num_items(); ++i) {
+    const int32_t pop = data.ItemPopularity(i);
+    pops.push_back(pop);
+    max_pop = std::max(max_pop, pop);
+    min_pop = std::min(min_pop, pop);
+    if (tail[i]) {
+      ++stats.tail_item_count;
+      tail_ratings += pop;
+    }
+  }
+  stats.tail_item_fraction =
+      stats.num_items > 0
+          ? static_cast<double>(stats.tail_item_count) / stats.num_items
+          : 0.0;
+  stats.tail_rating_share =
+      stats.total_ratings > 0
+          ? static_cast<double>(tail_ratings) / stats.total_ratings
+          : 0.0;
+  stats.gini = pops.empty() ? 0.0 : GiniCoefficient(pops);
+  stats.max_popularity = max_pop;
+  stats.min_popularity = min_pop;
+  stats.mean_popularity =
+      stats.num_items > 0
+          ? static_cast<double>(stats.total_ratings) / stats.num_items
+          : 0.0;
+  return stats;
+}
+
+std::vector<double> PopularityLorenzCurve(const Dataset& data, int points) {
+  const std::vector<ItemId> order = ItemsByPopularityAscending(data);
+  std::vector<double> cum(order.size() + 1, 0.0);
+  for (size_t k = 0; k < order.size(); ++k) {
+    cum[k + 1] = cum[k] + data.ItemPopularity(order[k]);
+  }
+  const double total = cum.back() > 0 ? cum.back() : 1.0;
+  std::vector<double> curve(points);
+  for (int p = 0; p < points; ++p) {
+    const double frac = static_cast<double>(p + 1) / points;
+    const size_t idx = static_cast<size_t>(frac * order.size());
+    curve[p] = cum[std::min(idx, order.size())] / total;
+  }
+  return curve;
+}
+
+}  // namespace longtail

@@ -1,0 +1,103 @@
+#include "data/movielens_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace longtail {
+
+Result<Dataset> LoadMovieLensRatings(const std::string& path,
+                                     const MovieLensLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open ratings file: " + path);
+  }
+  std::unordered_map<int64_t, int32_t> user_map;
+  std::unordered_map<int64_t, int32_t> item_map;
+  std::vector<RatingEntry> ratings;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields =
+        options.dat_format ? SplitBySeparator(trimmed, "::")
+                           : Split(trimmed, ',');
+    if (!options.dat_format && line_no == 1 &&
+        StartsWith(fields[0], "userId")) {
+      continue;  // CSV header.
+    }
+    if (fields.size() < 3) {
+      return Status::IOError("malformed line " + std::to_string(line_no) +
+                             " in " + path + ": " + trimmed);
+    }
+    char* end = nullptr;
+    const int64_t raw_user = std::strtoll(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str()) {
+      return Status::IOError("bad user id at line " + std::to_string(line_no));
+    }
+    const int64_t raw_item = std::strtoll(fields[1].c_str(), &end, 10);
+    if (end == fields[1].c_str()) {
+      return Status::IOError("bad item id at line " + std::to_string(line_no));
+    }
+    const double value = std::strtod(fields[2].c_str(), &end);
+    if (end == fields[2].c_str() || value <= 0.0) {
+      return Status::IOError("bad rating at line " + std::to_string(line_no));
+    }
+    const auto [uit, unew] =
+        user_map.try_emplace(raw_user, static_cast<int32_t>(user_map.size()));
+    const auto [iit, inew] =
+        item_map.try_emplace(raw_item, static_cast<int32_t>(item_map.size()));
+    ratings.push_back({uit->second, iit->second, static_cast<float>(value)});
+  }
+  if (ratings.empty()) {
+    return Status::IOError("no ratings parsed from " + path);
+  }
+
+  if (options.min_user_ratings > 1) {
+    std::vector<int32_t> counts(user_map.size(), 0);
+    for (const RatingEntry& r : ratings) ++counts[r.user];
+    // Remap surviving users contiguously.
+    std::vector<int32_t> remap(user_map.size(), -1);
+    int32_t next_id = 0;
+    for (size_t u = 0; u < counts.size(); ++u) {
+      if (counts[u] >= options.min_user_ratings) remap[u] = next_id++;
+    }
+    std::vector<RatingEntry> kept;
+    kept.reserve(ratings.size());
+    for (const RatingEntry& r : ratings) {
+      if (remap[r.user] >= 0) {
+        kept.push_back({remap[r.user], r.item, r.value});
+      }
+    }
+    ratings = std::move(kept);
+    return Dataset::Create(next_id, static_cast<int32_t>(item_map.size()),
+                           std::move(ratings));
+  }
+  return Dataset::Create(static_cast<int32_t>(user_map.size()),
+                         static_cast<int32_t>(item_map.size()),
+                         std::move(ratings));
+}
+
+Status WriteMovieLensRatings(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    const auto items = data.UserItems(u);
+    const auto values = data.UserValues(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      out << (u + 1) << "::" << (items[k] + 1) << "::" << values[k] << "::0\n";
+    }
+  }
+  if (!out.good()) {
+    return Status::IOError("write failed for: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace longtail

@@ -1,0 +1,35 @@
+// Loaders for real MovieLens rating files, so the synthetic substitution
+// can be swapped for the genuine corpus when it is available offline.
+//
+// Supported formats:
+//  * MovieLens-1M "ratings.dat":  UserID::MovieID::Rating::Timestamp
+//  * MovieLens CSV "ratings.csv": userId,movieId,rating,timestamp (header ok)
+// Raw ids are remapped to contiguous 0-based ids in first-seen order.
+#ifndef LONGTAIL_DATA_MOVIELENS_IO_H_
+#define LONGTAIL_DATA_MOVIELENS_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace longtail {
+
+struct MovieLensLoadOptions {
+  /// "::"-separated (ML-1M) when true; comma-separated CSV when false.
+  bool dat_format = true;
+  /// Drop users with fewer ratings than this after loading.
+  int32_t min_user_ratings = 1;
+};
+
+/// Parses a ratings file into a Dataset.
+Result<Dataset> LoadMovieLensRatings(const std::string& path,
+                                     const MovieLensLoadOptions& options = {});
+
+/// Writes a dataset in ML-1M ratings.dat format (timestamps written as 0).
+/// Ids are written 1-based to match the original format.
+Status WriteMovieLensRatings(const Dataset& data, const std::string& path);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_DATA_MOVIELENS_IO_H_

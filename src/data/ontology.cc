@@ -1,0 +1,58 @@
+#include "data/ontology.h"
+
+#include <algorithm>
+
+namespace longtail {
+
+Result<CategoryOntology> CategoryOntology::BuildBalanced(
+    const std::vector<std::string>& top_categories, int sub_per_top,
+    int leaf_per_sub) {
+  if (top_categories.empty()) {
+    return Status::InvalidArgument("ontology needs at least one top category");
+  }
+  if (sub_per_top < 1 || leaf_per_sub < 1) {
+    return Status::InvalidArgument("fan-outs must be >= 1");
+  }
+  CategoryOntology ont;
+  for (size_t t = 0; t < top_categories.size(); ++t) {
+    for (int s = 0; s < sub_per_top; ++s) {
+      const std::string sub = top_categories[t] + "/Sub" + std::to_string(s);
+      for (int l = 0; l < leaf_per_sub; ++l) {
+        ont.leaf_paths_.push_back(
+            {top_categories[t], sub, sub + "/Leaf" + std::to_string(l)});
+        ont.leaf_top_.push_back(static_cast<int32_t>(t));
+      }
+    }
+  }
+  return ont;
+}
+
+double CategoryOntology::PathSimilarity(int32_t leaf_a, int32_t leaf_b) const {
+  const auto& pa = leaf_paths_[leaf_a];
+  const auto& pb = leaf_paths_[leaf_b];
+  const size_t max_len = std::max(pa.size(), pb.size());
+  if (max_len == 0) return 0.0;
+  size_t common = 0;
+  const size_t limit = std::min(pa.size(), pb.size());
+  while (common < limit && pa[common] == pb[common]) ++common;
+  return static_cast<double>(common) / static_cast<double>(max_len);
+}
+
+std::string CategoryOntology::LeafPathString(int32_t leaf) const {
+  std::string out;
+  for (size_t k = 0; k < leaf_paths_[leaf].size(); ++k) {
+    if (k > 0) out += ": ";
+    out += leaf_paths_[leaf][k];
+  }
+  return out;
+}
+
+std::vector<int32_t> CategoryOntology::LeavesUnderTop(int top_index) const {
+  std::vector<int32_t> leaves;
+  for (int32_t l = 0; l < num_leaves(); ++l) {
+    if (leaf_top_[l] == top_index) leaves.push_back(l);
+  }
+  return leaves;
+}
+
+}  // namespace longtail

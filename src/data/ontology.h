@@ -1,0 +1,60 @@
+// A category ontology with the paper's path similarity (§5.2.4, Eq. 18).
+//
+// The paper measures recommendation quality on Douban by mapping books into
+// dangdang.com's category tree and scoring
+//     Sim(C_i, C_j) = |longest common prefix| / max(|C_i|, |C_j|).
+// dangdang's tree is proprietary, so we provide (a) a generic tree container
+// implementing that similarity and (b) a builder for a balanced synthetic
+// tree whose top-level categories align with the synthetic generator's
+// latent genres (the property the metric actually exercises).
+#ifndef LONGTAIL_DATA_ONTOLOGY_H_
+#define LONGTAIL_DATA_ONTOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longtail {
+
+/// Rooted category tree; leaves are the assignable item categories.
+class CategoryOntology {
+ public:
+  CategoryOntology() = default;
+
+  /// Balanced tree: root → one node per `top_categories` entry → `sub_per_top`
+  /// children each → `leaf_per_sub` leaves each. Path length (excluding the
+  /// root) is 3 for every leaf.
+  static Result<CategoryOntology> BuildBalanced(
+      const std::vector<std::string>& top_categories, int sub_per_top,
+      int leaf_per_sub);
+
+  int32_t num_leaves() const { return static_cast<int32_t>(leaf_paths_.size()); }
+
+  /// Category-name path of a leaf, root child first,
+  /// e.g. {"Computer & Internet", "Database", "Data Mining"}.
+  const std::vector<std::string>& LeafPath(int32_t leaf) const {
+    return leaf_paths_[leaf];
+  }
+
+  /// Eq. 18 on two leaves: common-prefix length over max path length.
+  double PathSimilarity(int32_t leaf_a, int32_t leaf_b) const;
+
+  /// "Top: Sub: Leaf" display form.
+  std::string LeafPathString(int32_t leaf) const;
+
+  /// Leaves under top-level category `top_index` (used by the generator to
+  /// correlate categories with genres).
+  std::vector<int32_t> LeavesUnderTop(int top_index) const;
+
+ private:
+  // leaf id → path of category names (length ≥ 1, equal lengths not
+  // required by the similarity).
+  std::vector<std::vector<std::string>> leaf_paths_;
+  // leaf id → index of its top-level category.
+  std::vector<int32_t> leaf_top_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_DATA_ONTOLOGY_H_

@@ -1,0 +1,268 @@
+#include "data/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace longtail {
+
+namespace {
+
+constexpr char kDatasetMagic[8] = {'L', 'T', 'D', 'S', '0', '0', '0', '1'};
+constexpr char kLdaMagic[8] = {'L', 'T', 'L', 'M', '0', '0', '0', '1'};
+
+// Hard ceiling on any deserialized array (10^9 elements ≈ 8 GB of doubles):
+// protects against hostile/corrupt headers requesting absurd allocations,
+// which would otherwise throw length_error out of resize().
+constexpr uint64_t kMaxArrayElements = 1000000000ULL;
+
+// Streaming FNV-1a over every byte written/read (excluding the trailer).
+class Checksum {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void Raw(const void* data, size_t n) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    checksum_.Update(data, n);
+  }
+  template <typename T>
+  void Scalar(T v) {
+    Raw(&v, sizeof(T));
+  }
+  template <typename T>
+  void Vector(const std::vector<T>& v) {
+    Scalar<uint64_t>(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+  void String(const std::string& s) {
+    Scalar<uint64_t>(s.size());
+    if (!s.empty()) Raw(s.data(), s.size());
+  }
+  Status Finish() {
+    const uint64_t sum = checksum_.value();
+    out_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    out_.flush();
+    if (!out_) return Status::IOError("write failed: " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  Checksum checksum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : in_(path, std::ios::binary), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(in_); }
+  const std::string& path() const { return path_; }
+
+  Status Raw(void* data, size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(in_.gcount()) != n) {
+      return Status::IOError("truncated file: " + path_);
+    }
+    checksum_.Update(data, n);
+    return Status::OK();
+  }
+  template <typename T>
+  Status Scalar(T* v) {
+    return Raw(v, sizeof(T));
+  }
+  template <typename T>
+  Status Vector(std::vector<T>* v, uint64_t max_elements) {
+    uint64_t n = 0;
+    LT_RETURN_IF_ERROR(Scalar(&n));
+    if (n > max_elements || n > kMaxArrayElements) {
+      return Status::IOError("implausible array length in " + path_);
+    }
+    v->resize(n);
+    if (n > 0) return Raw(v->data(), n * sizeof(T));
+    return Status::OK();
+  }
+  Status String(std::string* s, uint64_t max_len = 1 << 20) {
+    uint64_t n = 0;
+    LT_RETURN_IF_ERROR(Scalar(&n));
+    if (n > max_len) {
+      return Status::IOError("implausible string length in " + path_);
+    }
+    s->resize(n);
+    if (n > 0) return Raw(s->data(), n);
+    return Status::OK();
+  }
+  Status VerifyChecksum() {
+    const uint64_t expected = checksum_.value();
+    uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (static_cast<size_t>(in_.gcount()) != sizeof(stored)) {
+      return Status::IOError("missing checksum trailer: " + path_);
+    }
+    if (stored != expected) {
+      return Status::IOError("checksum mismatch (corrupt file): " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  Checksum checksum_;
+};
+
+}  // namespace
+
+Status SaveDatasetBinary(const Dataset& data, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::IOError("cannot open for writing: " + path);
+  w.Raw(kDatasetMagic, sizeof(kDatasetMagic));
+  w.Scalar<int32_t>(data.num_users());
+  w.Scalar<int32_t>(data.num_items());
+  const std::vector<RatingEntry> ratings = data.ToRatingList();
+  w.Scalar<uint64_t>(ratings.size());
+  for (const RatingEntry& r : ratings) {
+    w.Scalar<int32_t>(r.user);
+    w.Scalar<int32_t>(r.item);
+    w.Scalar<float>(r.value);
+  }
+  // Metadata sections.
+  w.Scalar<int32_t>(data.num_genres);
+  w.Vector(data.item_genres);
+  w.Vector(data.item_categories);
+  w.Vector(data.user_genre_prefs);
+  w.Scalar<uint64_t>(data.item_labels.size());
+  for (const std::string& label : data.item_labels) w.String(label);
+  return w.Finish();
+}
+
+Result<Dataset> LoadDatasetBinary(const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  LT_RETURN_IF_ERROR(r.Raw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kDatasetMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a longtail dataset file: " + path);
+  }
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  LT_RETURN_IF_ERROR(r.Scalar(&num_users));
+  LT_RETURN_IF_ERROR(r.Scalar(&num_items));
+  if (num_users < 0 || num_items < 0) {
+    return Status::IOError("negative dimensions in " + path);
+  }
+  uint64_t num_ratings = 0;
+  LT_RETURN_IF_ERROR(r.Scalar(&num_ratings));
+  const uint64_t max_plausible =
+      static_cast<uint64_t>(num_users) * static_cast<uint64_t>(num_items);
+  if (num_ratings > max_plausible || num_ratings > kMaxArrayElements) {
+    return Status::IOError("implausible rating count in " + path);
+  }
+  std::vector<RatingEntry> ratings;
+  ratings.reserve(num_ratings);
+  for (uint64_t k = 0; k < num_ratings; ++k) {
+    RatingEntry e;
+    LT_RETURN_IF_ERROR(r.Scalar(&e.user));
+    LT_RETURN_IF_ERROR(r.Scalar(&e.item));
+    LT_RETURN_IF_ERROR(r.Scalar(&e.value));
+    ratings.push_back(e);
+  }
+  int32_t num_genres = 0;
+  LT_RETURN_IF_ERROR(r.Scalar(&num_genres));
+  std::vector<int32_t> item_genres;
+  std::vector<int32_t> item_categories;
+  std::vector<double> user_genre_prefs;
+  LT_RETURN_IF_ERROR(r.Vector(&item_genres, max_plausible + 1));
+  LT_RETURN_IF_ERROR(r.Vector(&item_categories, max_plausible + 1));
+  LT_RETURN_IF_ERROR(r.Vector(&user_genre_prefs, max_plausible + 1));
+  uint64_t num_labels = 0;
+  LT_RETURN_IF_ERROR(r.Scalar(&num_labels));
+  if (num_labels > static_cast<uint64_t>(num_items)) {
+    return Status::IOError("implausible label count in " + path);
+  }
+  std::vector<std::string> labels(num_labels);
+  for (auto& label : labels) LT_RETURN_IF_ERROR(r.String(&label));
+  LT_RETURN_IF_ERROR(r.VerifyChecksum());
+
+  LT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(num_users, num_items,
+                                                    std::move(ratings)));
+  data.num_genres = num_genres;
+  data.item_genres = std::move(item_genres);
+  data.item_categories = std::move(item_categories);
+  data.user_genre_prefs = std::move(user_genre_prefs);
+  data.item_labels = std::move(labels);
+  return data;
+}
+
+Status SaveLdaModel(const LdaModel& model, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::IOError("cannot open for writing: " + path);
+  w.Raw(kLdaMagic, sizeof(kLdaMagic));
+  w.Scalar<uint64_t>(model.theta().rows());
+  w.Scalar<uint64_t>(model.phi().cols());
+  w.Scalar<int32_t>(model.num_topics());
+  w.Vector(model.theta().data());
+  w.Vector(model.phi().data());
+  return w.Finish();
+}
+
+Result<LdaModel> LoadLdaModel(const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  LT_RETURN_IF_ERROR(r.Raw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kLdaMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a longtail LDA model file: " + path);
+  }
+  uint64_t num_users = 0;
+  uint64_t num_items = 0;
+  int32_t num_topics = 0;
+  LT_RETURN_IF_ERROR(r.Scalar(&num_users));
+  LT_RETURN_IF_ERROR(r.Scalar(&num_items));
+  LT_RETURN_IF_ERROR(r.Scalar(&num_topics));
+  if (num_topics < 1 || num_users == 0 || num_items == 0 ||
+      num_users > kMaxArrayElements || num_items > kMaxArrayElements ||
+      static_cast<uint64_t>(num_topics) > 1000000ULL) {
+    return Status::IOError("invalid LDA model dimensions in " + path);
+  }
+  const uint64_t k = static_cast<uint64_t>(num_topics);
+  if (num_users * k > kMaxArrayElements || k * num_items > kMaxArrayElements) {
+    return Status::IOError("implausible LDA model size in " + path);
+  }
+  std::vector<double> theta_data;
+  std::vector<double> phi_data;
+  LT_RETURN_IF_ERROR(r.Vector(&theta_data, num_users * k));
+  LT_RETURN_IF_ERROR(r.Vector(&phi_data, k * num_items));
+  if (theta_data.size() != num_users * k || phi_data.size() != k * num_items) {
+    return Status::IOError("parameter matrix size mismatch in " + path);
+  }
+  LT_RETURN_IF_ERROR(r.VerifyChecksum());
+
+  DenseMatrix theta(num_users, k);
+  theta.data() = std::move(theta_data);
+  DenseMatrix phi(k, num_items);
+  phi.data() = std::move(phi_data);
+  return LdaModel::FromParameters(std::move(theta), std::move(phi));
+}
+
+}  // namespace longtail

@@ -1,0 +1,35 @@
+// Binary persistence for datasets and trained models.
+//
+// Recommenders train offline (LDA Gibbs, SVD) and serve online; these
+// helpers let a pipeline persist the expensive artifacts between the two
+// phases. The format is versioned and checksummed: a magic tag + version,
+// little-endian scalar/array sections, and a FNV-1a checksum trailer, so
+// truncated or corrupted files are rejected with a clean Status instead of
+// propagating garbage into a serving process.
+#ifndef LONGTAIL_DATA_SERIALIZATION_H_
+#define LONGTAIL_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "topics/lda.h"
+#include "util/status.h"
+
+namespace longtail {
+
+/// Writes the full dataset (ratings + metadata) to `path`.
+Status SaveDatasetBinary(const Dataset& data, const std::string& path);
+
+/// Reads a dataset written by SaveDatasetBinary. Verifies magic, version,
+/// structural invariants and the checksum.
+Result<Dataset> LoadDatasetBinary(const std::string& path);
+
+/// Writes a trained LDA model (θ and φ) to `path`.
+Status SaveLdaModel(const LdaModel& model, const std::string& path);
+
+/// Reads a model written by SaveLdaModel.
+Result<LdaModel> LoadLdaModel(const std::string& path);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_DATA_SERIALIZATION_H_

@@ -1,0 +1,88 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "data/longtail_stats.h"
+#include "util/random.h"
+
+namespace longtail {
+
+Result<TrainTestSplit> MakeLongTailSplit(const Dataset& full,
+                                         const LongTailSplitOptions& options) {
+  if (options.num_test_cases < 1) {
+    return Status::InvalidArgument("num_test_cases must be >= 1");
+  }
+  const std::vector<bool> tail = TailItemFlags(full, options.tail_rating_share);
+
+  // Candidate pool: high ratings on tail items by users with enough other
+  // ratings.
+  std::vector<TestCase> pool;
+  for (UserId u = 0; u < full.num_users(); ++u) {
+    if (full.UserDegree(u) < options.min_remaining_user_degree + 1) continue;
+    const auto items = full.UserItems(u);
+    const auto values = full.UserValues(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (values[k] >= options.min_rating && tail[items[k]]) {
+        pool.push_back({u, items[k], values[k]});
+      }
+    }
+  }
+  if (pool.empty()) {
+    return Status::FailedPrecondition(
+        "no eligible long-tail test ratings; lower min_rating or raise the "
+        "tail share");
+  }
+
+  Rng rng(options.seed);
+  rng.Shuffle(&pool);
+  // Keep at most one held-out rating per user, up to num_test_cases.
+  std::vector<TestCase> test;
+  std::unordered_set<UserId> used_users;
+  for (const TestCase& c : pool) {
+    if (static_cast<int>(test.size()) >= options.num_test_cases) break;
+    if (!used_users.insert(c.user).second) continue;
+    test.push_back(c);
+  }
+
+  // Remove the held-out ratings from the training copy.
+  std::unordered_set<int64_t> removed;
+  removed.reserve(test.size() * 2);
+  auto key = [&](UserId u, ItemId i) {
+    return static_cast<int64_t>(u) * full.num_items() + i;
+  };
+  for (const TestCase& c : test) removed.insert(key(c.user, c.item));
+  std::vector<RatingEntry> train_ratings;
+  train_ratings.reserve(static_cast<size_t>(full.num_ratings()));
+  for (const RatingEntry& r : full.ToRatingList()) {
+    if (removed.count(key(r.user, r.item))) continue;
+    train_ratings.push_back(r);
+  }
+  LT_ASSIGN_OR_RETURN(Dataset train,
+                      Dataset::Create(full.num_users(), full.num_items(),
+                                      std::move(train_ratings)));
+  train.item_labels = full.item_labels;
+  train.item_genres = full.item_genres;
+  train.item_categories = full.item_categories;
+  train.user_genre_prefs = full.user_genre_prefs;
+  train.num_genres = full.num_genres;
+  TrainTestSplit split;
+  split.train = std::move(train);
+  split.test = std::move(test);
+  return split;
+}
+
+std::vector<UserId> SampleTestUsers(const Dataset& data, int count,
+                                    int32_t min_degree, uint64_t seed) {
+  std::vector<UserId> eligible;
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    if (data.UserDegree(u) >= min_degree) eligible.push_back(u);
+  }
+  Rng rng(seed);
+  rng.Shuffle(&eligible);
+  if (static_cast<int>(eligible.size()) > count) eligible.resize(count);
+  std::sort(eligible.begin(), eligible.end());
+  return eligible;
+}
+
+}  // namespace longtail

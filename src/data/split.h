@@ -1,0 +1,54 @@
+// Train/test splitting for the paper's Recall@N protocol (§5.2.1):
+// "We randomly select 4000 long tail ratings with 5-stars as the testing
+// set and the remaining ratings as training set."
+#ifndef LONGTAIL_DATA_SPLIT_H_
+#define LONGTAIL_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace longtail {
+
+/// One held-out (user, long-tail item, rating) test case.
+struct TestCase {
+  UserId user;
+  ItemId item;
+  float value;
+};
+
+struct LongTailSplitOptions {
+  /// Held-out ratings (paper: 4000). Clamped to availability.
+  int num_test_cases = 4000;
+  /// Only ratings at least this high are eligible (paper: 5 stars).
+  float min_rating = 5.0f;
+  /// r% rule defining the tail (paper: 20%).
+  double tail_rating_share = 0.20;
+  /// Users must retain at least this many train ratings after removal, so
+  /// graph methods still have an absorbing set.
+  int32_t min_remaining_user_degree = 2;
+  uint64_t seed = 4000;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  std::vector<TestCase> test;
+};
+
+/// Splits `full` into a training dataset and long-tail 5-star test cases.
+/// Metadata (labels/genres/categories/preferences) is copied into `train`.
+/// At most one test rating is held out per user, which both matches the
+/// protocol's spirit and keeps user degrees intact.
+Result<TrainTestSplit> MakeLongTailSplit(const Dataset& full,
+                                         const LongTailSplitOptions& options);
+
+/// Samples `count` distinct users with at least `min_degree` ratings
+/// (§5.2.2: "We randomly sample a set of 2000 users ... as testing users").
+std::vector<UserId> SampleTestUsers(const Dataset& data, int count,
+                                    int32_t min_degree, uint64_t seed);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_DATA_SPLIT_H_

@@ -1,0 +1,96 @@
+#include "eval/harness.h"
+
+#include "baselines/item_knn.h"
+#include "baselines/katz.h"
+#include "baselines/lda_recommender.h"
+#include "baselines/popularity.h"
+#include "core/absorbing_time.h"
+#include "core/hitting_time.h"
+
+namespace longtail {
+
+const Recommender* AlgorithmSuite::Find(const std::string& name) const {
+  for (const auto& alg : algorithms) {
+    if (alg->name() == name) return alg.get();
+  }
+  return nullptr;
+}
+
+Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
+                                        const SuiteOptions& options) {
+  AlgorithmSuite suite;
+
+  AbsorbingCostOptions ac_options;
+  ac_options.walk = options.walk;
+  ac_options.user_jump_cost = options.user_jump_cost;
+  ac_options.lda = options.lda;
+
+  // AC2 first: it trains the LDA model the LDA baseline will adopt.
+  auto ac2 = std::make_unique<AbsorbingCostRecommender>(
+      EntropySource::kTopicBased, ac_options);
+  LT_RETURN_IF_ERROR(ac2->Fit(train));
+  auto lda_baseline = std::make_unique<LdaRecommender>(options.lda);
+  lda_baseline->AdoptModel(*ac2->lda_model());
+
+  auto ac1 = std::make_unique<AbsorbingCostRecommender>(
+      EntropySource::kItemBased, ac_options);
+  LT_RETURN_IF_ERROR(ac1->Fit(train));
+
+  auto at = std::make_unique<AbsorbingTimeRecommender>(options.walk);
+  LT_RETURN_IF_ERROR(at->Fit(train));
+
+  auto ht = std::make_unique<HittingTimeRecommender>(options.walk);
+  LT_RETURN_IF_ERROR(ht->Fit(train));
+
+  auto dppr = std::make_unique<PageRankRecommender>(/*discounted=*/true,
+                                                    options.ppr);
+  LT_RETURN_IF_ERROR(dppr->Fit(train));
+
+  auto pure_svd = std::make_unique<PureSvdRecommender>(options.svd);
+  LT_RETURN_IF_ERROR(pure_svd->Fit(train));
+
+  LT_RETURN_IF_ERROR(lda_baseline->Fit(train));
+
+  suite.algorithms.push_back(std::move(ac2));
+  suite.algorithms.push_back(std::move(ac1));
+  suite.algorithms.push_back(std::move(at));
+  suite.algorithms.push_back(std::move(ht));
+  suite.algorithms.push_back(std::move(dppr));
+  suite.algorithms.push_back(std::move(pure_svd));
+  suite.algorithms.push_back(std::move(lda_baseline));
+
+  if (options.include_extra_baselines) {
+    auto popular = std::make_unique<PopularityRecommender>();
+    LT_RETURN_IF_ERROR(popular->Fit(train));
+    suite.algorithms.push_back(std::move(popular));
+    auto knn = std::make_unique<ItemKnnRecommender>();
+    LT_RETURN_IF_ERROR(knn->Fit(train));
+    suite.algorithms.push_back(std::move(knn));
+    auto katz = std::make_unique<KatzRecommender>();
+    LT_RETURN_IF_ERROR(katz->Fit(train));
+    suite.algorithms.push_back(std::move(katz));
+  }
+  return suite;
+}
+
+Result<TopNReport> EvaluateTopN(const Recommender& rec, const Dataset& train,
+                                const std::vector<UserId>& users, int k,
+                                const CategoryOntology* ontology,
+                                size_t num_threads) {
+  TopNListOptions list_options;
+  list_options.k = k;
+  list_options.num_threads = num_threads;
+  LT_ASSIGN_OR_RETURN(TopNLists lists, ComputeTopNLists(rec, users,
+                                                        list_options));
+  TopNReport report;
+  report.algorithm = rec.name();
+  report.popularity_at = PopularityAtN(train, lists, k);
+  report.diversity = DiversityOfLists(train, lists, k);
+  report.seconds_per_user = lists.seconds_per_user;
+  if (ontology != nullptr && !train.item_categories.empty()) {
+    report.similarity = SimilarityOfLists(train, *ontology, users, lists);
+  }
+  return report;
+}
+
+}  // namespace longtail

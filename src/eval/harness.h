@@ -1,0 +1,63 @@
+// Experiment harness: builds and fits the paper's seven-algorithm suite
+// (AC2, AC1, AT, HT, DPPR, PureSVD, LDA — §5.1.1) with shared
+// configuration, and bundles the per-table evaluations the benches print.
+#ifndef LONGTAIL_EVAL_HARNESS_H_
+#define LONGTAIL_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/absorbing_cost.h"
+#include "baselines/pagerank.h"
+#include "baselines/pure_svd.h"
+#include "core/recommender.h"
+#include "data/ontology.h"
+#include "eval/metrics.h"
+
+namespace longtail {
+
+/// Shared configuration for the full algorithm suite.
+struct SuiteOptions {
+  GraphWalkOptions walk;
+  double user_jump_cost = 0.0;  // C of Eq. 9; <= 0 → mean entropy (paper)
+  LdaOptions lda;
+  PureSvdOptions svd;
+  PageRankOptions ppr;
+  /// Adds MostPopular and ItemKNN beyond the paper's seven.
+  bool include_extra_baselines = false;
+};
+
+/// A fitted suite, in the paper's reporting order.
+struct AlgorithmSuite {
+  std::vector<std::unique_ptr<Recommender>> algorithms;
+
+  /// Convenience lookup by reporting name; nullptr if absent.
+  const Recommender* Find(const std::string& name) const;
+};
+
+/// Builds AC2, AC1, AT, HT, DPPR, PureSVD, LDA (plus extras when enabled)
+/// and fits each on `train`. The LDA baseline reuses the model AC2 trained,
+/// mirroring the paper's setup where AC2's topics and the LDA recommender
+/// come from the same inference.
+Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
+                                        const SuiteOptions& options);
+
+/// One row of Tables 2/3/5 + a Figure 6 series for a fitted algorithm.
+struct TopNReport {
+  std::string algorithm;
+  std::vector<double> popularity_at;  // Figure 6 series
+  double diversity = 0.0;             // Table 2
+  double similarity = 0.0;            // Table 3 (0 when no ontology given)
+  double seconds_per_user = 0.0;      // Table 5
+};
+
+/// Evaluates one recommender's top-k lists on all §5.2.2-style metrics.
+Result<TopNReport> EvaluateTopN(const Recommender& rec, const Dataset& train,
+                                const std::vector<UserId>& users, int k,
+                                const CategoryOntology* ontology,
+                                size_t num_threads = 0);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_EVAL_HARNESS_H_

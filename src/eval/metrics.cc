@@ -1,0 +1,203 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace longtail {
+
+Result<RecallCurve> EvaluateRecall(const Recommender& rec,
+                                   const Dataset& train,
+                                   const std::vector<TestCase>& test,
+                                   const RecallProtocolOptions& options) {
+  if (test.empty()) {
+    return Status::InvalidArgument("recall protocol needs test cases");
+  }
+  if (options.max_n < 1) {
+    return Status::InvalidArgument("max_n must be >= 1");
+  }
+  // Decoys must exist: items not rated by the user and not the test item.
+  const int catalog = train.num_items();
+  const int effective_decoys =
+      std::min<int>(options.num_decoys, std::max(1, catalog - 2));
+
+  const size_t num_cases = test.size();
+  // hits[case][n] folded into per-case partial sums to stay thread-safe.
+  std::vector<std::vector<double>> case_hits(
+      num_cases, std::vector<double>(options.max_n, 0.0));
+  std::vector<std::vector<double>> case_gains(
+      num_cases, std::vector<double>(options.max_n, 0.0));
+  std::vector<double> case_rr(num_cases, 0.0);
+  std::atomic<int> failures{0};
+
+  ParallelFor(
+      num_cases,
+      [&](size_t idx) {
+        const TestCase& c = test[idx];
+        // Deterministic per-case RNG regardless of thread scheduling.
+        Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + idx);
+        // Sample decoys unrated by the user, excluding the test item.
+        std::unordered_set<ItemId> decoys;
+        decoys.reserve(effective_decoys * 2);
+        int64_t attempts = 0;
+        const int64_t max_attempts = 60LL * effective_decoys + 1000;
+        while (static_cast<int>(decoys.size()) < effective_decoys &&
+               attempts < max_attempts) {
+          ++attempts;
+          const ItemId cand =
+              static_cast<ItemId>(rng.NextUint64(train.num_items()));
+          if (cand == c.item || train.HasRating(c.user, cand)) continue;
+          decoys.insert(cand);
+        }
+        std::vector<ItemId> candidates(decoys.begin(), decoys.end());
+        candidates.push_back(c.item);
+        auto scores = rec.ScoreItems(c.user, candidates);
+        if (!scores.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        const double test_score = scores->back();
+        int greater = 0;
+        int ties = 0;
+        for (size_t j = 0; j + 1 < scores->size(); ++j) {
+          if ((*scores)[j] > test_score) {
+            ++greater;
+          } else if ((*scores)[j] == test_score) {
+            ++ties;
+          }
+        }
+        // Expected hit@N with the test item uniformly placed among its ties:
+        // P(rank < N) = clamp(N - greater, 0, ties+1) / (ties+1).
+        for (int n = 1; n <= options.max_n; ++n) {
+          const double numer =
+              std::clamp<double>(n - greater, 0.0, ties + 1.0);
+          case_hits[idx][n - 1] = numer / (ties + 1.0);
+        }
+        // Ranking-quality extensions (single relevant item per case).
+        // Exact expectation over the uniform tie placement: the item's
+        // 0-based rank is greater + t for t uniform in [0, ties].
+        double rr = 0.0;
+        for (int t = 0; t <= ties; ++t) {
+          const int rank = greater + t;
+          rr += 1.0 / (rank + 1);
+          const double gain = 1.0 / std::log2(rank + 2.0);
+          for (int n = rank + 1; n <= options.max_n; ++n) {
+            case_gains[idx][n - 1] += gain / (ties + 1.0);
+          }
+        }
+        case_rr[idx] = rr / (ties + 1);
+      },
+      options.num_threads);
+
+  const int ok_cases = static_cast<int>(num_cases) - failures.load();
+  if (ok_cases <= 0) {
+    return Status::Internal("all recall test cases failed to score");
+  }
+  RecallCurve curve;
+  curve.num_cases = ok_cases;
+  curve.effective_decoys = effective_decoys;
+  curve.recall_at.assign(options.max_n, 0.0);
+  curve.ndcg_at.assign(options.max_n, 0.0);
+  for (size_t idx = 0; idx < num_cases; ++idx) {
+    for (int n = 0; n < options.max_n; ++n) {
+      curve.recall_at[n] += case_hits[idx][n];
+      curve.ndcg_at[n] += case_gains[idx][n];
+    }
+    curve.mrr += case_rr[idx];
+  }
+  for (double& v : curve.recall_at) v /= ok_cases;
+  for (double& v : curve.ndcg_at) v /= ok_cases;
+  curve.mrr /= ok_cases;
+  return curve;
+}
+
+Result<TopNLists> ComputeTopNLists(const Recommender& rec,
+                                   const std::vector<UserId>& users,
+                                   const TopNListOptions& options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("need at least one test user");
+  }
+  TopNLists out;
+  out.lists.assign(users.size(), {});
+  WallTimer timer;
+  ParallelFor(
+      users.size(),
+      [&](size_t idx) {
+        auto result = rec.RecommendTopK(users[idx], options.k);
+        if (result.ok()) out.lists[idx] = std::move(result).value();
+      },
+      options.num_threads);
+  out.seconds_per_user = timer.ElapsedSeconds() / users.size();
+  return out;
+}
+
+std::vector<double> PopularityAtN(const Dataset& train, const TopNLists& lists,
+                                  int k) {
+  std::vector<double> sum(k, 0.0);
+  std::vector<int64_t> count(k, 0);
+  for (const auto& list : lists.lists) {
+    for (size_t pos = 0; pos < list.size() && pos < static_cast<size_t>(k);
+         ++pos) {
+      sum[pos] += train.ItemPopularity(list[pos].item);
+      ++count[pos];
+    }
+  }
+  std::vector<double> avg(k, 0.0);
+  for (int n = 0; n < k; ++n) {
+    avg[n] = count[n] > 0 ? sum[n] / count[n] : 0.0;
+  }
+  return avg;
+}
+
+double DiversityOfLists(const Dataset& train, const TopNLists& lists, int k) {
+  std::unordered_set<ItemId> unique;
+  for (const auto& list : lists.lists) {
+    for (const ScoredItem& si : list) unique.insert(si.item);
+  }
+  const double ideal = std::min<double>(
+      static_cast<double>(k) * lists.lists.size(), train.num_items());
+  return ideal > 0 ? unique.size() / ideal : 0.0;
+}
+
+double UserItemSimilarity(const Dataset& train,
+                          const CategoryOntology& ontology, UserId user,
+                          ItemId item) {
+  LT_CHECK(!train.item_categories.empty())
+      << "dataset has no ontology categories";
+  double best = 0.0;
+  const int32_t cat_i = train.item_categories[item];
+  for (ItemId j : train.UserItems(user)) {
+    best = std::max(best,
+                    ontology.PathSimilarity(cat_i, train.item_categories[j]));
+    if (best >= 1.0) break;
+  }
+  return best;
+}
+
+double SimilarityOfLists(const Dataset& train,
+                         const CategoryOntology& ontology,
+                         const std::vector<UserId>& users,
+                         const TopNLists& lists) {
+  LT_CHECK_EQ(users.size(), lists.lists.size());
+  double user_sum = 0.0;
+  int64_t user_count = 0;
+  for (size_t idx = 0; idx < users.size(); ++idx) {
+    const auto& list = lists.lists[idx];
+    if (list.empty()) continue;
+    double item_sum = 0.0;
+    for (const ScoredItem& si : list) {
+      item_sum += UserItemSimilarity(train, ontology, users[idx], si.item);
+    }
+    user_sum += item_sum / list.size();
+    ++user_count;
+  }
+  return user_count > 0 ? user_sum / user_count : 0.0;
+}
+
+}  // namespace longtail

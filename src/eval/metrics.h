@@ -1,0 +1,103 @@
+// Evaluation metrics of §5.1.3 / §5.2.
+//
+//  * Recall@N (Eq. 16): rank 1 held-out long-tail 5-star item among 1000
+//    random unrated decoys; hit if it lands in the top N.
+//  * Popularity@N: average rating-count of the item at each list position.
+//  * Diversity (Eq. 17): unique recommended items over the ideal maximum.
+//  * Similarity (Eq. 18–19): ontology path similarity between recommended
+//    items and the user's rated items.
+#ifndef LONGTAIL_EVAL_METRICS_H_
+#define LONGTAIL_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/dataset.h"
+#include "data/ontology.h"
+#include "data/split.h"
+#include "util/status.h"
+
+namespace longtail {
+
+// ---------------------------------------------------------------- Recall@N
+
+struct RecallProtocolOptions {
+  /// Decoy items sampled per test case (paper: 1000). Clamped when the
+  /// catalog is too small; the effective count is reported back.
+  int num_decoys = 1000;
+  /// Largest N evaluated (paper plots N ∈ [1, 50]).
+  int max_n = 50;
+  uint64_t seed = 1001;
+  /// 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+struct RecallCurve {
+  /// recall_at[n-1] = Recall@n for n in [1, max_n].
+  std::vector<double> recall_at;
+  /// ndcg_at[n-1] = nDCG@n: with a single relevant item per case this is
+  /// mean over cases of 1/log2(rank+2) when the item lands in the top n.
+  /// (Extension beyond the paper's recall-only protocol.)
+  std::vector<double> ndcg_at;
+  /// Mean reciprocal rank of the held-out item (extension).
+  double mrr = 0.0;
+  int num_cases = 0;
+  int effective_decoys = 0;
+
+  double At(int n) const { return recall_at.at(n - 1); }
+  double NdcgAt(int n) const { return ndcg_at.at(n - 1); }
+};
+
+/// Runs the §5.2.1 protocol. Ties between the test item and decoys
+/// contribute their expected hit probability (uniform random tie order),
+/// keeping the metric deterministic yet unbiased.
+Result<RecallCurve> EvaluateRecall(const Recommender& rec,
+                                   const Dataset& train,
+                                   const std::vector<TestCase>& test,
+                                   const RecallProtocolOptions& options = {});
+
+// ------------------------------------------------- Top-N list evaluations
+
+struct TopNListOptions {
+  /// List length per user (paper: 10).
+  int k = 10;
+  /// 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Top-k lists for each user (empty list if the recommender failed for that
+/// user, e.g. cold start), plus mean per-user wall-clock seconds.
+struct TopNLists {
+  std::vector<std::vector<ScoredItem>> lists;
+  double seconds_per_user = 0.0;
+};
+
+/// Computes recommendation lists for `users`, timed.
+Result<TopNLists> ComputeTopNLists(const Recommender& rec,
+                                   const std::vector<UserId>& users,
+                                   const TopNListOptions& options = {});
+
+/// Popularity@N: avg_popularity[n-1] is the mean rating-count of the n-th
+/// recommended item over users whose list reaches position n (Figure 6).
+std::vector<double> PopularityAtN(const Dataset& train, const TopNLists& lists,
+                                  int k);
+
+/// Diversity (Eq. 17): |∪_u R_u| / min(k·|U|, |I|). The min handles the
+/// MovieLens case where k·|U| exceeds the catalog (Table 2).
+double DiversityOfLists(const Dataset& train, const TopNLists& lists, int k);
+
+/// Similarity (Eq. 19) of a single recommended item to the user's rated
+/// set: max over rated items of the ontology path similarity.
+double UserItemSimilarity(const Dataset& train,
+                          const CategoryOntology& ontology, UserId user,
+                          ItemId item);
+
+/// Mean over users of the mean list-item similarity (Table 3).
+double SimilarityOfLists(const Dataset& train,
+                         const CategoryOntology& ontology,
+                         const std::vector<UserId>& users,
+                         const TopNLists& lists);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_EVAL_METRICS_H_

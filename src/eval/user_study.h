@@ -1,0 +1,61 @@
+// Simulated user study (§5.2.7 substitution — see DESIGN.md §3).
+//
+// The paper hired 50 movie-lovers, recommended 10 movies each with AC2,
+// DPPR, PureSVD and LDA, and collected Preference / Novelty / Serendipity /
+// overall Score. We replace the humans with simulated evaluators whose
+// ground-truth tastes are the synthetic generator's latent user
+// preferences:
+//   * Preference (1–5): affinity of the item's genre to the evaluator's
+//     preference vector — the same quantity that generated their ratings.
+//   * Novelty (0/1 in expectation): probability the evaluator did NOT know
+//     the item. Knowing an item is rated-it OR a logistic function of item
+//     popularity (the paper's evaluators knew hits from posters/IMDB lists).
+//   * Serendipity (1–5): novelty-gated pleasant surprise — unknown, in the
+//     tail, yet matching taste.
+//   * Score (1–5): preference blended with the novelty bonus.
+#ifndef LONGTAIL_EVAL_USER_STUDY_H_
+#define LONGTAIL_EVAL_USER_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace longtail {
+
+struct UserStudyOptions {
+  /// Evaluators sampled from the dataset's users (paper: 50).
+  int num_evaluators = 50;
+  /// Recommendations shown to each evaluator (paper: 10).
+  int k = 10;
+  /// Evaluators must have at least this many ratings.
+  int32_t min_degree = 20;
+  /// Popularity percentile at which an unrated item is known with
+  /// probability 0.5 (logistic midpoint).
+  double known_midpoint_percentile = 0.92;
+  /// Steepness of the known-probability logistic.
+  double known_steepness = 18.0;
+  uint64_t seed = 50;
+};
+
+/// Table 6 row.
+struct UserStudyReport {
+  std::string algorithm;
+  double preference = 0.0;   // 1..5
+  double novelty = 0.0;      // 0..1
+  double serendipity = 0.0;  // 1..5
+  double score = 0.0;        // 1..5
+  int items_evaluated = 0;
+};
+
+/// Runs the simulated study for one recommender. Requires the dataset to
+/// carry generator ground truth (item_genres + user_genre_prefs).
+Result<UserStudyReport> RunUserStudy(const Recommender& rec,
+                                     const Dataset& train,
+                                     const UserStudyOptions& options = {});
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_EVAL_USER_STUDY_H_

@@ -1,0 +1,88 @@
+#include "graph/bipartite_graph.h"
+
+#include "util/logging.h"
+
+namespace longtail {
+
+BipartiteGraph BipartiteGraph::FromDataset(const Dataset& data,
+                                           bool weighted) {
+  BipartiteGraph g;
+  g.num_users_ = data.num_users();
+  g.num_items_ = data.num_items();
+  const int32_t n = g.num_nodes();
+  g.ptr_.assign(n + 1, 0);
+  // Degrees: user side from UserDegree, item side from ItemPopularity.
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    g.ptr_[u + 1] = data.UserDegree(u);
+  }
+  for (ItemId i = 0; i < data.num_items(); ++i) {
+    g.ptr_[g.num_users_ + i + 1] = data.ItemPopularity(i);
+  }
+  for (int32_t k = 0; k < n; ++k) g.ptr_[k + 1] += g.ptr_[k];
+  const int64_t total_entries = g.ptr_[n];
+  g.adj_.resize(total_entries);
+  g.weights_.resize(total_entries);
+
+  std::vector<int64_t> next(g.ptr_.begin(), g.ptr_.end() - 1);
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    const auto items = data.UserItems(u);
+    const auto values = data.UserValues(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      const double w = weighted ? static_cast<double>(values[k]) : 1.0;
+      const NodeId un = u;
+      const NodeId in = g.num_users_ + items[k];
+      g.adj_[next[un]] = in;
+      g.weights_[next[un]] = w;
+      ++next[un];
+      g.adj_[next[in]] = un;
+      g.weights_[next[in]] = w;
+      ++next[in];
+    }
+  }
+  g.num_edges_ = data.num_ratings();
+  g.weighted_degree_.assign(n, 0.0);
+  for (int32_t v = 0; v < n; ++v) {
+    double d = 0.0;
+    for (int64_t k = g.ptr_[v]; k < g.ptr_[v + 1]; ++k) d += g.weights_[k];
+    g.weighted_degree_[v] = d;
+    g.total_weight_ += d;
+  }
+  return g;
+}
+
+BipartiteGraph BipartiteGraph::FromAdjacency(
+    int32_t num_users, int32_t num_items,
+    const std::vector<std::vector<std::pair<NodeId, double>>>& adjacency) {
+  BipartiteGraph g;
+  g.num_users_ = num_users;
+  g.num_items_ = num_items;
+  const int32_t n = g.num_nodes();
+  LT_CHECK_EQ(static_cast<size_t>(n), adjacency.size());
+  g.ptr_.assign(n + 1, 0);
+  for (int32_t v = 0; v < n; ++v) {
+    g.ptr_[v + 1] = g.ptr_[v] + static_cast<int64_t>(adjacency[v].size());
+  }
+  g.adj_.resize(g.ptr_[n]);
+  g.weights_.resize(g.ptr_[n]);
+  g.weighted_degree_.assign(n, 0.0);
+  int64_t directed_entries = 0;
+  for (int32_t v = 0; v < n; ++v) {
+    int64_t pos = g.ptr_[v];
+    double d = 0.0;
+    for (const auto& [nbr, w] : adjacency[v]) {
+      LT_CHECK_GE(nbr, 0);
+      LT_CHECK_LT(nbr, n);
+      g.adj_[pos] = nbr;
+      g.weights_[pos] = w;
+      ++pos;
+      d += w;
+    }
+    directed_entries += static_cast<int64_t>(adjacency[v].size());
+    g.weighted_degree_[v] = d;
+    g.total_weight_ += d;
+  }
+  g.num_edges_ = directed_entries / 2;
+  return g;
+}
+
+}  // namespace longtail

@@ -1,0 +1,75 @@
+// The undirected edge-weighted user-item graph of §3.1.
+//
+// Nodes are users followed by items: user u ↦ node u, item i ↦ node
+// num_users + i. Edge weight w(u, i) is the rating value (or 1.0 when built
+// unweighted, kept for ablation). Adjacency is CSR over all nodes.
+#ifndef LONGTAIL_GRAPH_BIPARTITE_GRAPH_H_
+#define LONGTAIL_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "data/dataset.h"
+
+namespace longtail {
+
+/// Immutable undirected bipartite graph with weighted adjacency.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Builds the rating graph from a dataset. When `weighted` is false all
+  /// edge weights are 1 (ablation of "edge weight corresponds to rating").
+  static BipartiteGraph FromDataset(const Dataset& data, bool weighted = true);
+
+  /// Builds directly from per-node adjacency (used by subgraph extraction).
+  /// `adjacency[n]` lists (neighbor, weight); must be symmetric.
+  static BipartiteGraph FromAdjacency(
+      int32_t num_users, int32_t num_items,
+      const std::vector<std::vector<std::pair<NodeId, double>>>& adjacency);
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int32_t num_nodes() const { return num_users_ + num_items_; }
+  /// Number of undirected edges.
+  int64_t num_edges() const { return num_edges_; }
+
+  NodeId UserNode(UserId u) const { return u; }
+  NodeId ItemNode(ItemId i) const { return num_users_ + i; }
+  bool IsUserNode(NodeId n) const { return n < num_users_; }
+  bool IsItemNode(NodeId n) const { return n >= num_users_; }
+  UserId UserOf(NodeId n) const { return n; }
+  ItemId ItemOf(NodeId n) const { return n - num_users_; }
+
+  std::span<const NodeId> Neighbors(NodeId n) const {
+    return {adj_.data() + ptr_[n],
+            static_cast<size_t>(ptr_[n + 1] - ptr_[n])};
+  }
+  std::span<const double> Weights(NodeId n) const {
+    return {weights_.data() + ptr_[n],
+            static_cast<size_t>(ptr_[n + 1] - ptr_[n])};
+  }
+  int32_t Degree(NodeId n) const {
+    return static_cast<int32_t>(ptr_[n + 1] - ptr_[n]);
+  }
+  /// d_i = Σ_j a(i, j): the weighted degree used for transition
+  /// probabilities (Eq. 1) and the stationary distribution (Eq. 2).
+  double WeightedDegree(NodeId n) const { return weighted_degree_[n]; }
+  /// Σ_{i,j} a(i, j) over the full (symmetric) adjacency.
+  double TotalWeight() const { return total_weight_; }
+
+ private:
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  int64_t num_edges_ = 0;
+  double total_weight_ = 0.0;
+  std::vector<int64_t> ptr_{0};
+  std::vector<NodeId> adj_;
+  std::vector<double> weights_;
+  std::vector<double> weighted_degree_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,181 @@
+#include "graph/markov.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+namespace {
+
+// Marks nodes that can reach the absorbing set (reverse BFS — the graph is
+// undirected so forward reachability equals reverse reachability).
+std::vector<bool> ReachableFromAbsorbing(const BipartiteGraph& g,
+                                         const std::vector<bool>& absorbing) {
+  const int32_t n = g.num_nodes();
+  std::vector<bool> reach(n, false);
+  std::queue<NodeId> queue;
+  for (int32_t v = 0; v < n; ++v) {
+    if (absorbing[v]) {
+      reach[v] = true;
+      queue.push(v);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (NodeId nbr : g.Neighbors(v)) {
+      if (!reach[nbr]) {
+        reach[nbr] = true;
+        queue.push(nbr);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,
+                                            const std::vector<bool>& absorbing,
+                                            const std::vector<double>& node_cost,
+                                            int iterations) {
+  const int32_t n = g.num_nodes();
+  LT_CHECK_EQ(static_cast<size_t>(n), absorbing.size());
+  LT_CHECK_EQ(static_cast<size_t>(n), node_cost.size());
+  std::vector<double> value(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int t = 0; t < iterations; ++t) {
+    for (int32_t v = 0; v < n; ++v) {
+      if (absorbing[v]) {
+        next[v] = 0.0;
+        continue;
+      }
+      const double d = g.WeightedDegree(v);
+      if (d <= 0.0) {
+        // Isolated node: never absorbed; accumulates cost forever.
+        next[v] = value[v] + node_cost[v];
+        continue;
+      }
+      const auto nbrs = g.Neighbors(v);
+      const auto wts = g.Weights(v);
+      double acc = 0.0;
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        acc += wts[k] * value[nbrs[k]];
+      }
+      next[v] = node_cost[v] + acc / d;
+    }
+    value.swap(next);
+  }
+  return value;
+}
+
+Result<std::vector<double>> AbsorbingValueExact(
+    const BipartiteGraph& g, const std::vector<bool>& absorbing,
+    const std::vector<double>& node_cost, const SolverOptions& options) {
+  const int32_t n = g.num_nodes();
+  if (absorbing.size() != static_cast<size_t>(n) ||
+      node_cost.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument(
+        "absorbing/node_cost size must equal num_nodes");
+  }
+  bool any_absorbing = false;
+  for (int32_t v = 0; v < n; ++v) any_absorbing |= absorbing[v] != 0;
+  if (!any_absorbing) {
+    return Status::InvalidArgument("absorbing set must be non-empty");
+  }
+  const std::vector<bool> reach = ReachableFromAbsorbing(g, absorbing);
+
+  // Gauss–Seidel directly on the graph (avoids materializing P):
+  //   V(i) ← node_cost(i) + Σ_j p_ij V(j)
+  // over transient reachable nodes. Self-loops do not occur (bipartite).
+  std::vector<double> value(n, 0.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int32_t v = 0; v < n; ++v) {
+    if (!reach[v] && !absorbing[v]) value[v] = inf;
+  }
+  double delta = inf;
+  int it = 0;
+  for (; it < options.max_iterations && delta >= options.tolerance; ++it) {
+    delta = 0.0;
+    for (int32_t v = 0; v < n; ++v) {
+      if (absorbing[v] || !reach[v]) continue;
+      const double d = g.WeightedDegree(v);
+      if (d <= 0.0) continue;  // unreachable already handled
+      const auto nbrs = g.Neighbors(v);
+      const auto wts = g.Weights(v);
+      double acc = 0.0;
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const double nv = value[nbrs[k]];
+        if (std::isinf(nv)) continue;  // weight to unreachable is impossible
+        acc += wts[k] * nv;
+      }
+      const double nv = node_cost[v] + acc / d;
+      delta = std::max(delta, std::abs(nv - value[v]));
+      value[v] = nv;
+    }
+  }
+  if (delta >= options.tolerance) {
+    return Status::Internal("absorbing-value solve did not converge after " +
+                            std::to_string(it) + " iterations (delta=" +
+                            std::to_string(delta) + ")");
+  }
+  return value;
+}
+
+std::vector<double> AbsorbingTimeTruncated(const BipartiteGraph& g,
+                                           const std::vector<bool>& absorbing,
+                                           int iterations) {
+  return AbsorbingValueTruncated(
+      g, absorbing, std::vector<double>(g.num_nodes(), 1.0), iterations);
+}
+
+Result<std::vector<double>> AbsorbingTimeExact(const BipartiteGraph& g,
+                                               const std::vector<bool>& absorbing,
+                                               const SolverOptions& options) {
+  return AbsorbingValueExact(g, absorbing,
+                             std::vector<double>(g.num_nodes(), 1.0), options);
+}
+
+Result<std::vector<double>> HittingTimeExact(const BipartiteGraph& g,
+                                             NodeId target,
+                                             const SolverOptions& options) {
+  if (target < 0 || target >= g.num_nodes()) {
+    return Status::OutOfRange("hitting-time target node out of range");
+  }
+  std::vector<bool> absorbing(g.num_nodes(), false);
+  absorbing[target] = true;
+  return AbsorbingTimeExact(g, absorbing, options);
+}
+
+std::vector<double> EntropyNodeCosts(const BipartiteGraph& g,
+                                     const std::vector<double>& user_entropy,
+                                     double user_jump_cost) {
+  LT_CHECK_EQ(static_cast<size_t>(g.num_users()), user_entropy.size());
+  const int32_t n = g.num_nodes();
+  std::vector<double> cost(n, 0.0);
+  for (int32_t v = 0; v < n; ++v) {
+    if (g.IsUserNode(v)) {
+      cost[v] = user_jump_cost;
+      continue;
+    }
+    // Item node: expected entropy of the user reached in one step.
+    const double d = g.WeightedDegree(v);
+    if (d <= 0.0) {
+      cost[v] = user_jump_cost;  // Isolated item; value is irrelevant.
+      continue;
+    }
+    const auto nbrs = g.Neighbors(v);
+    const auto wts = g.Weights(v);
+    double acc = 0.0;
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      acc += wts[k] * user_entropy[g.UserOf(nbrs[k])];
+    }
+    cost[v] = acc / d;
+  }
+  return cost;
+}
+
+}  // namespace longtail

@@ -1,0 +1,73 @@
+// First-passage quantities of the random walk: hitting time (Eq. 5),
+// absorbing time (Eq. 6) and absorbing cost (Eq. 8), each in two flavours:
+//
+//  * Exact      — solves the first-step linear system with Gauss–Seidel to a
+//                 tight tolerance (tests/ablation; O(n³)-ish worst case but
+//                 fast in practice on sparse walks).
+//  * Truncated  — Algorithm 1's dynamic program iterated τ times from 0.
+//                 Values increase monotonically toward the exact fixed point;
+//                 only the induced *ranking* is consumed by recommenders.
+//
+// Both operate on a generalized recurrence
+//     V(i) = 0                          if absorbing[i]
+//     V(i) = node_cost(i) + Σ_j p_ij V(j)   otherwise,
+// which specializes to absorbing time with node_cost ≡ 1 and to the
+// entropy-biased absorbing cost of Eq. 9 with
+//     node_cost(item i) = Σ_j p_ij E(user j),   node_cost(user) = C.
+#ifndef LONGTAIL_GRAPH_MARKOV_H_
+#define LONGTAIL_GRAPH_MARKOV_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "linalg/solvers.h"
+#include "util/status.h"
+
+namespace longtail {
+
+/// Truncated DP (Algorithm 1 step 4): τ sweeps of
+/// V_{t+1}(i) = node_cost(i) + Σ_j p_ij V_t(j), V_0 ≡ 0, absorbing pinned
+/// at 0. Nodes unreachable from the absorbing set grow ~ τ·cost and thus
+/// rank last, which is the desired behaviour.
+std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,
+                                            const std::vector<bool>& absorbing,
+                                            const std::vector<double>& node_cost,
+                                            int iterations);
+
+/// Exact fixed point of the same recurrence via Gauss–Seidel on the
+/// transient block. Requires every non-absorbing node to reach the absorbing
+/// set; nodes that cannot reach it make the system singular, so they are
+/// detected up front and assigned +infinity.
+Result<std::vector<double>> AbsorbingValueExact(
+    const BipartiteGraph& g, const std::vector<bool>& absorbing,
+    const std::vector<double>& node_cost, const SolverOptions& options = {});
+
+/// Convenience: absorbing *time* (unit cost). Truncated flavour.
+std::vector<double> AbsorbingTimeTruncated(const BipartiteGraph& g,
+                                           const std::vector<bool>& absorbing,
+                                           int iterations);
+
+/// Convenience: absorbing *time* (unit cost). Exact flavour.
+Result<std::vector<double>> AbsorbingTimeExact(
+    const BipartiteGraph& g, const std::vector<bool>& absorbing,
+    const SolverOptions& options = {});
+
+/// Hitting time H(target | ·) for every source node: expected steps for a
+/// walker starting at each node to first reach `target` (Def. 1). Exact.
+Result<std::vector<double>> HittingTimeExact(const BipartiteGraph& g,
+                                             NodeId target,
+                                             const SolverOptions& options = {});
+
+/// Builds the per-node expected immediate cost vector of Eq. 9:
+/// items pay the entropy of the user they jump to (in expectation),
+/// users pay the constant C.
+///   node_cost(i) = Σ_j p_ij · E(user j)   for item nodes i
+///   node_cost(u) = C                      for user nodes u
+/// `user_entropy` has size num_users.
+std::vector<double> EntropyNodeCosts(const BipartiteGraph& g,
+                                     const std::vector<double>& user_entropy,
+                                     double user_jump_cost);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_GRAPH_MARKOV_H_

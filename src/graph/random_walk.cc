@@ -1,0 +1,92 @@
+#include "graph/random_walk.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+std::vector<double> StationaryDistribution(const BipartiteGraph& g) {
+  const int32_t n = g.num_nodes();
+  std::vector<double> pi(n, 0.0);
+  const double total = g.TotalWeight();
+  if (total <= 0.0) return pi;
+  for (int32_t v = 0; v < n; ++v) pi[v] = g.WeightedDegree(v) / total;
+  return pi;
+}
+
+CsrMatrix TransitionMatrix(const BipartiteGraph& g) {
+  const int32_t n = g.num_nodes();
+  std::vector<int64_t> row_ptr(n + 1, 0);
+  for (int32_t v = 0; v < n; ++v) {
+    row_ptr[v + 1] = row_ptr[v] + g.Degree(v);
+  }
+  std::vector<int32_t> col_idx(row_ptr[n]);
+  std::vector<double> values(row_ptr[n]);
+  for (int32_t v = 0; v < n; ++v) {
+    const double d = g.WeightedDegree(v);
+    const auto nbrs = g.Neighbors(v);
+    const auto wts = g.Weights(v);
+    // Neighbor lists from CSR construction are already ascending, but we
+    // do not rely on it: sort pairs if needed.
+    int64_t pos = row_ptr[v];
+    for (size_t k = 0; k < nbrs.size(); ++k, ++pos) {
+      col_idx[pos] = nbrs[k];
+      values[pos] = d > 0.0 ? wts[k] / d : 0.0;
+    }
+    // Ensure ascending column order within the row (FromCsrArrays checks).
+    std::vector<std::pair<int32_t, double>> row(nbrs.size());
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      row[k] = {col_idx[row_ptr[v] + k], values[row_ptr[v] + k]};
+    }
+    std::sort(row.begin(), row.end());
+    for (size_t k = 0; k < row.size(); ++k) {
+      col_idx[row_ptr[v] + k] = row[k].first;
+      values[row_ptr[v] + k] = row[k].second;
+    }
+  }
+  auto result = CsrMatrix::FromCsrArrays(n, n, std::move(row_ptr),
+                                         std::move(col_idx), std::move(values));
+  LT_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::optional<NodeId> RandomWalkSimulator::Step(NodeId from, Rng* rng) const {
+  const auto nbrs = g_->Neighbors(from);
+  if (nbrs.empty()) return std::nullopt;
+  const auto wts = g_->Weights(from);
+  const double d = g_->WeightedDegree(from);
+  double r = rng->NextDouble() * d;
+  for (size_t k = 0; k < nbrs.size(); ++k) {
+    r -= wts[k];
+    if (r <= 0.0) return nbrs[k];
+  }
+  return nbrs.back();
+}
+
+std::optional<int64_t> RandomWalkSimulator::WalkUntilAbsorbed(
+    NodeId start, const std::vector<bool>& absorbing, int64_t max_steps,
+    Rng* rng) const {
+  NodeId cur = start;
+  for (int64_t step = 0; step < max_steps; ++step) {
+    if (absorbing[cur]) return step;
+    const auto next = Step(cur, rng);
+    if (!next.has_value()) return std::nullopt;  // Stuck at isolated node.
+    cur = *next;
+  }
+  return absorbing[cur] ? std::optional<int64_t>(max_steps) : std::nullopt;
+}
+
+double RandomWalkSimulator::EstimateAbsorbingTime(
+    NodeId start, const std::vector<bool>& absorbing, int num_walks,
+    int64_t max_steps, Rng* rng) const {
+  LT_CHECK_GT(num_walks, 0);
+  double total = 0.0;
+  for (int w = 0; w < num_walks; ++w) {
+    const auto steps = WalkUntilAbsorbed(start, absorbing, max_steps, rng);
+    total += static_cast<double>(steps.value_or(max_steps));
+  }
+  return total / num_walks;
+}
+
+}  // namespace longtail

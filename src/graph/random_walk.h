@@ -1,0 +1,54 @@
+// Random-walk primitives on the bipartite graph (§3.2).
+//
+// Transition probabilities are p_ij = a(i,j)/d_i (Eq. 1); the stationary
+// distribution is π_i = d_i / Σ d (Eq. 2). A step simulator is provided for
+// Monte-Carlo cross-checks of the analytic hitting/absorbing times.
+#ifndef LONGTAIL_GRAPH_RANDOM_WALK_H_
+#define LONGTAIL_GRAPH_RANDOM_WALK_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "linalg/csr_matrix.h"
+#include "util/random.h"
+
+namespace longtail {
+
+/// π_i = d_i / Σ_j d_j (Eq. 2); sums to 1 over all nodes.
+std::vector<double> StationaryDistribution(const BipartiteGraph& g);
+
+/// Builds the row-stochastic transition matrix P with p_ij = a(i,j)/d_i.
+/// Rows of isolated nodes are all-zero.
+CsrMatrix TransitionMatrix(const BipartiteGraph& g);
+
+/// Simulates random walks for Monte-Carlo estimates.
+class RandomWalkSimulator {
+ public:
+  explicit RandomWalkSimulator(const BipartiteGraph* g) : g_(g) {}
+
+  /// One transition from `from` (weight-proportional). Returns nullopt for
+  /// isolated nodes.
+  std::optional<NodeId> Step(NodeId from, Rng* rng) const;
+
+  /// Walks from `start` until any node with absorbing[node]==true is reached
+  /// or `max_steps` transitions happen. Returns steps taken, or nullopt if
+  /// the cap was hit before absorption.
+  std::optional<int64_t> WalkUntilAbsorbed(NodeId start,
+                                           const std::vector<bool>& absorbing,
+                                           int64_t max_steps, Rng* rng) const;
+
+  /// Monte-Carlo estimate of the absorbing time from `start`. Walks that hit
+  /// `max_steps` are truncated at max_steps (biases long walks down; use a
+  /// generous cap in tests).
+  double EstimateAbsorbingTime(NodeId start, const std::vector<bool>& absorbing,
+                               int num_walks, int64_t max_steps,
+                               Rng* rng) const;
+
+ private:
+  const BipartiteGraph* g_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_GRAPH_RANDOM_WALK_H_

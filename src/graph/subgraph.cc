@@ -1,0 +1,99 @@
+#include "graph/subgraph.h"
+
+#include <queue>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+NodeId Subgraph::LocalUserNode(UserId global_user) const {
+  if (global_user < 0 ||
+      global_user >= static_cast<int32_t>(global_user_to_local.size())) {
+    return -1;
+  }
+  return global_user_to_local[global_user];
+}
+
+NodeId Subgraph::LocalItemNode(ItemId global_item) const {
+  if (global_item < 0 ||
+      global_item >= static_cast<int32_t>(global_item_to_local.size())) {
+    return -1;
+  }
+  const int32_t local_item = global_item_to_local[global_item];
+  if (local_item < 0) return -1;
+  return static_cast<NodeId>(users.size()) + local_item;
+}
+
+Subgraph ExtractSubgraph(const BipartiteGraph& g,
+                         const std::vector<NodeId>& seed_nodes,
+                         const SubgraphOptions& options) {
+  const int32_t n = g.num_nodes();
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> order;  // global node ids in visit order
+  order.reserve(256);
+  std::queue<NodeId> frontier;
+  int32_t item_count = 0;
+
+  auto visit = [&](NodeId v) {
+    if (visited[v]) return;
+    visited[v] = true;
+    order.push_back(v);
+    if (g.IsItemNode(v)) ++item_count;
+    frontier.push(v);
+  };
+
+  for (NodeId s : seed_nodes) {
+    LT_CHECK_GE(s, 0);
+    LT_CHECK_LT(s, n);
+    visit(s);
+  }
+  const bool capped = options.max_items > 0;
+  while (!frontier.empty() && (!capped || item_count <= options.max_items)) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId nbr : g.Neighbors(v)) {
+      visit(nbr);
+      if (capped && item_count > options.max_items) break;
+    }
+  }
+
+  // Assign local ids: users first, then items, in visit order.
+  Subgraph sub;
+  sub.global_user_to_local.assign(g.num_users(), -1);
+  sub.global_item_to_local.assign(g.num_items(), -1);
+  for (NodeId v : order) {
+    if (g.IsUserNode(v)) {
+      sub.global_user_to_local[g.UserOf(v)] =
+          static_cast<int32_t>(sub.users.size());
+      sub.users.push_back(g.UserOf(v));
+    } else {
+      sub.global_item_to_local[g.ItemOf(v)] =
+          static_cast<int32_t>(sub.items.size());
+      sub.items.push_back(g.ItemOf(v));
+    }
+  }
+  const int32_t num_local_users = static_cast<int32_t>(sub.users.size());
+  const int32_t num_local_items = static_cast<int32_t>(sub.items.size());
+
+  // Induced adjacency: keep edges whose both endpoints are visited.
+  std::vector<std::vector<std::pair<NodeId, double>>> adjacency(
+      num_local_users + num_local_items);
+  for (int32_t lu = 0; lu < num_local_users; ++lu) {
+    const NodeId gv = g.UserNode(sub.users[lu]);
+    const auto nbrs = g.Neighbors(gv);
+    const auto wts = g.Weights(gv);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const ItemId gi = g.ItemOf(nbrs[k]);
+      const int32_t li = sub.global_item_to_local[gi];
+      if (li < 0) continue;
+      adjacency[lu].push_back({num_local_users + li, wts[k]});
+      adjacency[num_local_users + li].push_back({lu, wts[k]});
+    }
+  }
+  sub.graph =
+      BipartiteGraph::FromAdjacency(num_local_users, num_local_items,
+                                    adjacency);
+  return sub;
+}
+
+}  // namespace longtail

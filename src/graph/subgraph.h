@@ -1,0 +1,52 @@
+// BFS subgraph extraction (Algorithm 1 step 2).
+//
+// Starting from a seed set (typically the query user's rated items S_q, plus
+// the query user), breadth-first search expands level by level and stops
+// once the number of *item* nodes exceeds µ. The induced subgraph keeps all
+// edges between visited nodes, and the mapping back to global ids is
+// retained so results can be reported in dataset coordinates.
+#ifndef LONGTAIL_GRAPH_SUBGRAPH_H_
+#define LONGTAIL_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace longtail {
+
+/// An induced subgraph with local⇄global node mappings. Local node ids
+/// follow the same convention (users first, then items).
+struct Subgraph {
+  BipartiteGraph graph;
+  /// local user id → global UserId.
+  std::vector<UserId> users;
+  /// local item id → global ItemId.
+  std::vector<ItemId> items;
+
+  /// Local node id of a global user/item; -1 if not in the subgraph.
+  NodeId LocalUserNode(UserId global_user) const;
+  NodeId LocalItemNode(ItemId global_item) const;
+
+  /// Reverse lookup tables (sized to the global graph); built by Extract.
+  std::vector<int32_t> global_user_to_local;
+  std::vector<int32_t> global_item_to_local;
+};
+
+struct SubgraphOptions {
+  /// Stop BFS expansion once the subgraph holds more than this many item
+  /// nodes (µ in the paper; default 6000 per §5.2.2). <= 0 means no cap —
+  /// the subgraph becomes the reachable component.
+  int32_t max_items = 6000;
+};
+
+/// Extracts the BFS-induced subgraph around `seed_nodes` (global node ids).
+/// Seeds are always included. Expansion is level-by-level; the level that
+/// crosses the µ cap is truncated mid-level in insertion order, which keeps
+/// the item count within [µ, µ + level width).
+Subgraph ExtractSubgraph(const BipartiteGraph& g,
+                         const std::vector<NodeId>& seed_nodes,
+                         const SubgraphOptions& options = {});
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_GRAPH_SUBGRAPH_H_

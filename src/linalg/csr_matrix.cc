@@ -1,0 +1,158 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+Result<CsrMatrix> CsrMatrix::FromTriplets(int32_t rows, int32_t cols,
+                                          std::vector<Triplet> triplets) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("matrix dimensions must be non-negative");
+  }
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::OutOfRange("triplet (" + std::to_string(t.row) + "," +
+                                std::to_string(t.col) +
+                                ") outside matrix bounds");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    const int32_t r = triplets[i].row;
+    const int32_t c = triplets[i].col;
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.row_ptr_[r + 1] = static_cast<int64_t>(m.col_idx_.size());
+  }
+  // Forward-fill row_ptr for empty rows.
+  for (int32_t r = 0; r < rows; ++r) {
+    m.row_ptr_[r + 1] = std::max(m.row_ptr_[r + 1], m.row_ptr_[r]);
+  }
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::FromCsrArrays(int32_t rows, int32_t cols,
+                                           std::vector<int64_t> row_ptr,
+                                           std::vector<int32_t> col_idx,
+                                           std::vector<double> values) {
+  if (row_ptr.size() != static_cast<size_t>(rows) + 1) {
+    return Status::InvalidArgument("row_ptr must have rows+1 entries");
+  }
+  if (col_idx.size() != values.size()) {
+    return Status::InvalidArgument("col_idx/values size mismatch");
+  }
+  if (row_ptr.front() != 0 ||
+      row_ptr.back() != static_cast<int64_t>(col_idx.size())) {
+    return Status::InvalidArgument("row_ptr endpoints inconsistent with nnz");
+  }
+  for (int32_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      return Status::InvalidArgument("row_ptr must be non-decreasing");
+    }
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] < 0 || col_idx[k] >= cols) {
+        return Status::OutOfRange("column index out of bounds");
+      }
+      if (k > row_ptr[r] && col_idx[k - 1] >= col_idx[k]) {
+        return Status::InvalidArgument(
+            "column indices must be strictly ascending within a row");
+      }
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+double CsrMatrix::At(int32_t row, int32_t col) const {
+  LT_CHECK_GE(row, 0);
+  LT_CHECK_LT(row, rows_);
+  const auto cols_span = RowIndices(row);
+  const auto it = std::lower_bound(cols_span.begin(), cols_span.end(), col);
+  if (it == cols_span.end() || *it != col) return 0.0;
+  const size_t offset = static_cast<size_t>(it - cols_span.begin());
+  return RowValues(row)[offset];
+}
+
+double CsrMatrix::RowSum(int32_t row) const {
+  double s = 0.0;
+  for (double v : RowValues(row)) s += v;
+  return s;
+}
+
+void CsrMatrix::Multiply(std::span<const double> x,
+                         std::vector<double>* y) const {
+  LT_CHECK_EQ(static_cast<int32_t>(x.size()), cols_);
+  y->assign(rows_, 0.0);
+  for (int32_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    (*y)[r] = acc;
+  }
+}
+
+void CsrMatrix::MultiplyTranspose(std::span<const double> x,
+                                  std::vector<double>* y) const {
+  LT_CHECK_EQ(static_cast<int32_t>(x.size()), rows_);
+  y->assign(cols_, 0.0);
+  for (int32_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      (*y)[col_idx_[k]] += values_[k] * xr;
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(col_idx_.size());
+  t.values_.resize(values_.size());
+  // Count entries per column.
+  for (int32_t c : col_idx_) ++t.row_ptr_[c + 1];
+  for (int32_t c = 0; c < cols_; ++c) t.row_ptr_[c + 1] += t.row_ptr_[c];
+  std::vector<int64_t> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (int32_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const int64_t pos = next[col_idx_[k]]++;
+      t.col_idx_[pos] = r;
+      t.values_[pos] = values_[k];
+    }
+  }
+  return t;
+}
+
+double CsrMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace longtail

@@ -1,0 +1,94 @@
+// Compressed sparse row matrix and a COO builder.
+//
+// The user-item rating matrix and graph adjacency/transition matrices are
+// stored in CSR. Indices are int32 (our datasets are << 2^31 nonzeros per
+// row dimension); values are double.
+#ifndef LONGTAIL_LINALG_CSR_MATRIX_H_
+#define LONGTAIL_LINALG_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longtail {
+
+/// One nonzero entry for COO assembly.
+struct Triplet {
+  int32_t row;
+  int32_t col;
+  double value;
+};
+
+/// Immutable CSR matrix. Construct via CsrMatrix::FromTriplets or a builder
+/// that already has sorted per-row data.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from COO triplets. Duplicate (row, col) entries are summed.
+  /// Column indices within each row are sorted ascending.
+  static Result<CsrMatrix> FromTriplets(int32_t rows, int32_t cols,
+                                        std::vector<Triplet> triplets);
+
+  /// Adopts prebuilt CSR arrays (row_ptr.size() == rows+1, sorted cols).
+  static Result<CsrMatrix> FromCsrArrays(int32_t rows, int32_t cols,
+                                         std::vector<int64_t> row_ptr,
+                                         std::vector<int32_t> col_idx,
+                                         std::vector<double> values);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  /// Column indices of nonzeros in `row`.
+  std::span<const int32_t> RowIndices(int32_t row) const {
+    return {col_idx_.data() + row_ptr_[row],
+            static_cast<size_t>(row_ptr_[row + 1] - row_ptr_[row])};
+  }
+
+  /// Values of nonzeros in `row`, aligned with RowIndices.
+  std::span<const double> RowValues(int32_t row) const {
+    return {values_.data() + row_ptr_[row],
+            static_cast<size_t>(row_ptr_[row + 1] - row_ptr_[row])};
+  }
+
+  int64_t RowNnz(int32_t row) const {
+    return row_ptr_[row + 1] - row_ptr_[row];
+  }
+
+  /// Value at (row, col); 0 if absent. Binary search within the row.
+  double At(int32_t row, int32_t col) const;
+
+  /// Sum of values in `row`.
+  double RowSum(int32_t row) const;
+
+  /// y = A x  (y resized to rows()).
+  void Multiply(std::span<const double> x, std::vector<double>* y) const;
+
+  /// y = Aᵀ x  (y resized to cols()).
+  void MultiplyTranspose(std::span<const double> x,
+                         std::vector<double>* y) const;
+
+  /// Returns Aᵀ as a new CSR matrix.
+  CsrMatrix Transpose() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<int64_t> row_ptr_{0};
+  std::vector<int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_LINALG_CSR_MATRIX_H_

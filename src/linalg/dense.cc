@@ -1,0 +1,168 @@
+#include "linalg/dense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  LT_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.Row(k);
+      auto crow = c.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix DenseMatrix::Gram(const DenseMatrix& a) {
+  DenseMatrix g(a.cols(), a.cols(), 0.0);
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const auto row = a.Row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      for (size_t j = i; j < a.cols(); ++j) g(i, j) += v * row[j];
+    }
+  }
+  for (size_t i = 0; i < g.rows(); ++i) {
+    for (size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  LT_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  LT_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Normalize(std::span<double> x) {
+  const double n = Norm2(x);
+  if (n > 0.0) Scale(1.0 / n, x);
+  return n;
+}
+
+double NormalizeL1(std::span<double> x) {
+  double s = 0.0;
+  for (double v : x) s += v;
+  if (s != 0.0) Scale(1.0 / s, x);
+  return s;
+}
+
+DenseMatrix QrInPlace(DenseMatrix* a, double tol) {
+  const size_t m = a->rows();
+  const size_t n = a->cols();
+  DenseMatrix r(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    // Subtract projections onto previously orthonormalized columns.
+    for (size_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (size_t i = 0; i < m; ++i) proj += (*a)(i, k) * (*a)(i, j);
+      r(k, j) = proj;
+      for (size_t i = 0; i < m; ++i) (*a)(i, j) -= proj * (*a)(i, k);
+    }
+    double norm = 0.0;
+    for (size_t i = 0; i < m; ++i) norm += (*a)(i, j) * (*a)(i, j);
+    norm = std::sqrt(norm);
+    r(j, j) = norm;
+    if (norm < tol) {
+      for (size_t i = 0; i < m; ++i) (*a)(i, j) = 0.0;
+    } else {
+      const double inv = 1.0 / norm;
+      for (size_t i = 0; i < m; ++i) (*a)(i, j) *= inv;
+    }
+  }
+  return r;
+}
+
+void SymmetricEigen(DenseMatrix a, std::vector<double>* eigenvalues,
+                    DenseMatrix* eigenvectors, int max_sweeps) {
+  const size_t n = a.rows();
+  LT_CHECK_EQ(n, a.cols());
+  DenseMatrix v(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation to A on both sides.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return diag[x] > diag[y]; });
+  eigenvalues->resize(n);
+  *eigenvectors = DenseMatrix(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    (*eigenvalues)[j] = diag[order[j]];
+    for (size_t i = 0; i < n; ++i) (*eigenvectors)(i, j) = v(i, order[j]);
+  }
+}
+
+}  // namespace longtail

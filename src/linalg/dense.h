@@ -1,0 +1,77 @@
+// Row-major dense matrix and vector helpers.
+//
+// Dense matrices only appear in small dimensions here (factor matrices of
+// rank f ≤ a few hundred, LDA parameter tables), so a straightforward
+// row-major layout with no blocking is appropriate.
+#ifndef LONGTAIL_LINALG_DENSE_H_
+#define LONGTAIL_LINALG_DENSE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace longtail {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> Row(size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> Row(size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// C = A * B (naive triple loop; small matrices only).
+  static DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b);
+
+  /// C = Aᵀ * A (symmetric Gram matrix), exploiting symmetry.
+  static DenseMatrix Gram(const DenseMatrix& a);
+
+  DenseMatrix Transposed() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- Vector helpers (std::vector<double> as the vector type) ----
+
+double Dot(std::span<const double> a, std::span<const double> b);
+double Norm2(std::span<const double> a);
+/// y += alpha * x
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// x *= alpha
+void Scale(double alpha, std::span<double> x);
+/// Normalizes x to unit L2 norm; returns the original norm (0 if zero vec).
+double Normalize(std::span<double> x);
+/// L1-normalizes x in place; returns the original sum.
+double NormalizeL1(std::span<double> x);
+
+/// Modified Gram–Schmidt QR: orthonormalizes the columns of `a` in place.
+/// Returns the R factor (upper triangular, cols×cols). Columns with norm
+/// below `tol` are replaced by zero vectors (rank deficiency tolerated).
+DenseMatrix QrInPlace(DenseMatrix* a, double tol = 1e-12);
+
+/// Jacobi eigen-decomposition of a small symmetric matrix.
+/// On return `a` holds the rotated (near-diagonal) matrix, `eigenvalues`
+/// the diagonal, and `eigenvectors` the orthonormal eigenvector columns.
+/// Eigenpairs are sorted by descending eigenvalue.
+void SymmetricEigen(DenseMatrix a, std::vector<double>* eigenvalues,
+                    DenseMatrix* eigenvectors, int max_sweeps = 64);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_LINALG_DENSE_H_

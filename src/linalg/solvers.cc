@@ -1,0 +1,125 @@
+#include "linalg/solvers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/dense.h"
+
+namespace longtail {
+
+namespace {
+Status CheckSquareCompatible(const CsrMatrix& a, const std::vector<double>& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("solver requires a square matrix");
+  }
+  if (static_cast<int32_t>(b.size()) != a.rows()) {
+    return Status::InvalidArgument("rhs size does not match matrix");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<SolverReport> FixedPointSolve(const CsrMatrix& a,
+                                     const std::vector<double>& b,
+                                     std::vector<double>* x,
+                                     const SolverOptions& options) {
+  LT_RETURN_IF_ERROR(CheckSquareCompatible(a, b));
+  const int32_t n = a.rows();
+  *x = b;
+  std::vector<double> next(n);
+  SolverReport report;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    a.Multiply(*x, &next);
+    double delta = 0.0;
+    for (int32_t i = 0; i < n; ++i) {
+      next[i] += b[i];
+      delta = std::max(delta, std::abs(next[i] - (*x)[i]));
+    }
+    x->swap(next);
+    report.iterations = it + 1;
+    report.final_delta = delta;
+    if (delta < options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+  }
+  return report;
+}
+
+Result<SolverReport> GaussSeidelSolve(const CsrMatrix& a,
+                                      const std::vector<double>& b,
+                                      std::vector<double>* x,
+                                      const SolverOptions& options) {
+  LT_RETURN_IF_ERROR(CheckSquareCompatible(a, b));
+  const int32_t n = a.rows();
+  *x = b;
+  SolverReport report;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    double delta = 0.0;
+    for (int32_t i = 0; i < n; ++i) {
+      // x_i = b_i + sum_j a_ij x_j, using in-place (already-updated) values.
+      double acc = b[i];
+      double diag = 0.0;
+      const auto idx = a.RowIndices(i);
+      const auto val = a.RowValues(i);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        if (idx[k] == i) {
+          diag = val[k];
+        } else {
+          acc += val[k] * (*x)[idx[k]];
+        }
+      }
+      // Solve x_i = acc + diag * x_i  =>  x_i = acc / (1 - diag).
+      const double denom = 1.0 - diag;
+      const double xi = denom != 0.0 ? acc / denom : acc;
+      delta = std::max(delta, std::abs(xi - (*x)[i]));
+      (*x)[i] = xi;
+    }
+    report.iterations = it + 1;
+    report.final_delta = delta;
+    if (delta < options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+  }
+  return report;
+}
+
+Result<SolverReport> ConjugateGradientSolve(const CsrMatrix& a,
+                                            const std::vector<double>& b,
+                                            std::vector<double>* x,
+                                            const SolverOptions& options) {
+  LT_RETURN_IF_ERROR(CheckSquareCompatible(a, b));
+  const int32_t n = a.rows();
+  x->assign(n, 0.0);
+  std::vector<double> r = b;
+  std::vector<double> p = b;
+  std::vector<double> ap(n);
+  double rs_old = Dot(r, r);
+  SolverReport report;
+  const double b_norm = std::max(1e-300, Norm2(b));
+  for (int it = 0; it < options.max_iterations; ++it) {
+    a.Multiply(p, &ap);
+    const double p_ap = Dot(p, ap);
+    if (p_ap <= 0.0) {
+      return Status::FailedPrecondition(
+          "CG encountered non-positive curvature; matrix is not SPD");
+    }
+    const double alpha = rs_old / p_ap;
+    Axpy(alpha, p, *x);
+    Axpy(-alpha, ap, r);
+    const double rs_new = Dot(r, r);
+    report.iterations = it + 1;
+    report.final_delta = std::sqrt(rs_new) / b_norm;
+    if (report.final_delta < options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+    const double beta = rs_new / rs_old;
+    for (int32_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  return report;
+}
+
+}  // namespace longtail

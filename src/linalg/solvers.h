@@ -1,0 +1,53 @@
+// Iterative linear solvers for sparse systems.
+//
+// Exact hitting/absorbing times satisfy (I - P_TT) h = b over the transient
+// states. These systems are diagonally dominant M-matrices, so Jacobi and
+// Gauss–Seidel converge; CG is provided for symmetric systems in tests.
+#ifndef LONGTAIL_LINALG_SOLVERS_H_
+#define LONGTAIL_LINALG_SOLVERS_H_
+
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "util/status.h"
+
+namespace longtail {
+
+/// Convergence controls shared by the iterative solvers.
+struct SolverOptions {
+  int max_iterations = 10000;
+  /// Stop when the max-norm of successive iterate deltas drops below this.
+  double tolerance = 1e-10;
+};
+
+/// Outcome of a solve: iterations used and final delta/residual estimate.
+struct SolverReport {
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+/// Solves x = A x + b by fixed-point (Jacobi-style) iteration, i.e.
+/// (I - A) x = b. Requires spectral radius of A below 1 (true for
+/// substochastic transition blocks). x is initialized to b.
+Result<SolverReport> FixedPointSolve(const CsrMatrix& a,
+                                     const std::vector<double>& b,
+                                     std::vector<double>* x,
+                                     const SolverOptions& options = {});
+
+/// Gauss–Seidel for x = A x + b ((I - A) x = b). Typically ~2x fewer
+/// iterations than Jacobi on walk matrices. x is initialized to b.
+Result<SolverReport> GaussSeidelSolve(const CsrMatrix& a,
+                                      const std::vector<double>& b,
+                                      std::vector<double>* x,
+                                      const SolverOptions& options = {});
+
+/// Conjugate gradient for symmetric positive definite A x = b.
+Result<SolverReport> ConjugateGradientSolve(const CsrMatrix& a,
+                                            const std::vector<double>& b,
+                                            std::vector<double>* x,
+                                            const SolverOptions& options = {});
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_LINALG_SOLVERS_H_

@@ -1,0 +1,127 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace longtail {
+
+namespace {
+
+// Y = A * X where X is dense (cols×k), result rows×k.
+DenseMatrix SparseTimesDense(const CsrMatrix& a, const DenseMatrix& x) {
+  LT_CHECK_EQ(static_cast<size_t>(a.cols()), x.rows());
+  DenseMatrix y(a.rows(), x.cols(), 0.0);
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    const auto idx = a.RowIndices(r);
+    const auto val = a.RowValues(r);
+    auto yrow = y.Row(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const double v = val[k];
+      const auto xrow = x.Row(idx[k]);
+      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+// Y = Aᵀ * X where X is dense (rows×k), result cols×k.
+DenseMatrix SparseTransposeTimesDense(const CsrMatrix& a,
+                                      const DenseMatrix& x) {
+  LT_CHECK_EQ(static_cast<size_t>(a.rows()), x.rows());
+  DenseMatrix y(a.cols(), x.cols(), 0.0);
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    const auto idx = a.RowIndices(r);
+    const auto val = a.RowValues(r);
+    const auto xrow = x.Row(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      auto yrow = y.Row(idx[k]);
+      const double v = val[k];
+      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Result<SvdResult> RandomizedSvd(const CsrMatrix& a, const SvdOptions& options) {
+  const int32_t m = a.rows();
+  const int32_t n = a.cols();
+  if (options.rank < 1) {
+    return Status::InvalidArgument("SVD rank must be >= 1");
+  }
+  if (options.rank > std::min(m, n)) {
+    return Status::InvalidArgument("SVD rank exceeds min(rows, cols)");
+  }
+  const int k = options.rank;
+  const int sketch =
+      std::min<int>(k + std::max(0, options.oversample), std::min(m, n));
+
+  // Gaussian sketch Ω (n × sketch).
+  Rng rng(options.seed);
+  DenseMatrix omega(n, sketch);
+  for (size_t i = 0; i < omega.rows(); ++i) {
+    for (size_t j = 0; j < omega.cols(); ++j) {
+      omega(i, j) = rng.NextGaussian();
+    }
+  }
+
+  // Subspace iteration with re-orthonormalization each pass for stability.
+  DenseMatrix y = SparseTimesDense(a, omega);  // m × sketch
+  QrInPlace(&y);
+  for (int q = 0; q < options.power_iterations; ++q) {
+    DenseMatrix z = SparseTransposeTimesDense(a, y);  // n × sketch
+    QrInPlace(&z);
+    y = SparseTimesDense(a, z);  // m × sketch
+    QrInPlace(&y);
+  }
+
+  // B = Qᵀ A  (sketch × n), computed as (Aᵀ Q)ᵀ.
+  DenseMatrix at_q = SparseTransposeTimesDense(a, y);  // n × sketch
+  // Small Gram G = B Bᵀ = (Aᵀ Q)ᵀ (Aᵀ Q)  (sketch × sketch).
+  DenseMatrix gram = DenseMatrix::Gram(at_q);
+
+  std::vector<double> eigenvalues;
+  DenseMatrix eigenvectors;
+  SymmetricEigen(gram, &eigenvalues, &eigenvectors);
+
+  SvdResult result;
+  result.singular_values.resize(k);
+  result.u = DenseMatrix(m, k, 0.0);
+  result.v = DenseMatrix(n, k, 0.0);
+
+  // Singular values: sqrt of Gram eigenvalues. U = Q W, V = B' W / σ.
+  for (int j = 0; j < k; ++j) {
+    const double ev = std::max(0.0, eigenvalues[j]);
+    result.singular_values[j] = std::sqrt(ev);
+  }
+  // U columns: Q (m×sketch) times eigenvector columns (sketch×k).
+  for (int32_t i = 0; i < m; ++i) {
+    const auto qrow = y.Row(i);
+    for (int j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (int s = 0; s < sketch; ++s) acc += qrow[s] * eigenvectors(s, j);
+      result.u(i, j) = acc;
+    }
+  }
+  // V columns: at_q (n×sketch) times eigenvector columns, scaled by 1/σ.
+  for (int32_t i = 0; i < n; ++i) {
+    const auto brow = at_q.Row(i);
+    for (int j = 0; j < k; ++j) {
+      const double sigma = result.singular_values[j];
+      if (sigma < 1e-12) {
+        result.v(i, j) = 0.0;
+        continue;
+      }
+      double acc = 0.0;
+      for (int s = 0; s < sketch; ++s) acc += brow[s] * eigenvectors(s, j);
+      result.v(i, j) = acc / sigma;
+    }
+  }
+  return result;
+}
+
+}  // namespace longtail

@@ -1,0 +1,45 @@
+// Randomized truncated SVD of a sparse matrix.
+//
+// Used by the PureSVD baseline (Cremonesi et al., RecSys 2010): the rating
+// matrix R (users × items) is factorized R ≈ U Σ Qᵀ and item scores for a
+// user come from projecting their rating row onto the item factor space.
+//
+// Algorithm: randomized subspace iteration (Halko, Martinsson, Tropp 2011).
+//   Y = (R Rᵀ)^q R Ω, Ω Gaussian n×(k+p)  → orthonormalize → B = QᵀR →
+//   eigen-decompose the small Gram BBᵀ → singular triplets.
+#ifndef LONGTAIL_LINALG_SVD_H_
+#define LONGTAIL_LINALG_SVD_H_
+
+#include <cstdint>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense.h"
+#include "util/status.h"
+
+namespace longtail {
+
+struct SvdOptions {
+  /// Target rank (number of singular triplets kept).
+  int rank = 50;
+  /// Oversampling columns beyond the rank for accuracy.
+  int oversample = 10;
+  /// Power-iteration passes; 2 is typically enough for rating matrices.
+  int power_iterations = 2;
+  uint64_t seed = 42;
+};
+
+/// Truncated SVD result: A ≈ U diag(S) Vᵀ where U is rows×rank,
+/// V is cols×rank, singular values descending.
+struct SvdResult {
+  DenseMatrix u;
+  std::vector<double> singular_values;
+  DenseMatrix v;
+};
+
+/// Computes a randomized truncated SVD of `a`. rank must be ≥ 1 and at most
+/// min(rows, cols).
+Result<SvdResult> RandomizedSvd(const CsrMatrix& a, const SvdOptions& options);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_LINALG_SVD_H_

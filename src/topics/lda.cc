@@ -1,0 +1,210 @@
+#include "topics/lda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/recommender.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace longtail {
+
+Result<LdaModel> LdaModel::Train(const Dataset& data,
+                                 const LdaOptions& options) {
+  if (options.num_topics < 1) {
+    return Status::InvalidArgument("num_topics must be >= 1");
+  }
+  if (data.num_ratings() == 0) {
+    return Status::InvalidArgument("cannot train LDA on an empty dataset");
+  }
+  if (options.beta <= 0.0) {
+    return Status::InvalidArgument("beta must be positive");
+  }
+  const int k = options.num_topics;
+  const double alpha =
+      options.alpha > 0.0 ? options.alpha : 50.0 / static_cast<double>(k);
+  const double beta = options.beta;
+  const int32_t num_users = data.num_users();
+  const int32_t num_items = data.num_items();
+
+  // Expand ratings into tokens: item repeated round(w(u,i)) times
+  // (Algorithm 2's topic set T_ij of size w(i,j)).
+  std::vector<int32_t> token_item;
+  std::vector<int64_t> user_token_ptr(num_users + 1, 0);
+  {
+    int64_t total = 0;
+    for (UserId u = 0; u < num_users; ++u) {
+      const auto values = data.UserValues(u);
+      for (float v : values) {
+        total += options.rating_as_frequency
+                     ? std::max<int64_t>(1, std::llround(v))
+                     : 1;
+      }
+      user_token_ptr[u + 1] = total;
+    }
+    token_item.resize(total);
+    int64_t pos = 0;
+    for (UserId u = 0; u < num_users; ++u) {
+      const auto items = data.UserItems(u);
+      const auto values = data.UserValues(u);
+      for (size_t j = 0; j < items.size(); ++j) {
+        const int64_t mult = options.rating_as_frequency
+                                 ? std::max<int64_t>(1, std::llround(values[j]))
+                                 : 1;
+        for (int64_t t = 0; t < mult; ++t) token_item[pos++] = items[j];
+      }
+    }
+  }
+  const int64_t num_tokens = static_cast<int64_t>(token_item.size());
+
+  // Count arrays (paper's N1..N4): item-topic, user-topic, topic totals,
+  // user totals.
+  std::vector<int32_t> n_iz(static_cast<size_t>(num_items) * k, 0);
+  std::vector<int32_t> n_uz(static_cast<size_t>(num_users) * k, 0);
+  std::vector<int64_t> n_z(k, 0);
+  std::vector<int8_t> unused;  // (n_u is implied by user_token_ptr)
+  std::vector<int32_t> assignment(num_tokens);
+
+  Rng rng(options.seed);
+  for (UserId u = 0; u < num_users; ++u) {
+    for (int64_t t = user_token_ptr[u]; t < user_token_ptr[u + 1]; ++t) {
+      const int32_t z = static_cast<int32_t>(rng.NextUint64(k));
+      assignment[t] = z;
+      ++n_iz[static_cast<size_t>(token_item[t]) * k + z];
+      ++n_uz[static_cast<size_t>(u) * k + z];
+      ++n_z[z];
+    }
+  }
+
+  // Collapsed Gibbs sweeps (Eq. 12). The per-user denominator
+  // (n_u + K α) is constant within a token and drops out of sampling.
+  std::vector<double> topic_weight(k);
+  const double item_smoothing = num_items * beta;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (UserId u = 0; u < num_users; ++u) {
+      int32_t* user_counts = &n_uz[static_cast<size_t>(u) * k];
+      for (int64_t t = user_token_ptr[u]; t < user_token_ptr[u + 1]; ++t) {
+        const int32_t item = token_item[t];
+        int32_t* item_counts = &n_iz[static_cast<size_t>(item) * k];
+        const int32_t old_z = assignment[t];
+        --item_counts[old_z];
+        --user_counts[old_z];
+        --n_z[old_z];
+        double total = 0.0;
+        for (int z = 0; z < k; ++z) {
+          const double w = (item_counts[z] + beta) /
+                           (static_cast<double>(n_z[z]) + item_smoothing) *
+                           (user_counts[z] + alpha);
+          topic_weight[z] = w;
+          total += w;
+        }
+        double r = rng.NextDouble() * total;
+        int32_t new_z = k - 1;
+        for (int z = 0; z < k; ++z) {
+          r -= topic_weight[z];
+          if (r <= 0.0) {
+            new_z = z;
+            break;
+          }
+        }
+        assignment[t] = new_z;
+        ++item_counts[new_z];
+        ++user_counts[new_z];
+        ++n_z[new_z];
+      }
+    }
+  }
+
+  // Point estimates (Eq. 13–14).
+  LdaModel model;
+  model.num_topics_ = k;
+  model.theta_ = DenseMatrix(num_users, k);
+  model.phi_ = DenseMatrix(k, num_items);
+  for (UserId u = 0; u < num_users; ++u) {
+    const double n_u =
+        static_cast<double>(user_token_ptr[u + 1] - user_token_ptr[u]);
+    const double denom = n_u + k * alpha;
+    for (int z = 0; z < k; ++z) {
+      model.theta_(u, z) =
+          (n_uz[static_cast<size_t>(u) * k + z] + alpha) / denom;
+    }
+  }
+  for (int z = 0; z < k; ++z) {
+    const double denom = static_cast<double>(n_z[z]) + item_smoothing;
+    for (ItemId i = 0; i < num_items; ++i) {
+      model.phi_(z, i) = (n_iz[static_cast<size_t>(i) * k + z] + beta) / denom;
+    }
+  }
+  return model;
+}
+
+Result<LdaModel> LdaModel::FromParameters(DenseMatrix theta, DenseMatrix phi) {
+  if (theta.cols() == 0 || theta.cols() != phi.rows()) {
+    return Status::InvalidArgument(
+        "theta columns must equal phi rows (the topic count K >= 1)");
+  }
+  auto check_rows = [](const DenseMatrix& m, const char* name) -> Status {
+    for (size_t r = 0; r < m.rows(); ++r) {
+      double sum = 0.0;
+      for (size_t c = 0; c < m.cols(); ++c) {
+        if (m(r, c) < 0.0) {
+          return Status::InvalidArgument(std::string(name) +
+                                         " has a negative probability");
+        }
+        sum += m(r, c);
+      }
+      if (sum < 0.99 || sum > 1.01) {
+        return Status::InvalidArgument(std::string(name) + " row " +
+                                       std::to_string(r) +
+                                       " does not sum to 1");
+      }
+    }
+    return Status::OK();
+  };
+  LT_RETURN_IF_ERROR(check_rows(theta, "theta"));
+  LT_RETURN_IF_ERROR(check_rows(phi, "phi"));
+  LdaModel model;
+  model.num_topics_ = static_cast<int>(theta.cols());
+  model.theta_ = std::move(theta);
+  model.phi_ = std::move(phi);
+  return model;
+}
+
+double LdaModel::Score(UserId user, ItemId item) const {
+  const auto theta_row = theta_.Row(user);
+  double s = 0.0;
+  for (int z = 0; z < num_topics_; ++z) s += theta_row[z] * phi_(z, item);
+  return s;
+}
+
+std::vector<std::vector<ScoredItem>> LdaModel::TopItemsPerTopic(int n) const {
+  std::vector<std::vector<ScoredItem>> out(num_topics_);
+  for (int z = 0; z < num_topics_; ++z) {
+    std::vector<ScoredItem> all;
+    all.reserve(phi_.cols());
+    for (size_t i = 0; i < phi_.cols(); ++i) {
+      all.push_back({static_cast<ItemId>(i), phi_(z, i)});
+    }
+    out[z] = TopKScoredItems(std::move(all), n);
+  }
+  return out;
+}
+
+double LdaModel::TokenLogLikelihood(const Dataset& data) const {
+  double ll = 0.0;
+  double tokens = 0.0;
+  for (UserId u = 0; u < data.num_users(); ++u) {
+    const auto items = data.UserItems(u);
+    const auto values = data.UserValues(u);
+    for (size_t j = 0; j < items.size(); ++j) {
+      const double mult =
+          std::max(1.0, std::round(static_cast<double>(values[j])));
+      const double p = std::max(1e-300, Score(u, items[j]));
+      ll += mult * std::log(p);
+      tokens += mult;
+    }
+  }
+  return tokens > 0 ? ll / tokens : 0.0;
+}
+
+}  // namespace longtail

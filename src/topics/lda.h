@@ -1,0 +1,71 @@
+// LDA over user-item rating data with collapsed Gibbs sampling
+// (§4.2.3, Figure 3, Algorithm 2).
+//
+// Each user is a "document"; each rated item is a "word" whose multiplicity
+// is the rating value w(u,i) ("w(u,i) is viewed as the frequency of the
+// item's appearance in the item set S_u rated by u"). Per-topic item
+// distributions φ and per-user topic distributions θ come from the standard
+// collapsed-Gibbs count estimators (Eq. 12–14).
+#ifndef LONGTAIL_TOPICS_LDA_H_
+#define LONGTAIL_TOPICS_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "data/dataset.h"
+#include "linalg/dense.h"
+#include "util/status.h"
+
+namespace longtail {
+
+struct LdaOptions {
+  /// K, the number of latent topics.
+  int num_topics = 20;
+  /// Dirichlet prior on θ; <= 0 selects the paper default 50/K.
+  double alpha = -1.0;
+  /// Dirichlet prior on φ (paper default 0.1).
+  double beta = 0.1;
+  /// Gibbs sweeps over all tokens.
+  int iterations = 100;
+  uint64_t seed = 7;
+  /// Token multiplicity = round(rating) (paper) vs 1 per rating (ablation).
+  bool rating_as_frequency = true;
+};
+
+/// A trained LDA model: θ (num_users × K) and φ (K × num_items).
+class LdaModel {
+ public:
+  /// Runs collapsed Gibbs sampling. Fails on empty datasets or K < 1.
+  static Result<LdaModel> Train(const Dataset& data, const LdaOptions& options);
+
+  /// Reconstructs a model from parameter matrices (deserialization / tests).
+  /// θ must be num_users × K with rows summing to ~1; φ must be
+  /// K × num_items with rows summing to ~1.
+  static Result<LdaModel> FromParameters(DenseMatrix theta, DenseMatrix phi);
+
+  int num_topics() const { return num_topics_; }
+  /// Per-user topic distribution; rows sum to 1.
+  const DenseMatrix& theta() const { return theta_; }
+  /// Per-topic item distribution; rows sum to 1.
+  const DenseMatrix& phi() const { return phi_; }
+
+  /// Predictive relevance: score(u, i) = Σ_z θ_uz φ_zi.
+  double Score(UserId user, ItemId item) const;
+
+  /// Top-n most probable items for every topic (Table 1).
+  std::vector<std::vector<ScoredItem>> TopItemsPerTopic(int n) const;
+
+  /// Per-token held-in log likelihood Σ log p(item|u) / #tokens; increases
+  /// (noisily) over Gibbs iterations — used by convergence tests.
+  double TokenLogLikelihood(const Dataset& data) const;
+
+ private:
+  int num_topics_ = 0;
+  DenseMatrix theta_;
+  DenseMatrix phi_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_TOPICS_LDA_H_

@@ -1,0 +1,134 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace longtail {
+
+namespace {
+std::string BoolRepr(bool b) { return b ? "true" : "false"; }
+}  // namespace
+
+void FlagParser::AddInt(const std::string& name, int64_t* target,
+                        const std::string& help) {
+  flags_[name] = {Type::kInt64, target, help, std::to_string(*target)};
+}
+
+void FlagParser::AddInt(const std::string& name, int* target,
+                        const std::string& help) {
+  flags_[name] = {Type::kInt, target, help, std::to_string(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_[name] = {Type::kDouble, target, help, std::to_string(*target)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_[name] = {Type::kBool, target, help, BoolRepr(*target)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_[name] = {Type::kString, target, help, *target};
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name + "\n" + Usage());
+  }
+  FlagInfo& info = it->second;
+  switch (info.type) {
+    case Type::kInt64: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got: " + value);
+      }
+      *static_cast<int64_t*>(info.target) = v;
+      break;
+    }
+    case Type::kInt: {
+      char* end = nullptr;
+      long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got: " + value);
+      }
+      *static_cast<int*>(info.target) = static_cast<int>(v);
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got: " + value);
+      }
+      *static_cast<double*>(info.target) = v;
+      break;
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(info.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(info.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got: " + value);
+      }
+      break;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(info.target) = value;
+      break;
+  }
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stdout, "%s", Usage().c_str());
+      return Status(StatusCode::kFailedPrecondition, "help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      LT_RETURN_IF_ERROR(SetValue(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    if (it != flags_.end() && it->second.type == Type::kBool &&
+        (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      *static_cast<bool*>(it->second.target) = true;  // Bare boolean flag.
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + arg + " is missing a value");
+    }
+    LT_RETURN_IF_ERROR(SetValue(arg, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, info] : flags_) {
+    out += "  --" + name + "  " + info.help +
+           " (default: " + info.default_repr + ")\n";
+  }
+  return out;
+}
+
+}  // namespace longtail

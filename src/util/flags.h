@@ -1,0 +1,55 @@
+// A tiny command-line flag parser for benches and examples.
+//
+//   FlagParser flags;
+//   int scale = 10;
+//   flags.AddInt("scale", &scale, "dataset scale divisor");
+//   LT_CHECK_OK(flags.Parse(argc, argv));
+//
+// Accepts --name=value, --name value, and bare --bool_flag.
+#ifndef LONGTAIL_UTIL_FLAGS_H_
+#define LONGTAIL_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace longtail {
+
+/// Registers typed flags against caller-owned storage, then parses argv.
+class FlagParser {
+ public:
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddInt(const std::string& name, int* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv; unknown flags produce InvalidArgument. `--help` prints
+  /// usage and returns a non-OK status so callers can exit.
+  Status Parse(int argc, char** argv);
+
+  /// Human-readable usage text.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kInt, kDouble, kBool, kString };
+  struct FlagInfo {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_FLAGS_H_

@@ -1,0 +1,91 @@
+// Minimal leveled logging and assertion macros.
+//
+// LT_LOG(INFO) << "...";  levels: DEBUG, INFO, WARN, ERROR, FATAL (aborts).
+// LT_CHECK(cond) / LT_CHECK_{EQ,NE,LT,LE,GT,GE}(a, b) abort with a message on
+// violation — used for internal invariants, never for user input validation
+// (user input errors return Status).
+#ifndef LONGTAIL_UTIL_LOGGING_H_
+#define LONGTAIL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace longtail {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kFatal };
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Lets a ternary discard a stream chain: `cond ? (void)0 : Voidify() & s`.
+// operator& binds looser than operator<<, so the whole chain evaluates first.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace longtail
+
+#define LT_LOG_DEBUG ::longtail::LogLevel::kDebug
+#define LT_LOG_INFO ::longtail::LogLevel::kInfo
+#define LT_LOG_WARN ::longtail::LogLevel::kWarn
+#define LT_LOG_ERROR ::longtail::LogLevel::kError
+#define LT_LOG_FATAL ::longtail::LogLevel::kFatal
+
+#define LT_LOG(level)                                                   \
+  ::longtail::internal::LogMessage(LT_LOG_##level, __FILE__, __LINE__) \
+      .stream()
+
+#define LT_CHECK(cond)                                           \
+  (cond) ? (void)0                                               \
+         : ::longtail::internal::Voidify() &                     \
+               ::longtail::internal::LogMessage(                 \
+                   ::longtail::LogLevel::kFatal, __FILE__, __LINE__) \
+                   .stream()                                     \
+               << "Check failed: " #cond " "
+
+#define LT_CHECK_OP_(name, op, a, b)                                        \
+  LT_CHECK((a)op(b)) << "(" #a " " #op " " #b ") with lhs=" << (a)          \
+                     << " rhs=" << (b) << " "
+
+#define LT_CHECK_EQ(a, b) LT_CHECK_OP_(EQ, ==, a, b)
+#define LT_CHECK_NE(a, b) LT_CHECK_OP_(NE, !=, a, b)
+#define LT_CHECK_LT(a, b) LT_CHECK_OP_(LT, <, a, b)
+#define LT_CHECK_LE(a, b) LT_CHECK_OP_(LE, <=, a, b)
+#define LT_CHECK_GT(a, b) LT_CHECK_OP_(GT, >, a, b)
+#define LT_CHECK_GE(a, b) LT_CHECK_OP_(GE, >=, a, b)
+
+#define LT_CHECK_OK(expr)                                 \
+  do {                                                    \
+    ::longtail::Status _lt_chk = (expr);                  \
+    LT_CHECK(_lt_chk.ok()) << _lt_chk.ToString();         \
+  } while (0)
+
+#endif  // LONGTAIL_UTIL_LOGGING_H_

@@ -1,0 +1,200 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& si : s_) si = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  LT_CHECK_GT(n, 0u);
+  // Lemire's unbiased bounded generation.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  LT_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_gaussian_) {
+    has_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+size_t Rng::NextDiscrete(const std::vector<double>& weights) {
+  LT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  LT_CHECK_GT(total, 0.0);
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  LT_CHECK_GT(n, 0u);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (W. Hormann & G. Derflinger).
+  const double nd = static_cast<double>(n);
+  auto h_integral = [s](double x) {
+    const double log_x = std::log(x);
+    if (std::abs(1.0 - s) < 1e-12) return log_x;
+    return std::expm1((1.0 - s) * log_x) / (1.0 - s);
+  };
+  auto h = [s](double x) { return std::exp(-s * std::log(x)); };
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(nd + 0.5);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double u = h_n + NextDouble() * (h_x1 - h_n);
+    // Inverse of h_integral.
+    double x;
+    if (std::abs(1.0 - s) < 1e-12) {
+      x = std::exp(u);
+    } else {
+      x = std::exp(std::log1p(u * (1.0 - s)) / (1.0 - s));
+    }
+    const double k = std::floor(x + 0.5);
+    if (k < 1 || k > nd) continue;
+    if (k - x <= h_x1 || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<size_t>(k) - 1;
+    }
+  }
+  return 0;  // Unreachable in practice.
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  LT_CHECK_LE(k, n);
+  if (k == 0) return {};
+  // Floyd's algorithm: O(k) expected with a hash-free dense check when k is
+  // a large fraction of n, otherwise selection via partial shuffle.
+  if (k * 2 >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + NextUint64(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::vector<size_t> out;
+  out.reserve(k);
+  std::vector<bool> seen;  // Lazy: only allocate when collisions matter.
+  seen.assign(n, false);
+  while (out.size() < k) {
+    size_t v = NextUint64(n);
+    if (!seen[v]) {
+      seen[v] = true;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  LT_CHECK_GT(n, 0u);
+  double total = 0.0;
+  for (double w : weights) {
+    LT_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  LT_CHECK_GT(total, 0.0);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t DiscreteSampler::Sample(Rng* rng) const {
+  const size_t i = rng->NextUint64(prob_.size());
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace longtail

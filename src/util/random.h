@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// Rng wraps xoshiro256** seeded via SplitMix64. Every stochastic component in
+// longtail takes an explicit seed so experiments are reproducible bit-for-bit
+// across runs (given the same thread count for parallel sections).
+#ifndef LONGTAIL_UTIL_RANDOM_H_
+#define LONGTAIL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace longtail {
+
+/// SplitMix64 step: used for seeding and cheap hashing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Fast, high-quality PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Linear scan; for tight loops prefer DiscreteSampler below.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Zipf-like sample over ranks [0, n): P(k) proportional to 1/(k+1)^s.
+  /// Uses rejection-inversion; O(1) expected time.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextUint64(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct values from [0, n) (k <= n), order unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator (for per-thread streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Alias-method sampler for repeated draws from one discrete distribution.
+/// Build is O(n); each Sample is O(1).
+class DiscreteSampler {
+ public:
+  /// `weights` are unnormalized and non-negative; at least one must be > 0.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_RANDOM_H_

@@ -1,0 +1,59 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  LT_CHECK(!values.empty());
+  LT_CHECK_GE(p, 0.0);
+  LT_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  LT_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  double cum_weighted = 0.0;
+  double total = 0.0;
+  const size_t n = values.size();
+  for (size_t i = 0; i < n; ++i) {
+    cum_weighted += static_cast<double>(i + 1) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double nd = static_cast<double>(n);
+  return (2.0 * cum_weighted) / (nd * total) - (nd + 1.0) / nd;
+}
+
+}  // namespace longtail

@@ -1,0 +1,43 @@
+// Streaming summary statistics and percentile helpers for reports.
+#ifndef LONGTAIL_UTIL_STATS_H_
+#define LONGTAIL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace longtail {
+
+/// Welford online mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) by linear interpolation.
+/// Copies and sorts internally; fine for report-sized vectors.
+double Percentile(std::vector<double> values, double p);
+
+/// Gini coefficient of a non-negative value vector (0 = equal, →1 = skewed).
+/// Used to characterize item-popularity concentration.
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_STATS_H_

@@ -1,0 +1,148 @@
+// Status / Result error model.
+//
+// Fallible public APIs in longtail return Status (or Result<T> when a value
+// is produced). Exceptions are never thrown across library boundaries; this
+// mirrors the Arrow/RocksDB convention for database C++.
+#ifndef LONGTAIL_UTIL_STATUS_H_
+#define LONGTAIL_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace longtail {
+
+/// Error categories for Status. kOk is the success sentinel.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); errors carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. On success holds T; on failure holds a non-OK Status.
+/// Accessing the value of an errored Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return computed_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates a non-OK Status to the caller.
+#define LT_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::longtail::Status _lt_st = (expr);           \
+    if (!_lt_st.ok()) return _lt_st;              \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// moves the value into `lhs` (a declaration or assignable lvalue).
+#define LT_ASSIGN_OR_RETURN(lhs, expr)            \
+  LT_ASSIGN_OR_RETURN_IMPL_(                      \
+      LT_STATUS_CONCAT_(_lt_res, __LINE__), lhs, expr)
+
+#define LT_STATUS_CONCAT_INNER_(a, b) a##b
+#define LT_STATUS_CONCAT_(a, b) LT_STATUS_CONCAT_INNER_(a, b)
+#define LT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_STATUS_H_

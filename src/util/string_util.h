@@ -1,0 +1,35 @@
+// Small string helpers shared by loaders and report printers.
+#ifndef LONGTAIL_UTIL_STRING_UTIL_H_
+#define LONGTAIL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace longtail {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on a multi-character separator (e.g. MovieLens "::").
+std::vector<std::string> SplitBySeparator(std::string_view s,
+                                          std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Fixed-precision float formatting ("0.425").
+std::string FormatDouble(double v, int precision);
+
+/// Human-friendly count ("13,506,215").
+std::string FormatWithCommas(int64_t v);
+
+/// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_STRING_UTIL_H_

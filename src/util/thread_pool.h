@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a ParallelFor convenience used by the
+// evaluation harness (per-user recommendation is embarrassingly parallel).
+#ifndef LONGTAIL_UTIL_THREAD_POOL_H_
+#define LONGTAIL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace longtail {
+
+/// A basic work-queue thread pool. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks may run in any order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n), splitting contiguous chunks across
+/// `num_threads` worker threads (0 = hardware concurrency). Blocks until all
+/// iterations complete. fn must be thread-safe.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_THREAD_POOL_H_

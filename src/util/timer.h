@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for benchmarks and the evaluation harness.
+#ifndef LONGTAIL_UTIL_TIMER_H_
+#define LONGTAIL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace longtail {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_TIMER_H_

@@ -1,0 +1,161 @@
+#include "core/absorbing_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/absorbing_time.h"
+#include "core/entropy.h"
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+AbsorbingCostOptions SmallOptions() {
+  AbsorbingCostOptions options;
+  options.walk.exact = true;
+  options.walk.max_subgraph_items = 0;
+  options.lda.num_topics = 2;
+  options.lda.iterations = 30;
+  options.lda.seed = 11;
+  return options;
+}
+
+TEST(AbsorbingCostRecommenderTest, NamesDistinguishVariants) {
+  AbsorbingCostRecommender ac1(EntropySource::kItemBased);
+  AbsorbingCostRecommender ac2(EntropySource::kTopicBased);
+  EXPECT_EQ(ac1.name(), "AC1");
+  EXPECT_EQ(ac2.name(), "AC2");
+}
+
+TEST(AbsorbingCostRecommenderTest, ItemBasedEntropyMatchesEq10) {
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostRecommender rec(EntropySource::kItemBased, SmallOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const auto expected = ItemBasedUserEntropy(d);
+  ASSERT_EQ(rec.user_entropy().size(), expected.size());
+  for (size_t u = 0; u < expected.size(); ++u) {
+    EXPECT_DOUBLE_EQ(rec.user_entropy()[u], expected[u]);
+  }
+  EXPECT_FALSE(rec.lda_model().has_value());
+}
+
+TEST(AbsorbingCostRecommenderTest, TopicBasedTrainsLda) {
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostRecommender rec(EntropySource::kTopicBased, SmallOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  ASSERT_TRUE(rec.lda_model().has_value());
+  EXPECT_EQ(rec.lda_model()->num_topics(), 2);
+  // Entropy of a K=2 topic distribution is bounded by ln 2.
+  for (double e : rec.user_entropy()) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, std::log(2.0) + 1e-9);
+  }
+}
+
+TEST(AbsorbingCostRecommenderTest, Figure2StillRecommendsM4) {
+  // The entropy bias changes scores, not the Figure 2 headline: M4 remains
+  // U5's top pick (it is both taste-matched and niche).
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostRecommender rec(EntropySource::kItemBased, SmallOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(top.ok());
+  ASSERT_GE(top->size(), 1u);
+  EXPECT_EQ((*top)[0].item, testing::kM4);
+}
+
+TEST(AbsorbingCostRecommenderTest, UniformEntropyReducesTowardTime) {
+  // If every user had equal entropy h and C == h, AC = h · AT: identical
+  // ranking to AT. Emulate by zero entropies + C = 0 → all costs 0; instead
+  // compare rankings with C = 1 and a constant entropy vector via the
+  // topic-based model on a symmetric dataset. Simplest faithful check:
+  // item-based AC ranking on Figure 2 equals AT ranking when we overwrite
+  // the cost constant to the mean entropy (approximate invariance).
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingTimeRecommender at_rec([] {
+    GraphWalkOptions o;
+    o.exact = true;
+    o.max_subgraph_items = 0;
+    return o;
+  }());
+  ASSERT_TRUE(at_rec.Fit(d).ok());
+  AbsorbingCostOptions options = SmallOptions();
+  options.user_jump_cost = 1.0;
+  AbsorbingCostRecommender ac_rec(EntropySource::kItemBased, options);
+  ASSERT_TRUE(ac_rec.Fit(d).ok());
+  // Both should at least agree on the winner for U5 here.
+  auto at_top = at_rec.RecommendTopK(testing::kU5, 1);
+  auto ac_top = ac_rec.RecommendTopK(testing::kU5, 1);
+  ASSERT_TRUE(at_top.ok());
+  ASSERT_TRUE(ac_top.ok());
+  EXPECT_EQ((*at_top)[0].item, (*ac_top)[0].item);
+}
+
+TEST(AbsorbingCostRecommenderTest, AutoJumpCostIsMeanEntropy) {
+  // §4.2 describes C as "the mean cost of jumping from V2 to V1": with the
+  // default (auto) setting the resolved C must equal the mean user entropy.
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostOptions options = SmallOptions();
+  options.user_jump_cost = 0.0;  // auto
+  AbsorbingCostRecommender rec(EntropySource::kItemBased, options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  double mean = 0.0;
+  for (double e : rec.user_entropy()) mean += e;
+  mean /= rec.user_entropy().size();
+  EXPECT_NEAR(rec.resolved_user_jump_cost(), mean, 1e-12);
+}
+
+TEST(AbsorbingCostRecommenderTest, ExplicitJumpCostRespected) {
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostOptions options = SmallOptions();
+  options.user_jump_cost = 2.5;
+  AbsorbingCostRecommender rec(EntropySource::kItemBased, options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  EXPECT_DOUBLE_EQ(rec.resolved_user_jump_cost(), 2.5);
+}
+
+TEST(AbsorbingCostRecommenderTest, RatedItemsExcluded) {
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostRecommender rec(EntropySource::kItemBased, SmallOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    auto top = rec.RecommendTopK(u, 6);
+    ASSERT_TRUE(top.ok());
+    for (const ScoredItem& si : *top) {
+      EXPECT_FALSE(d.HasRating(u, si.item));
+    }
+  }
+}
+
+TEST(AbsorbingCostRecommenderTest, TruncatedModeWorks) {
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostOptions options = SmallOptions();
+  options.walk.exact = false;
+  options.walk.iterations = 15;
+  AbsorbingCostRecommender rec(EntropySource::kItemBased, options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].item, testing::kM4);
+}
+
+TEST(AbsorbingCostRecommenderTest, ScoreItemsAlignedWithTopK) {
+  Dataset d = MakeFigure2Dataset();
+  AbsorbingCostRecommender rec(EntropySource::kItemBased, SmallOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(top.ok());
+  std::vector<ItemId> items;
+  for (const auto& si : *top) items.push_back(si.item);
+  auto scores = rec.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(scores.ok());
+  for (size_t k = 0; k < items.size(); ++k) {
+    EXPECT_NEAR((*scores)[k], (*top)[k].score, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace longtail

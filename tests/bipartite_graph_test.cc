@@ -1,0 +1,120 @@
+#include "graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+TEST(BipartiteGraphTest, NodeIdConvention) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  EXPECT_EQ(g.num_users(), 5);
+  EXPECT_EQ(g.num_items(), 6);
+  EXPECT_EQ(g.num_nodes(), 11);
+  EXPECT_EQ(g.UserNode(2), 2);
+  EXPECT_EQ(g.ItemNode(0), 5);
+  EXPECT_TRUE(g.IsUserNode(4));
+  EXPECT_TRUE(g.IsItemNode(5));
+  EXPECT_EQ(g.ItemOf(g.ItemNode(3)), 3);
+  EXPECT_EQ(g.UserOf(g.UserNode(3)), 3);
+}
+
+TEST(BipartiteGraphTest, EdgeCountMatchesRatings) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  EXPECT_EQ(g.num_edges(), 16);
+}
+
+TEST(BipartiteGraphTest, WeightedDegreesMatchRatingSums) {
+  Dataset d = MakeFigure2Dataset();
+  BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  // U1 rated 5+3+3+5 = 16.
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(g.UserNode(testing::kU1)), 16.0);
+  // M3 rated 5+4+5+5 = 19.
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(g.ItemNode(testing::kM3)), 19.0);
+  // Total weight = 2 * sum of all ratings.
+  double rating_sum = 0.0;
+  for (const auto& r : d.ToRatingList()) rating_sum += r.value;
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 2.0 * rating_sum);
+}
+
+TEST(BipartiteGraphTest, AdjacencyIsSymmetric) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.Neighbors(v);
+    const auto wts = g.Weights(v);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      // Find v in nbrs[k]'s adjacency with the same weight.
+      const auto back_nbrs = g.Neighbors(nbrs[k]);
+      const auto back_wts = g.Weights(nbrs[k]);
+      bool found = false;
+      for (size_t j = 0; j < back_nbrs.size(); ++j) {
+        if (back_nbrs[j] == v && back_wts[j] == wts[k]) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "edge " << v << "→" << nbrs[k] << " asymmetric";
+    }
+  }
+}
+
+TEST(BipartiteGraphTest, EdgesConnectUsersToItemsOnly) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId nbr : g.Neighbors(v)) {
+      EXPECT_NE(g.IsUserNode(v), g.IsUserNode(nbr));
+    }
+  }
+}
+
+TEST(BipartiteGraphTest, UnweightedModeUsesUnitWeights) {
+  BipartiteGraph g =
+      BipartiteGraph::FromDataset(MakeFigure2Dataset(), /*weighted=*/false);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(g.UserNode(testing::kU1)), 4.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(g.ItemNode(testing::kM3)), 4.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (double w : g.Weights(v)) EXPECT_DOUBLE_EQ(w, 1.0);
+  }
+}
+
+TEST(BipartiteGraphTest, EdgeWeightsAreRatings) {
+  Dataset d = MakeFigure2Dataset();
+  BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  const NodeId u5 = g.UserNode(testing::kU5);
+  const auto nbrs = g.Neighbors(u5);
+  const auto wts = g.Weights(u5);
+  ASSERT_EQ(nbrs.size(), 2u);
+  for (size_t k = 0; k < nbrs.size(); ++k) {
+    const ItemId item = g.ItemOf(nbrs[k]);
+    EXPECT_DOUBLE_EQ(wts[k], d.GetRating(testing::kU5, item));
+  }
+}
+
+TEST(BipartiteGraphTest, FromAdjacencyRoundTrip) {
+  // Manual 1-user/2-item triangle-free adjacency.
+  std::vector<std::vector<std::pair<NodeId, double>>> adj(3);
+  adj[0] = {{1, 2.0}, {2, 3.0}};
+  adj[1] = {{0, 2.0}};
+  adj[2] = {{0, 3.0}};
+  BipartiteGraph g = BipartiteGraph::FromAdjacency(1, 2, adj);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 2.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 10.0);
+}
+
+TEST(BipartiteGraphTest, IsolatedNodesHaveZeroDegree) {
+  auto d = Dataset::Create(2, 2, {{0, 0, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  BipartiteGraph g = BipartiteGraph::FromDataset(*d);
+  EXPECT_EQ(g.Degree(g.UserNode(1)), 0);
+  EXPECT_EQ(g.Degree(g.ItemNode(1)), 0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(g.UserNode(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace longtail

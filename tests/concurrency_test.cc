@@ -1,0 +1,116 @@
+// Concurrency: the Recommender contract promises immutability after Fit and
+// thread-safe queries. Hammer shared instances from many threads and verify
+// results are identical to serial execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/absorbing_cost.h"
+#include "core/absorbing_time.h"
+#include "baselines/pagerank.h"
+#include "data/generator.h"
+#include "util/thread_pool.h"
+
+namespace longtail {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_users = 120;
+    spec.num_items = 90;
+    spec.mean_user_degree = 12;
+    spec.min_user_degree = 4;
+    spec.num_genres = 6;
+    spec.seed = 999;
+    auto data = GenerateSyntheticData(spec);
+    ASSERT_TRUE(data.ok());
+    data_ = new Dataset(std::move(data).value().dataset);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static Dataset* data_;
+};
+
+Dataset* ConcurrencyTest::data_ = nullptr;
+
+void HammerAndCompare(const Recommender& rec, const Dataset& data) {
+  const int num_users = std::min<int>(40, data.num_users());
+  // Serial reference.
+  std::vector<std::vector<ScoredItem>> expected(num_users);
+  for (UserId u = 0; u < num_users; ++u) {
+    auto top = rec.RecommendTopK(u, 5);
+    ASSERT_TRUE(top.ok());
+    expected[u] = std::move(top).value();
+  }
+  // Parallel, repeated, interleaved.
+  std::atomic<int> mismatches{0};
+  ParallelFor(
+      static_cast<size_t>(num_users) * 8,
+      [&](size_t idx) {
+        const UserId u = static_cast<UserId>(idx % num_users);
+        auto top = rec.RecommendTopK(u, 5);
+        if (!top.ok() || top->size() != expected[u].size()) {
+          mismatches.fetch_add(1);
+          return;
+        }
+        for (size_t k = 0; k < top->size(); ++k) {
+          if ((*top)[k].item != expected[u][k].item ||
+              (*top)[k].score != expected[u][k].score) {
+            mismatches.fetch_add(1);
+            return;
+          }
+        }
+      },
+      8);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, AbsorbingTimeSharedAcrossThreads) {
+  AbsorbingTimeRecommender rec;
+  ASSERT_TRUE(rec.Fit(*data_).ok());
+  HammerAndCompare(rec, *data_);
+}
+
+TEST_F(ConcurrencyTest, AbsorbingCostSharedAcrossThreads) {
+  AbsorbingCostOptions options;
+  options.lda.num_topics = 3;
+  options.lda.iterations = 10;
+  AbsorbingCostRecommender rec(EntropySource::kTopicBased, options);
+  ASSERT_TRUE(rec.Fit(*data_).ok());
+  HammerAndCompare(rec, *data_);
+}
+
+TEST_F(ConcurrencyTest, PageRankSharedAcrossThreads) {
+  PageRankRecommender rec(/*discounted=*/true);
+  ASSERT_TRUE(rec.Fit(*data_).ok());
+  HammerAndCompare(rec, *data_);
+}
+
+TEST_F(ConcurrencyTest, MixedScoreItemsAndTopK) {
+  AbsorbingTimeRecommender rec;
+  ASSERT_TRUE(rec.Fit(*data_).ok());
+  std::vector<ItemId> candidates = {0, 1, 2, 3, 4};
+  auto expected = rec.ScoreItems(0, candidates);
+  ASSERT_TRUE(expected.ok());
+  std::atomic<int> mismatches{0};
+  ParallelFor(
+      200,
+      [&](size_t idx) {
+        if (idx % 2 == 0) {
+          auto scores = rec.ScoreItems(0, candidates);
+          if (!scores.ok() || *scores != *expected) mismatches.fetch_add(1);
+        } else {
+          auto top = rec.RecommendTopK(static_cast<UserId>(idx % 20), 3);
+          if (!top.ok()) mismatches.fetch_add(1);
+        }
+      },
+      8);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,146 @@
+#include "linalg/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace longtail {
+namespace {
+
+CsrMatrix Make2x3() {
+  // [1 0 2]
+  // [0 3 0]
+  auto m = CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0}, {0, 2, 2.0},
+                                          {1, 1, 3.0}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  auto m = CsrMatrix::FromTriplets(0, 0, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 0);
+  EXPECT_EQ(m->cols(), 0);
+  EXPECT_EQ(m->nnz(), 0);
+}
+
+TEST(CsrMatrixTest, BasicAccessors) {
+  CsrMatrix m = Make2x3();
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 3.0);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 1);
+}
+
+TEST(CsrMatrixTest, DuplicateTripletsSum) {
+  auto m = CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 1);
+  EXPECT_DOUBLE_EQ(m->At(0, 0), 4.0);
+}
+
+TEST(CsrMatrixTest, ColumnsSortedWithinRow) {
+  auto m = CsrMatrix::FromTriplets(1, 5, {{0, 4, 1.0}, {0, 0, 2.0},
+                                          {0, 2, 3.0}});
+  ASSERT_TRUE(m.ok());
+  const auto idx = m->RowIndices(0);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 2);
+  EXPECT_EQ(idx[2], 4);
+}
+
+TEST(CsrMatrixTest, OutOfBoundsTripletRejected) {
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{0, -1, 1.0}}).ok());
+}
+
+TEST(CsrMatrixTest, EmptyRowsHaveZeroNnz) {
+  auto m = CsrMatrix::FromTriplets(4, 2, {{2, 1, 1.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->RowNnz(0), 0);
+  EXPECT_EQ(m->RowNnz(1), 0);
+  EXPECT_EQ(m->RowNnz(2), 1);
+  EXPECT_EQ(m->RowNnz(3), 0);
+}
+
+TEST(CsrMatrixTest, RowSum) {
+  CsrMatrix m = Make2x3();
+  EXPECT_DOUBLE_EQ(m.RowSum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), 3.0);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  CsrMatrix m = Make2x3();
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y;
+  m.Multiply(x, &y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 1 + 2.0 * 3);  // 7
+  EXPECT_DOUBLE_EQ(y[1], 3.0 * 2);            // 6
+}
+
+TEST(CsrMatrixTest, MultiplyTransposeMatchesDense) {
+  CsrMatrix m = Make2x3();
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y;
+  m.MultiplyTranspose(x, &y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(CsrMatrixTest, TransposeRoundTrip) {
+  CsrMatrix m = Make2x3();
+  CsrMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  for (int32_t r = 0; r < m.rows(); ++r) {
+    for (int32_t c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(m.At(r, c), t.At(c, r));
+    }
+  }
+  CsrMatrix tt = t.Transpose();
+  for (int32_t r = 0; r < m.rows(); ++r) {
+    for (int32_t c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(m.At(r, c), tt.At(r, c));
+    }
+  }
+}
+
+TEST(CsrMatrixTest, FrobeniusNorm) {
+  CsrMatrix m = Make2x3();
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), std::sqrt(1.0 + 4.0 + 9.0));
+}
+
+TEST(CsrMatrixTest, FromCsrArraysValidates) {
+  // Good arrays.
+  EXPECT_TRUE(CsrMatrix::FromCsrArrays(2, 2, {0, 1, 2}, {1, 0}, {1.0, 2.0})
+                  .ok());
+  // row_ptr wrong size.
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 2}, {0, 1}, {1.0, 2.0})
+                   .ok());
+  // Non-monotone row_ptr.
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0})
+                   .ok());
+  // Unsorted columns within a row.
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(1, 3, {0, 2}, {2, 0}, {1.0, 2.0})
+                   .ok());
+  // Column out of bounds.
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(1, 2, {0, 1}, {5}, {1.0}).ok());
+  // nnz mismatch.
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(1, 2, {0, 2}, {0}, {1.0}).ok());
+}
+
+TEST(CsrMatrixTest, NegativeDimensionsRejected) {
+  EXPECT_FALSE(CsrMatrix::FromTriplets(-1, 2, {}).ok());
+}
+
+}  // namespace
+}  // namespace longtail

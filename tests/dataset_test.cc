@@ -1,0 +1,115 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+TEST(DatasetTest, Figure2Shape) {
+  Dataset d = MakeFigure2Dataset();
+  EXPECT_EQ(d.num_users(), 5);
+  EXPECT_EQ(d.num_items(), 6);
+  EXPECT_EQ(d.num_ratings(), 16);
+  EXPECT_NEAR(d.Density(), 16.0 / 30.0, 1e-12);
+}
+
+TEST(DatasetTest, UserOrientation) {
+  Dataset d = MakeFigure2Dataset();
+  const auto items = d.UserItems(testing::kU1);
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0], testing::kM1);
+  EXPECT_EQ(items[1], testing::kM2);
+  EXPECT_EQ(items[2], testing::kM5);
+  EXPECT_EQ(items[3], testing::kM6);
+  const auto values = d.UserValues(testing::kU1);
+  EXPECT_FLOAT_EQ(values[0], 5.0f);
+  EXPECT_FLOAT_EQ(values[1], 3.0f);
+  EXPECT_EQ(d.UserDegree(testing::kU2), 5);
+}
+
+TEST(DatasetTest, ItemOrientation) {
+  Dataset d = MakeFigure2Dataset();
+  const auto users = d.ItemUsers(testing::kM3);
+  ASSERT_EQ(users.size(), 4u);
+  EXPECT_EQ(users[0], testing::kU2);
+  EXPECT_EQ(users[1], testing::kU3);
+  EXPECT_EQ(users[2], testing::kU4);
+  EXPECT_EQ(users[3], testing::kU5);
+  EXPECT_EQ(d.ItemPopularity(testing::kM4), 1);
+  EXPECT_EQ(d.ItemPopularity(testing::kM1), 3);
+}
+
+TEST(DatasetTest, BothOrientationsAgree) {
+  Dataset d = MakeFigure2Dataset();
+  int64_t user_side = 0;
+  for (UserId u = 0; u < d.num_users(); ++u) user_side += d.UserDegree(u);
+  int64_t item_side = 0;
+  for (ItemId i = 0; i < d.num_items(); ++i) item_side += d.ItemPopularity(i);
+  EXPECT_EQ(user_side, d.num_ratings());
+  EXPECT_EQ(item_side, d.num_ratings());
+}
+
+TEST(DatasetTest, HasRatingAndGetRating) {
+  Dataset d = MakeFigure2Dataset();
+  EXPECT_TRUE(d.HasRating(testing::kU5, testing::kM2));
+  EXPECT_FALSE(d.HasRating(testing::kU5, testing::kM1));
+  EXPECT_FLOAT_EQ(d.GetRating(testing::kU5, testing::kM3), 5.0f);
+  EXPECT_FLOAT_EQ(d.GetRating(testing::kU5, testing::kM4), 0.0f);
+}
+
+TEST(DatasetTest, ToRatingListRoundTrips) {
+  Dataset d = MakeFigure2Dataset();
+  auto list = d.ToRatingList();
+  EXPECT_EQ(list.size(), 16u);
+  auto rebuilt = Dataset::Create(5, 6, list);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->num_ratings(), d.num_ratings());
+  for (UserId u = 0; u < 5; ++u) {
+    for (ItemId i = 0; i < 6; ++i) {
+      EXPECT_FLOAT_EQ(rebuilt->GetRating(u, i), d.GetRating(u, i));
+    }
+  }
+}
+
+TEST(DatasetTest, DuplicateRatingLastWins) {
+  auto d = Dataset::Create(1, 1, {{0, 0, 2.0f}, {0, 0, 4.0f}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_ratings(), 1);
+  EXPECT_FLOAT_EQ(d->GetRating(0, 0), 4.0f);
+}
+
+TEST(DatasetTest, RejectsOutOfRangeIds) {
+  EXPECT_FALSE(Dataset::Create(1, 1, {{1, 0, 3.0f}}).ok());
+  EXPECT_FALSE(Dataset::Create(1, 1, {{0, 1, 3.0f}}).ok());
+  EXPECT_FALSE(Dataset::Create(1, 1, {{-1, 0, 3.0f}}).ok());
+}
+
+TEST(DatasetTest, RejectsNonPositiveValues) {
+  EXPECT_FALSE(Dataset::Create(1, 1, {{0, 0, 0.0f}}).ok());
+  EXPECT_FALSE(Dataset::Create(1, 1, {{0, 0, -2.0f}}).ok());
+}
+
+TEST(DatasetTest, EmptyDatasetIsValid) {
+  auto d = Dataset::Create(3, 4, {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_ratings(), 0);
+  EXPECT_EQ(d->UserDegree(0), 0);
+  EXPECT_EQ(d->ItemPopularity(3), 0);
+  EXPECT_EQ(d->Density(), 0.0);
+}
+
+TEST(DatasetTest, UsersWithNoRatingsBetweenOthers) {
+  auto d = Dataset::Create(3, 2, {{0, 0, 1.0f}, {2, 1, 2.0f}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->UserDegree(0), 1);
+  EXPECT_EQ(d->UserDegree(1), 0);
+  EXPECT_EQ(d->UserDegree(2), 1);
+  EXPECT_TRUE(d->UserItems(1).empty());
+}
+
+}  // namespace
+}  // namespace longtail

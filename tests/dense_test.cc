@@ -1,0 +1,197 @@
+#include "linalg/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace longtail {
+namespace {
+
+TEST(DenseMatrixTest, ConstructionAndIndexing) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 7.0);
+}
+
+TEST(DenseMatrixTest, MultiplyKnownProduct) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  DenseMatrix c = DenseMatrix::Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(DenseMatrixTest, GramMatchesExplicitProduct) {
+  DenseMatrix a(3, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 0;
+  a(1, 1) = 1;
+  a(2, 0) = 4;
+  a(2, 1) = 3;
+  DenseMatrix g = DenseMatrix::Gram(a);
+  DenseMatrix expected = DenseMatrix::Multiply(a.Transposed(), a);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix a(2, 3);
+  int v = 0;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = ++v;
+  }
+  DenseMatrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t(c, r), a(r, c));
+  }
+}
+
+TEST(VectorOpsTest, DotNormAxpyScale) {
+  std::vector<double> a = {1.0, 2.0, 2.0};
+  std::vector<double> b = {2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 3.0);
+  Axpy(2.0, b, a);  // a = {5, 2, 4}
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[2], 4.0);
+  Scale(0.5, a);
+  EXPECT_DOUBLE_EQ(a[0], 2.5);
+}
+
+TEST(VectorOpsTest, NormalizeUnitAndZero) {
+  std::vector<double> v = {3.0, 4.0};
+  const double n = Normalize(v);
+  EXPECT_DOUBLE_EQ(n, 5.0);
+  EXPECT_NEAR(Norm2(v), 1.0, 1e-15);
+  std::vector<double> z = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Normalize(z), 0.0);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(VectorOpsTest, NormalizeL1) {
+  std::vector<double> v = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(NormalizeL1(v), 4.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(QrTest, ProducesOrthonormalColumns) {
+  DenseMatrix a(5, 3);
+  uint64_t state = 99;
+  for (auto& v : a.data()) {
+    state = state * 6364136223846793005ULL + 1;
+    v = static_cast<double>(state >> 33) / (1ULL << 31) - 0.5;
+  }
+  DenseMatrix original = a;
+  DenseMatrix r = QrInPlace(&a);
+  // Columns orthonormal.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < 5; ++k) dot += a(k, i) * a(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+  // Q R reproduces the original.
+  DenseMatrix qr = DenseMatrix::Multiply(a, r);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(qr(i, j), original(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(QrTest, RankDeficientColumnZeroed) {
+  DenseMatrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  a(2, 0) = 0;
+  // Second column is a multiple of the first.
+  a(0, 1) = 2;
+  a(1, 1) = 2;
+  a(2, 1) = 0;
+  QrInPlace(&a);
+  double norm1 = 0.0;
+  for (size_t k = 0; k < 3; ++k) norm1 += a(k, 1) * a(k, 1);
+  EXPECT_NEAR(norm1, 0.0, 1e-20);
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  DenseMatrix a(3, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  std::vector<double> values;
+  DenseMatrix vectors;
+  SymmetricEigen(a, &values, &vectors);
+  EXPECT_NEAR(values[0], 5.0, 1e-12);
+  EXPECT_NEAR(values[1], 3.0, 1e-12);
+  EXPECT_NEAR(values[2], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  std::vector<double> values;
+  DenseMatrix vectors;
+  SymmetricEigen(a, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/√2 up to sign.
+  EXPECT_NEAR(std::abs(vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(vectors(0, 0), vectors(1, 0), 1e-8);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  DenseMatrix a(4, 4, 0.0);
+  uint64_t state = 5;
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i; j < 4; ++j) {
+      state = state * 6364136223846793005ULL + 1;
+      const double v = static_cast<double>(state >> 33) / (1ULL << 31) - 0.5;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  std::vector<double> values;
+  DenseMatrix vectors;
+  SymmetricEigen(a, &values, &vectors);
+  // A ≈ V diag(λ) Vᵀ.
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < 4; ++k) {
+        sum += vectors(i, k) * values[k] * vectors(j, k);
+      }
+      EXPECT_NEAR(sum, a(i, j), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace longtail

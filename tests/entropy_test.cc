@@ -1,0 +1,100 @@
+#include "core/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+TEST(EntropyTest, UniformDistributionIsLogN) {
+  std::vector<double> w(8, 1.0);
+  EXPECT_NEAR(Entropy(std::span<const double>(w)), std::log(8.0), 1e-12);
+}
+
+TEST(EntropyTest, PointMassIsZero) {
+  std::vector<double> w = {0.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(Entropy(std::span<const double>(w)), 0.0);
+}
+
+TEST(EntropyTest, EmptyAndZeroAreZero) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Entropy(std::span<const double>(empty)), 0.0);
+  std::vector<double> zeros(4, 0.0);
+  EXPECT_DOUBLE_EQ(Entropy(std::span<const double>(zeros)), 0.0);
+}
+
+TEST(EntropyTest, KnownBiasedCoin) {
+  // H(0.25, 0.75) = -(0.25 ln 0.25 + 0.75 ln 0.75).
+  std::vector<double> w = {1.0, 3.0};
+  const double expected = -(0.25 * std::log(0.25) + 0.75 * std::log(0.75));
+  EXPECT_NEAR(Entropy(std::span<const double>(w)), expected, 1e-12);
+}
+
+TEST(EntropyTest, ScaleInvariant) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(Entropy(std::span<const double>(a)),
+              Entropy(std::span<const double>(b)), 1e-12);
+}
+
+TEST(EntropyTest, BoundedByLogSupport) {
+  std::vector<double> w = {0.3, 1.7, 2.2, 0.5, 1.0};
+  const double h = Entropy(std::span<const double>(w));
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, std::log(5.0) + 1e-12);
+}
+
+TEST(ItemBasedUserEntropyTest, Figure2Values) {
+  // Eq. 10 on U5: ratings {4, 5} → p = {4/9, 5/9}.
+  Dataset d = testing::MakeFigure2Dataset();
+  const auto e = ItemBasedUserEntropy(d);
+  ASSERT_EQ(e.size(), 5u);
+  const double p1 = 4.0 / 9.0;
+  const double p2 = 5.0 / 9.0;
+  EXPECT_NEAR(e[testing::kU5], -(p1 * std::log(p1) + p2 * std::log(p2)),
+              1e-12);
+}
+
+TEST(ItemBasedUserEntropyTest, BroadUsersHaveHigherEntropy) {
+  // §4.2.2: U2 (5 ratings) is "general"; U4 (2 ratings) is taste-specific.
+  Dataset d = testing::MakeFigure2Dataset();
+  const auto e = ItemBasedUserEntropy(d);
+  EXPECT_GT(e[testing::kU2], e[testing::kU4]);
+  EXPECT_GT(e[testing::kU1], e[testing::kU4]);
+}
+
+TEST(ItemBasedUserEntropyTest, UserWithoutRatingsIsZero) {
+  auto d = Dataset::Create(2, 1, {{0, 0, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  const auto e = ItemBasedUserEntropy(*d);
+  EXPECT_DOUBLE_EQ(e[1], 0.0);
+}
+
+TEST(TopicBasedUserEntropyTest, RowEntropies) {
+  DenseMatrix theta(2, 4, 0.25);  // Uniform rows → ln 4.
+  theta(1, 0) = 1.0;
+  theta(1, 1) = 0.0;
+  theta(1, 2) = 0.0;
+  theta(1, 3) = 0.0;
+  const auto e = TopicBasedUserEntropy(theta);
+  EXPECT_NEAR(e[0], std::log(4.0), 1e-12);
+  EXPECT_NEAR(e[1], 0.0, 1e-12);
+}
+
+TEST(TopicBasedUserEntropyTest, SpecificUserBelowBroadUser) {
+  DenseMatrix theta(2, 3);
+  theta(0, 0) = 0.90;
+  theta(0, 1) = 0.05;
+  theta(0, 2) = 0.05;
+  theta(1, 0) = 0.34;
+  theta(1, 1) = 0.33;
+  theta(1, 2) = 0.33;
+  const auto e = TopicBasedUserEntropy(theta);
+  EXPECT_LT(e[0], e[1]);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,125 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace longtail {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (auto& s : storage_) argv_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  FlagParser parser;
+  int scale = 1;
+  double ratio = 0.5;
+  std::string name = "none";
+  bool verbose = false;
+  parser.AddInt("scale", &scale, "scale");
+  parser.AddDouble("ratio", &ratio, "ratio");
+  parser.AddString("name", &name, "name");
+  parser.AddBool("verbose", &verbose, "verbose");
+  ArgvBuilder args({"--scale=7", "--ratio=0.25", "--name=ml", "--verbose=true"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(scale, 7);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "ml");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  FlagParser parser;
+  int64_t big = 0;
+  parser.AddInt("big", &big, "big");
+  ArgvBuilder args({"--big", "123456789012"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(big, 123456789012LL);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagParser parser;
+  bool on = false;
+  parser.AddBool("on", &on, "toggle");
+  ArgvBuilder args({"--on"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(on);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser parser;
+  ArgvBuilder args({"--mystery=1"});
+  const Status s = parser.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntegerFails) {
+  FlagParser parser;
+  int v = 0;
+  parser.AddInt("v", &v, "v");
+  ArgvBuilder args({"--v=abc"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadBoolFails) {
+  FlagParser parser;
+  bool v = false;
+  parser.AddBool("v", &v, "v");
+  ArgvBuilder args({"--v=maybe"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagParser parser;
+  int v = 0;
+  parser.AddInt("v", &v, "v");
+  ArgvBuilder args({"--v"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentFails) {
+  FlagParser parser;
+  ArgvBuilder args({"stray"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenUnset) {
+  FlagParser parser;
+  int v = 99;
+  parser.AddInt("v", &v, "v");
+  ArgvBuilder args({});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(v, 99);
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagParser parser;
+  int v = 42;
+  parser.AddInt("answer", &v, "the answer");
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--answer"), std::string::npos);
+  EXPECT_NE(usage.find("42"), std::string::npos);
+  EXPECT_NE(usage.find("the answer"), std::string::npos);
+}
+
+TEST(FlagsTest, HelpReturnsNonOk) {
+  FlagParser parser;
+  ArgvBuilder args({"--help"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+}  // namespace
+}  // namespace longtail

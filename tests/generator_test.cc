@@ -1,0 +1,202 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/longtail_stats.h"
+
+namespace longtail {
+namespace {
+
+TEST(GeneratorTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_users = 150;
+  spec.num_items = 120;
+  spec.mean_user_degree = 20;
+  spec.min_user_degree = 5;
+  spec.num_genres = 4;
+  auto data = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  EXPECT_EQ(d.num_users(), 150);
+  EXPECT_EQ(d.num_items(), 120);
+  EXPECT_GT(d.num_ratings(), 0);
+}
+
+TEST(GeneratorTest, EveryUserMeetsMinDegree) {
+  SyntheticSpec spec;
+  spec.num_users = 100;
+  spec.num_items = 200;
+  spec.mean_user_degree = 15;
+  spec.min_user_degree = 8;
+  auto data = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data.ok());
+  for (UserId u = 0; u < data->dataset.num_users(); ++u) {
+    EXPECT_GE(data->dataset.UserDegree(u), 8) << "user " << u;
+  }
+}
+
+TEST(GeneratorTest, DegreesRespectMaxCap) {
+  SyntheticSpec spec;
+  spec.num_users = 100;
+  spec.num_items = 300;
+  spec.mean_user_degree = 30;
+  spec.max_user_degree = 60;
+  auto data = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data.ok());
+  for (UserId u = 0; u < data->dataset.num_users(); ++u) {
+    EXPECT_LE(data->dataset.UserDegree(u), 60);
+  }
+}
+
+TEST(GeneratorTest, RatingsInOneToFive) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.03));
+  ASSERT_TRUE(data.ok());
+  for (const auto& r : data->dataset.ToRatingList()) {
+    EXPECT_GE(r.value, 1.0f);
+    EXPECT_LE(r.value, 5.0f);
+    EXPECT_EQ(r.value, std::round(r.value));  // Integer stars.
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const SyntheticSpec spec = SyntheticSpec::MovieLensLike(0.02);
+  auto d1 = GenerateSyntheticData(spec);
+  auto d2 = GenerateSyntheticData(spec);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->dataset.num_ratings(), d2->dataset.num_ratings());
+  const auto l1 = d1->dataset.ToRatingList();
+  const auto l2 = d2->dataset.ToRatingList();
+  for (size_t k = 0; k < l1.size(); ++k) {
+    EXPECT_EQ(l1[k].user, l2[k].user);
+    EXPECT_EQ(l1[k].item, l2[k].item);
+    EXPECT_EQ(l1[k].value, l2[k].value);
+  }
+}
+
+TEST(GeneratorTest, MetadataPopulated) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.02));
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  EXPECT_EQ(d.item_labels.size(), static_cast<size_t>(d.num_items()));
+  EXPECT_EQ(d.item_genres.size(), static_cast<size_t>(d.num_items()));
+  EXPECT_EQ(d.item_categories.size(), static_cast<size_t>(d.num_items()));
+  EXPECT_EQ(d.user_genre_prefs.size(),
+            static_cast<size_t>(d.num_users()) * d.num_genres);
+  for (int32_t g : d.item_genres) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, d.num_genres);
+  }
+  for (int32_t c : d.item_categories) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, data->ontology.num_leaves());
+  }
+}
+
+TEST(GeneratorTest, UserPrefsAreDistributions) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.02));
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    double sum = 0.0;
+    for (int g = 0; g < d.num_genres; ++g) {
+      const double p = d.user_genre_prefs[u * d.num_genres + g];
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GeneratorTest, PopularityIsHeavyTailed) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.15));
+  ASSERT_TRUE(data.ok());
+  const LongTailStats stats = ComputeLongTailStats(data->dataset);
+  // The §5.1.2 calibration target: roughly two-thirds of items form the
+  // 20%-of-ratings tail. Allow a generous band.
+  EXPECT_GT(stats.tail_item_fraction, 0.45);
+  EXPECT_LT(stats.tail_item_fraction, 0.85);
+  EXPECT_GT(stats.gini, 0.4);  // Clearly concentrated, not uniform.
+}
+
+TEST(GeneratorTest, DoubanLikeIsSparserThanMovieLensLike) {
+  auto ml = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.05));
+  auto db = GenerateSyntheticData(SyntheticSpec::DoubanLike(0.004));
+  ASSERT_TRUE(ml.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_LT(db->dataset.Density(), ml->dataset.Density());
+}
+
+TEST(GeneratorTest, CategoriesAlignWithGenres) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.02));
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  // An item's ontology leaf must sit under its genre's top category.
+  for (ItemId i = 0; i < d.num_items(); ++i) {
+    const auto& path = data->ontology.LeafPath(d.item_categories[i]);
+    ASSERT_FALSE(path.empty());
+    const auto leaves = data->ontology.LeavesUnderTop(d.item_genres[i]);
+    EXPECT_TRUE(std::find(leaves.begin(), leaves.end(),
+                          d.item_categories[i]) != leaves.end());
+  }
+}
+
+TEST(GeneratorTest, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.num_users = 0;
+  EXPECT_FALSE(GenerateSyntheticData(spec).ok());
+  spec = SyntheticSpec();
+  spec.num_genres = 0;
+  EXPECT_FALSE(GenerateSyntheticData(spec).ok());
+  spec = SyntheticSpec();
+  spec.min_user_degree = 50;
+  spec.num_items = 20;
+  EXPECT_FALSE(GenerateSyntheticData(spec).ok());
+}
+
+TEST(GeneratorTest, HighAffinityUsersRateTheirGenreHighly) {
+  SyntheticSpec spec;
+  spec.num_users = 80;
+  spec.num_items = 100;
+  spec.num_genres = 4;
+  spec.mean_user_degree = 25;
+  spec.min_user_degree = 10;
+  spec.genre_affinity = 0.9;
+  spec.dirichlet_alpha = 0.1;
+  spec.seed = 7;
+  auto data = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  // Average rating on items in the user's argmax genre should exceed the
+  // average rating elsewhere.
+  double fav_sum = 0.0;
+  int64_t fav_n = 0;
+  double other_sum = 0.0;
+  int64_t other_n = 0;
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    const double* theta = &d.user_genre_prefs[u * d.num_genres];
+    int fav = 0;
+    for (int g = 1; g < d.num_genres; ++g) {
+      if (theta[g] > theta[fav]) fav = g;
+    }
+    const auto items = d.UserItems(u);
+    const auto values = d.UserValues(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (d.item_genres[items[k]] == fav) {
+        fav_sum += values[k];
+        ++fav_n;
+      } else {
+        other_sum += values[k];
+        ++other_n;
+      }
+    }
+  }
+  ASSERT_GT(fav_n, 0);
+  ASSERT_GT(other_n, 0);
+  EXPECT_GT(fav_sum / fav_n, other_sum / other_n + 0.5);
+}
+
+}  // namespace
+}  // namespace longtail

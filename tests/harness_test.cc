@@ -1,0 +1,124 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/split.h"
+
+namespace longtail {
+namespace {
+
+SuiteOptions FastSuiteOptions() {
+  SuiteOptions options;
+  options.walk.iterations = 10;
+  options.walk.max_subgraph_items = 0;
+  options.lda.num_topics = 4;
+  options.lda.iterations = 15;
+  options.svd.num_factors = 8;
+  return options;
+}
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.03));
+    ASSERT_TRUE(data.ok());
+    corpus_ = new SyntheticData(std::move(data).value());
+    auto suite = BuildAndFitSuite(corpus_->dataset, FastSuiteOptions());
+    ASSERT_TRUE(suite.ok());
+    suite_ = new AlgorithmSuite(std::move(suite).value());
+  }
+  static void TearDownTestSuite() {
+    delete suite_;
+    delete corpus_;
+    suite_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static SyntheticData* corpus_;
+  static AlgorithmSuite* suite_;
+};
+
+SyntheticData* HarnessTest::corpus_ = nullptr;
+AlgorithmSuite* HarnessTest::suite_ = nullptr;
+
+TEST_F(HarnessTest, BuildsThePaperSeven) {
+  ASSERT_EQ(suite_->algorithms.size(), 7u);
+  const std::vector<std::string> expected = {"AC2",  "AC1",     "AT", "HT",
+                                             "DPPR", "PureSVD", "LDA"};
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(suite_->algorithms[k]->name(), expected[k]);
+  }
+}
+
+TEST_F(HarnessTest, FindLocatesAlgorithms) {
+  EXPECT_NE(suite_->Find("AC2"), nullptr);
+  EXPECT_NE(suite_->Find("PureSVD"), nullptr);
+  EXPECT_EQ(suite_->Find("nope"), nullptr);
+}
+
+TEST_F(HarnessTest, EveryAlgorithmServesQueries) {
+  const std::vector<UserId> users =
+      SampleTestUsers(corpus_->dataset, 5, 10, 3);
+  ASSERT_FALSE(users.empty());
+  for (const auto& alg : suite_->algorithms) {
+    auto top = alg->RecommendTopK(users[0], 5);
+    ASSERT_TRUE(top.ok()) << alg->name() << ": " << top.status().ToString();
+    EXPECT_GE(top->size(), 1u) << alg->name();
+  }
+}
+
+TEST_F(HarnessTest, EvaluateTopNProducesFullReport) {
+  const std::vector<UserId> users =
+      SampleTestUsers(corpus_->dataset, 20, 10, 3);
+  auto report = EvaluateTopN(*suite_->Find("AT"), corpus_->dataset, users, 10,
+                             &corpus_->ontology);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->algorithm, "AT");
+  EXPECT_EQ(report->popularity_at.size(), 10u);
+  EXPECT_GT(report->diversity, 0.0);
+  EXPECT_LE(report->diversity, 1.0);
+  EXPECT_GT(report->similarity, 0.0);
+  EXPECT_LE(report->similarity, 1.0);
+  EXPECT_GT(report->seconds_per_user, 0.0);
+}
+
+TEST_F(HarnessTest, EvaluateTopNWithoutOntologyZeroesSimilarity) {
+  const std::vector<UserId> users =
+      SampleTestUsers(corpus_->dataset, 10, 10, 5);
+  auto report = EvaluateTopN(*suite_->Find("HT"), corpus_->dataset, users,
+                             5, /*ontology=*/nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->similarity, 0.0);
+  EXPECT_GT(report->diversity, 0.0);
+}
+
+TEST_F(HarnessTest, ExtraBaselinesOptIn) {
+  SuiteOptions options = FastSuiteOptions();
+  options.include_extra_baselines = true;
+  auto suite = BuildAndFitSuite(corpus_->dataset, options);
+  ASSERT_TRUE(suite.ok());
+  EXPECT_EQ(suite->algorithms.size(), 10u);
+  EXPECT_NE(suite->Find("MostPopular"), nullptr);
+  EXPECT_NE(suite->Find("ItemKNN"), nullptr);
+  EXPECT_NE(suite->Find("Katz"), nullptr);
+}
+
+TEST_F(HarnessTest, LdaBaselineSharesAc2Model) {
+  // The LDA baseline must reproduce AC2's trained model exactly (same
+  // scores), demonstrating model adoption instead of retraining.
+  const auto* ac2 =
+      dynamic_cast<const AbsorbingCostRecommender*>(suite_->Find("AC2"));
+  ASSERT_NE(ac2, nullptr);
+  ASSERT_TRUE(ac2->lda_model().has_value());
+  const auto* lda = suite_->Find("LDA");
+  const std::vector<ItemId> items = {0, 1, 2};
+  auto scores = lda->ScoreItems(0, items);
+  ASSERT_TRUE(scores.ok());
+  for (size_t k = 0; k < items.size(); ++k) {
+    EXPECT_DOUBLE_EQ((*scores)[k], ac2->lda_model()->Score(0, items[k]));
+  }
+}
+
+}  // namespace
+}  // namespace longtail

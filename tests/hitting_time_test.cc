@@ -1,0 +1,119 @@
+#include "core/hitting_time.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+GraphWalkOptions ExactOptions() {
+  GraphWalkOptions options;
+  options.exact = true;
+  options.max_subgraph_items = 0;  // whole graph
+  return options;
+}
+
+TEST(HittingTimeRecommenderTest, Figure2RecommendsM4First) {
+  // §3.3: "we will recommend the niche movie M4 to U5 since it has the
+  // smallest hitting time, while traditional CF would suggest M1."
+  Dataset d = MakeFigure2Dataset();
+  HittingTimeRecommender rec(ExactOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 4u);
+  EXPECT_EQ((*top)[0].item, testing::kM4);
+  EXPECT_EQ((*top)[1].item, testing::kM1);
+  EXPECT_EQ((*top)[2].item, testing::kM5);
+  EXPECT_EQ((*top)[3].item, testing::kM6);
+}
+
+TEST(HittingTimeRecommenderTest, TruncatedMatchesExactRanking) {
+  Dataset d = MakeFigure2Dataset();
+  HittingTimeRecommender exact(ExactOptions());
+  ASSERT_TRUE(exact.Fit(d).ok());
+  GraphWalkOptions truncated_options;
+  truncated_options.iterations = 15;
+  truncated_options.max_subgraph_items = 0;
+  HittingTimeRecommender truncated(truncated_options);
+  ASSERT_TRUE(truncated.Fit(d).ok());
+  auto a = exact.RecommendTopK(testing::kU5, 4);
+  auto b = truncated.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t k = 0; k < a->size(); ++k) {
+    EXPECT_EQ((*a)[k].item, (*b)[k].item) << "position " << k;
+  }
+}
+
+TEST(HittingTimeRecommenderTest, NeverRecommendsRatedItems) {
+  Dataset d = MakeFigure2Dataset();
+  HittingTimeRecommender rec(ExactOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    auto top = rec.RecommendTopK(u, 6);
+    ASSERT_TRUE(top.ok());
+    for (const ScoredItem& si : *top) {
+      EXPECT_FALSE(d.HasRating(u, si.item));
+    }
+  }
+}
+
+TEST(HittingTimeRecommenderTest, ScoresAreNegatedHittingTimes) {
+  Dataset d = MakeFigure2Dataset();
+  HittingTimeRecommender rec(ExactOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const std::vector<ItemId> items = {testing::kM4, testing::kM1};
+  auto scores = rec.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[0], (*scores)[1]);  // M4 closer than M1.
+  EXPECT_LT((*scores)[0], 0.0);           // Negated positive time.
+}
+
+TEST(HittingTimeRecommenderTest, ColdStartUserFails) {
+  auto d = Dataset::Create(2, 2, {{0, 0, 5.0f}, {0, 1, 3.0f}});
+  ASSERT_TRUE(d.ok());
+  HittingTimeRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  EXPECT_FALSE(rec.RecommendTopK(1, 3).ok());
+}
+
+TEST(HittingTimeRecommenderTest, QueriesBeforeFitFail) {
+  HittingTimeRecommender rec;
+  EXPECT_FALSE(rec.RecommendTopK(0, 3).ok());
+}
+
+TEST(HittingTimeRecommenderTest, DoubleFitFails) {
+  Dataset d = MakeFigure2Dataset();
+  HittingTimeRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  EXPECT_FALSE(rec.Fit(d).ok());
+}
+
+TEST(HittingTimeRecommenderTest, InvalidUserRejected) {
+  Dataset d = MakeFigure2Dataset();
+  HittingTimeRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  EXPECT_FALSE(rec.RecommendTopK(99, 3).ok());
+  EXPECT_FALSE(rec.RecommendTopK(-1, 3).ok());
+}
+
+TEST(HittingTimeRecommenderTest, CandidateOutOfRangeRejected) {
+  Dataset d = MakeFigure2Dataset();
+  HittingTimeRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const std::vector<ItemId> bad = {99};
+  EXPECT_FALSE(rec.ScoreItems(testing::kU5, bad).ok());
+}
+
+TEST(HittingTimeRecommenderTest, NameIsHT) {
+  HittingTimeRecommender rec;
+  EXPECT_EQ(rec.name(), "HT");
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,189 @@
+// End-to-end pipeline test asserting the paper's *qualitative* findings on
+// a small synthetic corpus:
+//   (1) graph methods beat latent-factor methods on long-tail Recall@N;
+//   (2) LDA/PureSVD recommend more popular items than the graph methods;
+//   (3) the graph methods are more diverse;
+//   (4) DPPR finds tail items but with weaker taste match (similarity).
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/longtail_stats.h"
+#include "data/split.h"
+#include "eval/harness.h"
+
+namespace longtail {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec = SyntheticSpec::MovieLensLike(0.15);
+    auto data = GenerateSyntheticData(spec);
+    ASSERT_TRUE(data.ok());
+    corpus_ = new SyntheticData(std::move(data).value());
+
+    LongTailSplitOptions split_options;
+    split_options.num_test_cases = 150;
+    split_options.min_rating = 5.0f;
+    auto split = MakeLongTailSplit(corpus_->dataset, split_options);
+    ASSERT_TRUE(split.ok());
+    split_ = new TrainTestSplit(std::move(split).value());
+
+    SuiteOptions suite_options;
+    suite_options.walk.iterations = 15;
+    suite_options.walk.max_subgraph_items = 0;
+    suite_options.lda.num_topics = 8;
+    suite_options.lda.iterations = 60;
+    suite_options.svd.num_factors = 16;
+    auto suite = BuildAndFitSuite(split_->train, suite_options);
+    ASSERT_TRUE(suite.ok());
+    suite_ = new AlgorithmSuite(std::move(suite).value());
+
+    users_ = new std::vector<UserId>(
+        SampleTestUsers(split_->train, 80, 10, 77));
+
+    RecallProtocolOptions recall_options;
+    recall_options.num_decoys = 400;
+    recall_options.max_n = 50;
+    recall_ = new std::map<std::string, RecallCurve>();
+    reports_ = new std::map<std::string, TopNReport>();
+    for (const auto& alg : suite_->algorithms) {
+      auto curve =
+          EvaluateRecall(*alg, split_->train, split_->test, recall_options);
+      ASSERT_TRUE(curve.ok()) << alg->name();
+      (*recall_)[alg->name()] = std::move(curve).value();
+      auto report = EvaluateTopN(*alg, split_->train, *users_, 10,
+                                 &corpus_->ontology);
+      ASSERT_TRUE(report.ok()) << alg->name();
+      (*reports_)[alg->name()] = std::move(report).value();
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete recall_;
+    delete reports_;
+    delete users_;
+    delete suite_;
+    delete split_;
+    delete corpus_;
+  }
+
+  static double MeanTopPopularity(const TopNReport& r) {
+    double sum = 0.0;
+    for (double p : r.popularity_at) sum += p;
+    return sum / r.popularity_at.size();
+  }
+
+  static SyntheticData* corpus_;
+  static TrainTestSplit* split_;
+  static AlgorithmSuite* suite_;
+  static std::vector<UserId>* users_;
+  static std::map<std::string, RecallCurve>* recall_;
+  static std::map<std::string, TopNReport>* reports_;
+};
+
+SyntheticData* PipelineTest::corpus_ = nullptr;
+TrainTestSplit* PipelineTest::split_ = nullptr;
+AlgorithmSuite* PipelineTest::suite_ = nullptr;
+std::vector<UserId>* PipelineTest::users_ = nullptr;
+std::map<std::string, RecallCurve>* PipelineTest::recall_ = nullptr;
+std::map<std::string, TopNReport>* PipelineTest::reports_ = nullptr;
+
+TEST_F(PipelineTest, PrintSummaryForHumans) {
+  // Informational: the full cross-algorithm table for eyeballing shapes.
+  std::printf("%-8s %8s %8s %8s %8s %8s %10s\n", "alg", "rec@10", "rec@50",
+              "pop@10", "divers", "simil", "s/user");
+  for (const auto& alg : suite_->algorithms) {
+    const auto& curve = recall_->at(alg->name());
+    const auto& report = reports_->at(alg->name());
+    std::printf("%-8s %8.3f %8.3f %8.1f %8.3f %8.3f %10.5f\n",
+                alg->name().c_str(), curve.At(10), curve.At(50),
+                MeanTopPopularity(report), report.diversity,
+                report.similarity, report.seconds_per_user);
+  }
+}
+
+TEST_F(PipelineTest, GraphMethodsBeatLatentFactorsOnLongTailRecall) {
+  // Figure 5's headline: the graph walks dominate the latent-factor
+  // baselines on long-tail recall. (The paper's finer AC1>AT>HT ordering
+  // needs the full-size catalogs; see EXPERIMENTS.md.)
+  const double at = recall_->at("AT").At(50);
+  const double ht = recall_->at("HT").At(50);
+  const double ac1 = recall_->at("AC1").At(50);
+  const double ac2 = recall_->at("AC2").At(50);
+  const double svd = recall_->at("PureSVD").At(50);
+  const double lda = recall_->at("LDA").At(50);
+  // Every graph method clearly beats LDA on long-tail recall.
+  EXPECT_GT(at, lda + 0.1);
+  EXPECT_GT(ht, lda + 0.1);
+  EXPECT_GT(ac1, lda + 0.1);
+  EXPECT_GT(ac2, lda + 0.1);
+  // The best graph method beats PureSVD (at toy catalog sizes which of the
+  // four wins flips between HT and AT; on the paper-scale corpora the
+  // benches report the finer ordering — see EXPERIMENTS.md).
+  EXPECT_GT(std::max({at, ht, ac1, ac2}), svd);
+  // Paper-consistent: the topic entropy (AC2) beats the item entropy (AC1).
+  EXPECT_GE(ac2, ac1);
+}
+
+TEST_F(PipelineTest, RecallCurvesAreSane) {
+  for (const auto& [name, curve] : *recall_) {
+    for (int n = 2; n <= 50; ++n) {
+      EXPECT_GE(curve.At(n), curve.At(n - 1) - 1e-12) << name;
+    }
+    EXPECT_GE(curve.At(1), 0.0) << name;
+    EXPECT_LE(curve.At(50), 1.0) << name;
+  }
+}
+
+TEST_F(PipelineTest, LatentFactorModelsRecommendMorePopularItems) {
+  // Figure 6's headline: PureSVD/LDA top lists sit in the head.
+  const double graph_pop = MeanTopPopularity(reports_->at("AT"));
+  EXPECT_GT(MeanTopPopularity(reports_->at("PureSVD")), graph_pop);
+  EXPECT_GT(MeanTopPopularity(reports_->at("LDA")), graph_pop);
+}
+
+TEST_F(PipelineTest, GraphMethodsAreMoreDiverse) {
+  // Table 2's headline: LDA is dramatically the least diverse, PureSVD
+  // next; the graph family tops the table (led by HT/AT at this scale).
+  const double svd = reports_->at("PureSVD").diversity;
+  const double lda = reports_->at("LDA").diversity;
+  EXPECT_GT(svd, lda);
+  for (const char* name : {"AT", "HT", "AC1", "AC2"}) {
+    EXPECT_GT(reports_->at(name).diversity, lda) << name;
+  }
+  const double best_graph = std::max(
+      {reports_->at("AT").diversity, reports_->at("HT").diversity,
+       reports_->at("AC1").diversity, reports_->at("AC2").diversity});
+  EXPECT_GT(best_graph, svd);
+}
+
+TEST_F(PipelineTest, EntropyVariantsMatchUserTastes) {
+  // Table 3's shape: the graph methods' recommendations stay taste-matched
+  // — far above LDA — and AC2 tops AC1/AT/HT (the entropy refinement
+  // helps quality).
+  const double lda = reports_->at("LDA").similarity;
+  for (const char* name : {"AT", "HT", "AC1", "AC2"}) {
+    EXPECT_GT(reports_->at(name).similarity, lda) << name;
+  }
+  EXPECT_GE(reports_->at("AC2").similarity,
+            reports_->at("AC1").similarity - 0.02);
+}
+
+TEST_F(PipelineTest, DpprFindsTailButGraphMethodsFindTastefulTail) {
+  // DPPR popularity should be low (tail) — comparable to graph methods,
+  // and far below PureSVD.
+  EXPECT_LT(MeanTopPopularity(reports_->at("DPPR")),
+            MeanTopPopularity(reports_->at("PureSVD")));
+}
+
+TEST_F(PipelineTest, AllSevenProduceFullLists) {
+  for (const auto& alg : suite_->algorithms) {
+    auto top = alg->RecommendTopK((*users_)[0], 10);
+    ASSERT_TRUE(top.ok()) << alg->name();
+    EXPECT_EQ(top->size(), 10u) << alg->name();
+  }
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,116 @@
+#include "baselines/item_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+TEST(ItemKnnTest, CosineSimilarityManualCheck) {
+  // Items M5 and M6 are co-rated by U1 (3,5) and U2 (4,5).
+  // dot = 3·5 + 4·5 = 35; |M5| = √(9+16) = 5; |M6| = √50.
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const auto& nbrs = rec.Neighbors(testing::kM5);
+  double sim_to_m6 = -1.0;
+  for (const auto& n : nbrs) {
+    if (n.item == testing::kM6) sim_to_m6 = n.score;
+  }
+  EXPECT_NEAR(sim_to_m6, 35.0 / (5.0 * std::sqrt(50.0)), 1e-9);
+}
+
+TEST(ItemKnnTest, NeighborsSortedDescending) {
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  for (ItemId i = 0; i < d.num_items(); ++i) {
+    const auto& nbrs = rec.Neighbors(i);
+    for (size_t k = 1; k < nbrs.size(); ++k) {
+      EXPECT_GE(nbrs[k - 1].score, nbrs[k].score);
+    }
+  }
+}
+
+TEST(ItemKnnTest, NeighborCountCapped) {
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnOptions options;
+  options.num_neighbors = 2;
+  ItemKnnRecommender rec(options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  for (ItemId i = 0; i < d.num_items(); ++i) {
+    EXPECT_LE(rec.Neighbors(i).size(), 2u);
+  }
+}
+
+TEST(ItemKnnTest, SimilaritySymmetric) {
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  // sim(M2, M3) should appear identically in both neighbor lists (both
+  // items have < num_neighbors co-rated partners here).
+  auto find = [&](ItemId from, ItemId to) {
+    for (const auto& n : rec.Neighbors(from)) {
+      if (n.item == to) return n.score;
+    }
+    return -1.0;
+  };
+  const double ab = find(testing::kM2, testing::kM3);
+  const double ba = find(testing::kM3, testing::kM2);
+  ASSERT_GT(ab, 0.0);
+  EXPECT_NEAR(ab, ba, 1e-12);
+}
+
+TEST(ItemKnnTest, RecommendsTasteNeighborItems) {
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(top.ok());
+  ASSERT_GE(top->size(), 1u);
+  for (const ScoredItem& si : *top) {
+    EXPECT_FALSE(d.HasRating(testing::kU5, si.item));
+    EXPECT_GT(si.score, 0.0);
+  }
+}
+
+TEST(ItemKnnTest, PowerUserSkipped) {
+  // With max_user_degree = 1 every user is skipped: no similarities.
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnOptions options;
+  options.max_user_degree = 1;
+  ItemKnnRecommender rec(options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  for (ItemId i = 0; i < d.num_items(); ++i) {
+    EXPECT_TRUE(rec.Neighbors(i).empty());
+  }
+}
+
+TEST(ItemKnnTest, InvalidOptionsRejected) {
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnOptions options;
+  options.num_neighbors = 0;
+  ItemKnnRecommender rec(options);
+  EXPECT_FALSE(rec.Fit(d).ok());
+}
+
+TEST(ItemKnnTest, ScoreItemsMatchesAccumulation) {
+  Dataset d = MakeFigure2Dataset();
+  ItemKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_GE(top->size(), 1u);
+  std::vector<ItemId> items = {(*top)[0].item};
+  auto scores = rec.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR((*scores)[0], (*top)[0].score, 1e-12);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,110 @@
+#include "baselines/katz.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+using testing::MakePathDataset;
+
+TEST(KatzTest, SingleEdgePathCount) {
+  // u — i with weight 3: Katz(u → i) over paths of length 1 = β·3.
+  auto d = Dataset::Create(1, 1, {{0, 0, 3.0f}});
+  ASSERT_TRUE(d.ok());
+  KatzOptions options;
+  options.beta = 0.1;
+  options.max_path_length = 2;
+  KatzRecommender rec(options);
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  auto katz = rec.ComputeKatzVector(0);
+  ASSERT_TRUE(katz.ok());
+  const BipartiteGraph g = BipartiteGraph::FromDataset(*d);
+  EXPECT_NEAR((*katz)[g.ItemNode(0)], 0.1 * 3.0, 1e-12);
+}
+
+TEST(KatzTest, ThreeHopPathProduct) {
+  // Path u0 - i0 - u1 - i1 (unit weights): Katz(u0 → i1) counts the single
+  // length-3 path: β³. Plus longer paths if allowed; cap at 3.
+  Dataset d = MakePathDataset(3);  // u0-i0-u1-i1-u2
+  KatzOptions options;
+  options.beta = 0.5;
+  options.max_path_length = 3;
+  KatzRecommender rec(options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto katz = rec.ComputeKatzVector(0);
+  ASSERT_TRUE(katz.ok());
+  const BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  EXPECT_NEAR((*katz)[g.ItemNode(1)], 0.5 * 0.5 * 0.5, 1e-12);
+  // i0 gets the length-1 path plus a length-3 bounce u0-i0-u0-i0 and
+  // u0-i0-u1-i0: β + 2β³.
+  EXPECT_NEAR((*katz)[g.ItemNode(0)], 0.5 + 2 * 0.125, 1e-12);
+}
+
+TEST(KatzTest, PrefersPopularItemsOnFigure2) {
+  // The paper's point (§3.2): Katz does not discount popularity, so for U5
+  // the heavily-rated M1 outscores the niche M4.
+  Dataset d = MakeFigure2Dataset();
+  KatzRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const std::vector<ItemId> items = {testing::kM1, testing::kM4};
+  auto scores = rec.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[0], (*scores)[1]);
+}
+
+TEST(KatzTest, ExcludesRatedItems) {
+  Dataset d = MakeFigure2Dataset();
+  KatzRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 6);
+  ASSERT_TRUE(top.ok());
+  for (const auto& si : *top) {
+    EXPECT_FALSE(d.HasRating(testing::kU5, si.item));
+  }
+}
+
+TEST(KatzTest, UnreachableItemsScoreZero) {
+  auto d = Dataset::Create(2, 2, {{0, 0, 5.0f}, {1, 1, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  KatzRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  const std::vector<ItemId> items = {1};
+  auto scores = rec.ScoreItems(0, items);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[0], 0.0);
+}
+
+TEST(KatzTest, LongerHorizonAddsMass) {
+  Dataset d = MakeFigure2Dataset();
+  KatzOptions short_walk;
+  short_walk.max_path_length = 3;
+  KatzOptions long_walk;
+  long_walk.max_path_length = 7;
+  KatzRecommender rec_short(short_walk);
+  KatzRecommender rec_long(long_walk);
+  ASSERT_TRUE(rec_short.Fit(d).ok());
+  ASSERT_TRUE(rec_long.Fit(d).ok());
+  auto k_short = rec_short.ComputeKatzVector(testing::kU5);
+  auto k_long = rec_long.ComputeKatzVector(testing::kU5);
+  ASSERT_TRUE(k_short.ok());
+  ASSERT_TRUE(k_long.ok());
+  for (size_t v = 0; v < k_short->size(); ++v) {
+    EXPECT_GE((*k_long)[v], (*k_short)[v] - 1e-15);
+  }
+}
+
+TEST(KatzTest, InvalidOptionsRejected) {
+  Dataset d = MakeFigure2Dataset();
+  KatzOptions options;
+  options.beta = 0.0;
+  EXPECT_FALSE(KatzRecommender(options).Fit(d).ok());
+  options = KatzOptions();
+  options.max_path_length = 1;
+  EXPECT_FALSE(KatzRecommender(options).Fit(d).ok());
+}
+
+}  // namespace
+}  // namespace longtail

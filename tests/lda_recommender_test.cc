@@ -1,0 +1,81 @@
+#include "baselines/lda_recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+LdaOptions FastOptions() {
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 40;
+  options.seed = 3;
+  return options;
+}
+
+TEST(LdaRecommenderTest, FitTrainsAndRecommends) {
+  Dataset d = MakeFigure2Dataset();
+  LdaRecommender rec(FastOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 4u);
+  for (const auto& si : *top) {
+    EXPECT_FALSE(d.HasRating(testing::kU5, si.item));
+    EXPECT_GT(si.score, 0.0);
+  }
+}
+
+TEST(LdaRecommenderTest, AdoptModelSkipsTraining) {
+  Dataset d = MakeFigure2Dataset();
+  auto model = LdaModel::Train(d, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const double expected = model->Score(testing::kU5, testing::kM1);
+  LdaRecommender rec(FastOptions());
+  rec.AdoptModel(std::move(model).value());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const std::vector<ItemId> items = {testing::kM1};
+  auto scores = rec.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[0], expected);
+}
+
+TEST(LdaRecommenderTest, AdoptedModelDimensionMismatchRejected) {
+  Dataset d = MakeFigure2Dataset();
+  auto small = Dataset::Create(2, 2, {{0, 0, 5.0f}, {1, 1, 4.0f}});
+  ASSERT_TRUE(small.ok());
+  auto model = LdaModel::Train(*small, FastOptions());
+  ASSERT_TRUE(model.ok());
+  LdaRecommender rec(FastOptions());
+  rec.AdoptModel(std::move(model).value());
+  EXPECT_FALSE(rec.Fit(d).ok());
+}
+
+TEST(LdaRecommenderTest, ScoresMatchModel) {
+  Dataset d = MakeFigure2Dataset();
+  LdaRecommender rec(FastOptions());
+  ASSERT_TRUE(rec.Fit(d).ok());
+  for (ItemId i = 0; i < d.num_items(); ++i) {
+    const std::vector<ItemId> items = {i};
+    auto scores = rec.ScoreItems(testing::kU1, items);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_DOUBLE_EQ((*scores)[0], rec.model().Score(testing::kU1, i));
+  }
+}
+
+TEST(LdaRecommenderTest, ErrorsBeforeFit) {
+  LdaRecommender rec(FastOptions());
+  EXPECT_FALSE(rec.RecommendTopK(0, 1).ok());
+}
+
+TEST(LdaRecommenderTest, NameIsLDA) {
+  LdaRecommender rec(FastOptions());
+  EXPECT_EQ(rec.name(), "LDA");
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,190 @@
+#include "topics/lda.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+LdaOptions FastOptions(int topics) {
+  LdaOptions options;
+  options.num_topics = topics;
+  options.iterations = 40;
+  options.seed = 5;
+  return options;
+}
+
+TEST(LdaTest, RejectsBadOptions) {
+  Dataset d = testing::MakeFigure2Dataset();
+  LdaOptions options = FastOptions(0);
+  EXPECT_FALSE(LdaModel::Train(d, options).ok());
+  options = FastOptions(2);
+  options.beta = 0.0;
+  EXPECT_FALSE(LdaModel::Train(d, options).ok());
+}
+
+TEST(LdaTest, RejectsEmptyDataset) {
+  auto d = Dataset::Create(2, 2, {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(LdaModel::Train(*d, FastOptions(2)).ok());
+}
+
+TEST(LdaTest, ThetaRowsAreDistributions) {
+  Dataset d = testing::MakeFigure2Dataset();
+  auto model = LdaModel::Train(d, FastOptions(3));
+  ASSERT_TRUE(model.ok());
+  for (size_t u = 0; u < model->theta().rows(); ++u) {
+    double sum = 0.0;
+    for (size_t z = 0; z < model->theta().cols(); ++z) {
+      const double p = model->theta()(u, z);
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, PhiRowsAreDistributions) {
+  Dataset d = testing::MakeFigure2Dataset();
+  auto model = LdaModel::Train(d, FastOptions(3));
+  ASSERT_TRUE(model.ok());
+  for (size_t z = 0; z < model->phi().rows(); ++z) {
+    double sum = 0.0;
+    for (size_t i = 0; i < model->phi().cols(); ++i) {
+      const double p = model->phi()(z, i);
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, DeterministicForFixedSeed) {
+  Dataset d = testing::MakeFigure2Dataset();
+  auto m1 = LdaModel::Train(d, FastOptions(2));
+  auto m2 = LdaModel::Train(d, FastOptions(2));
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  for (size_t u = 0; u < m1->theta().rows(); ++u) {
+    for (size_t z = 0; z < m1->theta().cols(); ++z) {
+      EXPECT_DOUBLE_EQ(m1->theta()(u, z), m2->theta()(u, z));
+    }
+  }
+}
+
+TEST(LdaTest, ScoreIsMixtureOfTopics) {
+  Dataset d = testing::MakeFigure2Dataset();
+  auto model = LdaModel::Train(d, FastOptions(2));
+  ASSERT_TRUE(model.ok());
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    double total = 0.0;
+    for (ItemId i = 0; i < d.num_items(); ++i) {
+      const double s = model->Score(u, i);
+      EXPECT_GT(s, 0.0);
+      total += s;
+    }
+    // Σ_i Σ_z θ_uz φ_zi = Σ_z θ_uz = 1.
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, TopItemsPerTopicSortedAndSized) {
+  Dataset d = testing::MakeFigure2Dataset();
+  auto model = LdaModel::Train(d, FastOptions(2));
+  ASSERT_TRUE(model.ok());
+  const auto tops = model->TopItemsPerTopic(3);
+  ASSERT_EQ(tops.size(), 2u);
+  for (const auto& topic : tops) {
+    ASSERT_EQ(topic.size(), 3u);
+    for (size_t k = 1; k < topic.size(); ++k) {
+      EXPECT_GE(topic[k - 1].score, topic[k].score);
+    }
+  }
+}
+
+TEST(LdaTest, RecoversPlantedGenresOnSyntheticData) {
+  // Table 1's qualitative claim: topics align with genres. Generate a
+  // 2-genre corpus with strong affinity and check topic purity.
+  SyntheticSpec spec;
+  spec.num_users = 200;
+  spec.num_items = 60;
+  spec.num_genres = 2;
+  spec.mean_user_degree = 25;
+  spec.min_user_degree = 10;
+  spec.genre_affinity = 0.95;
+  spec.dirichlet_alpha = 0.08;  // Very taste-specific users.
+  spec.zipf_exponent = 0.3;
+  spec.seed = 99;
+  auto data = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data.ok());
+  LdaOptions options = FastOptions(2);
+  options.iterations = 120;
+  auto model = LdaModel::Train(data->dataset, options);
+  ASSERT_TRUE(model.ok());
+
+  // For each topic, the top-10 items should be genre-pure (majority ≥ 8).
+  const auto tops = model->TopItemsPerTopic(10);
+  int distinct_majorities = 0;
+  std::vector<int> majority_genre;
+  for (const auto& topic : tops) {
+    int genre_counts[2] = {0, 0};
+    for (const auto& si : topic) {
+      ++genre_counts[data->dataset.item_genres[si.item]];
+    }
+    const int majority = genre_counts[0] >= genre_counts[1] ? 0 : 1;
+    EXPECT_GE(genre_counts[majority], 8)
+        << "topic is not genre-pure: " << genre_counts[0] << "/"
+        << genre_counts[1];
+    majority_genre.push_back(majority);
+  }
+  if (majority_genre[0] != majority_genre[1]) ++distinct_majorities;
+  EXPECT_EQ(distinct_majorities, 1) << "both topics captured the same genre";
+}
+
+TEST(LdaTest, LikelihoodImprovesWithTraining) {
+  Dataset d = testing::MakeFigure2Dataset();
+  LdaOptions short_run = FastOptions(2);
+  short_run.iterations = 1;
+  LdaOptions long_run = FastOptions(2);
+  long_run.iterations = 100;
+  auto m_short = LdaModel::Train(d, short_run);
+  auto m_long = LdaModel::Train(d, long_run);
+  ASSERT_TRUE(m_short.ok());
+  ASSERT_TRUE(m_long.ok());
+  // More Gibbs sweeps should not make held-in likelihood much worse.
+  EXPECT_GE(m_long->TokenLogLikelihood(d),
+            m_short->TokenLogLikelihood(d) - 0.05);
+}
+
+TEST(LdaTest, RatingAsFrequencyChangesTokenWeighting) {
+  // A 5-star rating counts 5× in training; with the flag off both ratings
+  // count once. The resulting θ must differ for a user with skewed ratings.
+  auto d = Dataset::Create(
+      2, 2, {{0, 0, 5.0f}, {0, 1, 1.0f}, {1, 0, 1.0f}, {1, 1, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  LdaOptions weighted = FastOptions(2);
+  LdaOptions unweighted = FastOptions(2);
+  unweighted.rating_as_frequency = false;
+  auto mw = LdaModel::Train(*d, weighted);
+  auto mu = LdaModel::Train(*d, unweighted);
+  ASSERT_TRUE(mw.ok());
+  ASSERT_TRUE(mu.ok());
+  // Weighted model saw 12 tokens, unweighted 4 — smoothing alone makes the
+  // posterior means differ.
+  bool any_diff = false;
+  for (size_t u = 0; u < 2; ++u) {
+    for (size_t z = 0; z < 2; ++z) {
+      if (std::abs(mw->theta()(u, z) - mu->theta()(u, z)) > 1e-6) {
+        any_diff = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace longtail {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogBelowThresholdDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  LT_LOG(DEBUG) << "suppressed " << 123;
+  LT_LOG(INFO) << "suppressed too";
+  SetLogLevel(original);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  LT_CHECK(true) << "never shown";
+  LT_CHECK_EQ(2 + 2, 4);
+  LT_CHECK_NE(1, 2);
+  LT_CHECK_LT(1, 2);
+  LT_CHECK_LE(2, 2);
+  LT_CHECK_GT(3, 2);
+  LT_CHECK_GE(3, 3);
+  LT_CHECK_OK(Status::OK());
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(LT_CHECK(false) << "boom", "Check failed: false");
+}
+
+TEST(CheckDeathTest, FailingComparisonPrintsOperands) {
+  EXPECT_DEATH(LT_CHECK_EQ(1, 2), "lhs=1 rhs=2");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(LT_CHECK_OK(Status::IOError("disk gone")), "disk gone");
+}
+
+TEST(CheckTest, CheckEvaluatesConditionOnce) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  LT_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace longtail

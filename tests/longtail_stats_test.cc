@@ -1,0 +1,105 @@
+#include "data/longtail_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+// Popularities: 1, 1, 1, 1, 6 → total 10; 20% budget = 2 ratings → first
+// two ascending items are tail.
+Dataset MakeSkewedDataset() {
+  std::vector<RatingEntry> ratings;
+  // Items 0..3 get one rating each; item 4 gets six.
+  for (int i = 0; i < 4; ++i) ratings.push_back({i, i, 5.0f});
+  for (int u = 0; u < 6; ++u) ratings.push_back({u, 4, 4.0f});
+  auto d = Dataset::Create(6, 5, std::move(ratings));
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TEST(TailItemFlagsTest, BudgetRespected) {
+  Dataset d = MakeSkewedDataset();
+  const auto tail = TailItemFlags(d, 0.20);
+  int count = 0;
+  int64_t tail_ratings = 0;
+  for (ItemId i = 0; i < d.num_items(); ++i) {
+    if (tail[i]) {
+      ++count;
+      tail_ratings += d.ItemPopularity(i);
+    }
+  }
+  EXPECT_EQ(count, 2);        // Two 1-rating items fit in the 2-rating budget.
+  EXPECT_EQ(tail_ratings, 2);
+  EXPECT_FALSE(tail[4]);      // The hit item is head.
+}
+
+TEST(TailItemFlagsTest, ZeroShareGivesNoTail) {
+  Dataset d = MakeSkewedDataset();
+  const auto tail = TailItemFlags(d, 0.0);
+  for (bool t : tail) EXPECT_FALSE(t);
+}
+
+TEST(TailItemFlagsTest, FullShareLeavesHeadOnlyWhenBoundaryCrossed) {
+  Dataset d = MakeSkewedDataset();
+  const auto tail = TailItemFlags(d, 1.0);
+  // Budget = all ratings: every item fits.
+  for (ItemId i = 0; i < d.num_items(); ++i) EXPECT_TRUE(tail[i]);
+}
+
+TEST(ComputeLongTailStatsTest, SkewedDataset) {
+  Dataset d = MakeSkewedDataset();
+  const LongTailStats stats = ComputeLongTailStats(d, 0.20);
+  EXPECT_EQ(stats.num_items, 5);
+  EXPECT_EQ(stats.total_ratings, 10);
+  EXPECT_EQ(stats.tail_item_count, 2);
+  EXPECT_NEAR(stats.tail_item_fraction, 0.4, 1e-12);
+  EXPECT_NEAR(stats.tail_rating_share, 0.2, 1e-12);
+  EXPECT_EQ(stats.max_popularity, 6);
+  EXPECT_EQ(stats.min_popularity, 1);
+  EXPECT_NEAR(stats.mean_popularity, 2.0, 1e-12);
+  EXPECT_GT(stats.gini, 0.0);
+}
+
+TEST(ComputeLongTailStatsTest, UniformPopularityHasZeroGini) {
+  // Figure-2-like tiny uniform catalog.
+  std::vector<RatingEntry> ratings;
+  for (int i = 0; i < 4; ++i) {
+    ratings.push_back({i, i, 3.0f});
+    ratings.push_back({(i + 1) % 4, i, 3.0f});
+  }
+  auto d = Dataset::Create(4, 4, std::move(ratings));
+  ASSERT_TRUE(d.ok());
+  const LongTailStats stats = ComputeLongTailStats(*d);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-12);
+}
+
+TEST(PopularityLorenzCurveTest, MonotoneAndEndsAtOne) {
+  Dataset d = MakeSkewedDataset();
+  const auto curve = PopularityLorenzCurve(d, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_GE(curve[k], curve[k - 1] - 1e-12);
+  }
+  EXPECT_NEAR(curve.back(), 1.0, 1e-12);
+}
+
+TEST(PopularityLorenzCurveTest, BelowDiagonalForSkewedData) {
+  Dataset d = MakeSkewedDataset();
+  const auto curve = PopularityLorenzCurve(d, 5);
+  // At the 60% item quantile, a skewed catalog has < 60% of ratings.
+  EXPECT_LT(curve[2], 0.6);
+}
+
+TEST(Figure2Test, TailContainsTheNicheMovie) {
+  Dataset d = testing::MakeFigure2Dataset();
+  const auto tail = TailItemFlags(d, 0.20);
+  // M4 has a single rating — the nichest item of Figure 2.
+  EXPECT_TRUE(tail[testing::kM4]);
+  // M3 (4 ratings) is head.
+  EXPECT_FALSE(tail[testing::kM3]);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,368 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/popularity.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+// A stub recommender with a fixed global item ranking (higher id = better),
+// so protocol outcomes are fully predictable.
+class FixedRankingRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Fixed"; }
+  Status Fit(const Dataset& data) override {
+    data_ = &data;
+    return Status::OK();
+  }
+  Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
+                                                int k) const override {
+    LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+    std::vector<ScoredItem> all;
+    for (ItemId i = 0; i < data_->num_items(); ++i) {
+      if (!data_->HasRating(user, i)) {
+        all.push_back({i, static_cast<double>(i)});
+      }
+    }
+    return TopKScoredItems(std::move(all), k);
+  }
+  Result<std::vector<double>> ScoreItems(
+      UserId user, std::span<const ItemId> items) const override {
+    LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
+    std::vector<double> scores(items.size());
+    for (size_t k = 0; k < items.size(); ++k) {
+      scores[k] = static_cast<double>(items[k]);
+    }
+    return scores;
+  }
+
+ private:
+  const Dataset* data_ = nullptr;
+};
+
+TEST(RecallProtocolTest, PerfectRecommenderHasRecallOne) {
+  // Give the held-out item the highest possible id so FixedRanking always
+  // ranks it first.
+  auto d = Dataset::Create(
+      4, 10, {{0, 9, 5.0f}, {0, 1, 3.0f}, {1, 2, 4.0f}, {2, 3, 3.0f},
+              {3, 4, 2.0f}, {1, 9, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  FixedRankingRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  std::vector<TestCase> test = {{0, 9, 5.0f}, {1, 9, 5.0f}};
+  RecallProtocolOptions options;
+  options.num_decoys = 5;
+  options.max_n = 5;
+  auto curve = EvaluateRecall(rec, *d, test, options);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->At(1), 1.0);
+  EXPECT_DOUBLE_EQ(curve->At(5), 1.0);
+}
+
+TEST(RecallProtocolTest, WorstRecommenderHasRecallZeroAtSmallN) {
+  // Held-out item 0 always ranks last under FixedRanking.
+  auto d = Dataset::Create(2, 10, {{0, 0, 5.0f}, {1, 5, 3.0f}});
+  ASSERT_TRUE(d.ok());
+  FixedRankingRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  std::vector<TestCase> test = {{0, 0, 5.0f}};
+  RecallProtocolOptions options;
+  options.num_decoys = 5;
+  options.max_n = 3;
+  auto curve = EvaluateRecall(rec, *d, test, options);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->At(1), 0.0);
+  EXPECT_DOUBLE_EQ(curve->At(3), 0.0);
+}
+
+TEST(RecallProtocolTest, CurveIsMonotoneNondecreasing) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.05));
+  ASSERT_TRUE(data.ok());
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(data->dataset).ok());
+  std::vector<TestCase> test;
+  for (UserId u = 0; u < 30; ++u) {
+    const auto items = data->dataset.UserItems(u);
+    test.push_back({u, items[0], 5.0f});
+  }
+  RecallProtocolOptions options;
+  options.num_decoys = 100;
+  options.max_n = 20;
+  auto curve = EvaluateRecall(rec, data->dataset, test, options);
+  ASSERT_TRUE(curve.ok());
+  for (int n = 2; n <= 20; ++n) {
+    EXPECT_GE(curve->At(n), curve->At(n - 1) - 1e-12);
+  }
+  EXPECT_GE(curve->At(1), 0.0);
+  EXPECT_LE(curve->At(20), 1.0);
+}
+
+TEST(RecallProtocolTest, DecoyCountClampedOnTinyCatalog) {
+  Dataset d = testing::MakeFigure2Dataset();
+  FixedRankingRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  std::vector<TestCase> test = {{testing::kU5, testing::kM4, 5.0f}};
+  RecallProtocolOptions options;
+  options.num_decoys = 1000;  // catalog has 6 items
+  options.max_n = 3;
+  auto curve = EvaluateRecall(rec, d, test, options);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_LE(curve->effective_decoys, 4);
+}
+
+TEST(RecallProtocolTest, TiesContributeExpectedValue) {
+  // All items score identically → the test item's expected rank among
+  // (decoys+1) tied candidates gives recall@1 = 1/(decoys+1).
+  class ConstantRecommender : public FixedRankingRecommender {
+   public:
+    Result<std::vector<double>> ScoreItems(
+        UserId, std::span<const ItemId> items) const override {
+      return std::vector<double>(items.size(), 7.0);
+    }
+  };
+  auto d = Dataset::Create(1, 30, {{0, 0, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  ConstantRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  std::vector<TestCase> test = {{0, 0, 5.0f}};
+  RecallProtocolOptions options;
+  options.num_decoys = 9;
+  options.max_n = 10;
+  auto curve = EvaluateRecall(rec, *d, test, options);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->At(1), 1.0 / 10.0, 1e-9);
+  EXPECT_NEAR(curve->At(10), 1.0, 1e-9);
+}
+
+TEST(RecallProtocolTest, MrrAndNdcgForPerfectRecommender) {
+  // Held-out item always first: MRR = 1, nDCG@n = 1 for all n.
+  auto d = Dataset::Create(2, 10, {{0, 9, 5.0f}, {1, 9, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  FixedRankingRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  std::vector<TestCase> test = {{0, 9, 5.0f}, {1, 9, 5.0f}};
+  RecallProtocolOptions options;
+  options.num_decoys = 5;
+  options.max_n = 5;
+  auto curve = EvaluateRecall(rec, *d, test, options);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->mrr, 1.0);
+  for (int n = 1; n <= 5; ++n) {
+    EXPECT_DOUBLE_EQ(curve->NdcgAt(n), 1.0) << n;
+  }
+}
+
+TEST(RecallProtocolTest, MrrMatchesKnownRank) {
+  // Item 5 held out; the user also rated item 0, so the eligible decoy
+  // pool is exactly the 8 items {1,2,3,4,6,7,8,9} and the effective-decoy
+  // clamp (catalog − 2 = 8) covers it deterministically. FixedRanking
+  // scores by id: items 6,7,8,9 outrank item 5 → rank 4.
+  auto d = Dataset::Create(1, 10, {{0, 0, 3.0f}, {0, 5, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  FixedRankingRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  std::vector<TestCase> test = {{0, 5, 5.0f}};
+  RecallProtocolOptions options;
+  options.num_decoys = 8;  // every unrated non-test item becomes a decoy
+  options.max_n = 10;
+  auto curve = EvaluateRecall(rec, *d, test, options);
+  ASSERT_TRUE(curve.ok());
+  // Items 6, 7, 8, 9 outrank item 5 → rank 4 → RR = 1/5.
+  EXPECT_NEAR(curve->mrr, 0.2, 1e-12);
+  // nDCG jumps from 0 to 1/log2(6) exactly at n = 5.
+  EXPECT_DOUBLE_EQ(curve->NdcgAt(4), 0.0);
+  EXPECT_NEAR(curve->NdcgAt(5), 1.0 / std::log2(6.0), 1e-12);
+}
+
+TEST(RecallProtocolTest, NdcgMonotoneAndBelowRecall) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.04));
+  ASSERT_TRUE(data.ok());
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(data->dataset).ok());
+  std::vector<TestCase> test;
+  for (UserId u = 0; u < 20; ++u) {
+    test.push_back({u, data->dataset.UserItems(u)[0], 5.0f});
+  }
+  RecallProtocolOptions options;
+  options.num_decoys = 80;
+  options.max_n = 20;
+  auto curve = EvaluateRecall(rec, data->dataset, test, options);
+  ASSERT_TRUE(curve.ok());
+  for (int n = 1; n <= 20; ++n) {
+    if (n > 1) EXPECT_GE(curve->NdcgAt(n), curve->NdcgAt(n - 1) - 1e-12);
+    // Each case's gain ≤ its hit indicator, so nDCG@n ≤ recall@n.
+    EXPECT_LE(curve->NdcgAt(n), curve->At(n) + 1e-12);
+  }
+  EXPECT_GE(curve->mrr, 0.0);
+  EXPECT_LE(curve->mrr, 1.0);
+}
+
+TEST(RecallProtocolTest, ThreadCountDoesNotChangeResults) {
+  // Decoys are drawn from a per-case RNG keyed by the case index, so the
+  // curve must be bit-identical at any parallelism.
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.04));
+  ASSERT_TRUE(data.ok());
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(data->dataset).ok());
+  std::vector<TestCase> test;
+  for (UserId u = 0; u < 25; ++u) {
+    test.push_back({u, data->dataset.UserItems(u)[0], 5.0f});
+  }
+  RecallProtocolOptions serial;
+  serial.num_decoys = 80;
+  serial.max_n = 10;
+  serial.num_threads = 1;
+  RecallProtocolOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto a = EvaluateRecall(rec, data->dataset, test, serial);
+  auto b = EvaluateRecall(rec, data->dataset, test, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int n = 1; n <= 10; ++n) {
+    EXPECT_DOUBLE_EQ(a->At(n), b->At(n)) << "N=" << n;
+  }
+}
+
+TEST(RecallProtocolTest, FailingRecommenderCasesAreSkipped) {
+  // A recommender that errors for some users must not sink the protocol;
+  // failed cases are excluded from the denominator.
+  class FlakyRecommender : public FixedRankingRecommender {
+   public:
+    Result<std::vector<double>> ScoreItems(
+        UserId user, std::span<const ItemId> items) const override {
+      if (user % 2 == 0) return Status::Internal("simulated failure");
+      return FixedRankingRecommender::ScoreItems(user, items);
+    }
+  };
+  auto d = Dataset::Create(4, 20, {{0, 0, 5.0f}, {1, 1, 5.0f},
+                                   {2, 2, 5.0f}, {3, 3, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  FlakyRecommender rec;
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  std::vector<TestCase> test = {
+      {0, 0, 5.0f}, {1, 1, 5.0f}, {2, 2, 5.0f}, {3, 3, 5.0f}};
+  RecallProtocolOptions options;
+  options.num_decoys = 5;
+  options.max_n = 5;
+  auto curve = EvaluateRecall(rec, *d, test, options);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->num_cases, 2);  // users 1 and 3 only
+}
+
+TEST(RecallProtocolTest, EmptyTestSetRejected) {
+  Dataset d = testing::MakeFigure2Dataset();
+  FixedRankingRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  EXPECT_FALSE(EvaluateRecall(rec, d, {}, {}).ok());
+}
+
+TEST(TopNListsTest, ComputesListsForAllUsers) {
+  Dataset d = testing::MakeFigure2Dataset();
+  FixedRankingRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  TopNListOptions options;
+  options.k = 3;
+  auto lists = ComputeTopNLists(rec, {0, 1, 2}, options);
+  ASSERT_TRUE(lists.ok());
+  EXPECT_EQ(lists->lists.size(), 3u);
+  for (const auto& list : lists->lists) {
+    EXPECT_LE(list.size(), 3u);
+    EXPECT_GE(list.size(), 1u);
+  }
+  EXPECT_GE(lists->seconds_per_user, 0.0);
+}
+
+TEST(PopularityAtNTest, MatchesManualAverages) {
+  Dataset d = testing::MakeFigure2Dataset();
+  TopNLists lists;
+  lists.lists = {{{testing::kM1, 0.0}, {testing::kM4, 0.0}},
+                 {{testing::kM3, 0.0}, {testing::kM4, 0.0}}};
+  const auto pop = PopularityAtN(d, lists, 2);
+  ASSERT_EQ(pop.size(), 2u);
+  // Position 1: (pop(M1)=3 + pop(M3)=4)/2 = 3.5.
+  EXPECT_DOUBLE_EQ(pop[0], 3.5);
+  // Position 2: (pop(M4)=1 + pop(M4)=1)/2 = 1.
+  EXPECT_DOUBLE_EQ(pop[1], 1.0);
+}
+
+TEST(PopularityAtNTest, ShortListsHandled) {
+  Dataset d = testing::MakeFigure2Dataset();
+  TopNLists lists;
+  lists.lists = {{{testing::kM1, 0.0}}, {}};
+  const auto pop = PopularityAtN(d, lists, 3);
+  EXPECT_DOUBLE_EQ(pop[0], 3.0);
+  EXPECT_DOUBLE_EQ(pop[1], 0.0);
+  EXPECT_DOUBLE_EQ(pop[2], 0.0);
+}
+
+TEST(DiversityTest, AllDistinctListsScoreHigh) {
+  Dataset d = testing::MakeFigure2Dataset();
+  TopNLists lists;
+  lists.lists = {{{0, 0.0}, {1, 0.0}}, {{2, 0.0}, {3, 0.0}}};
+  // 4 unique / min(2*2, 6) = 1.0.
+  EXPECT_DOUBLE_EQ(DiversityOfLists(d, lists, 2), 1.0);
+}
+
+TEST(DiversityTest, IdenticalListsScoreLow) {
+  Dataset d = testing::MakeFigure2Dataset();
+  TopNLists lists;
+  lists.lists = {{{0, 0.0}, {1, 0.0}}, {{0, 0.0}, {1, 0.0}}};
+  EXPECT_DOUBLE_EQ(DiversityOfLists(d, lists, 2), 0.5);
+}
+
+TEST(DiversityTest, DenominatorCappedByCatalog) {
+  // 3 users × k=10 = 30 > 6 items: denominator is the catalog size
+  // (the paper's MovieLens case in Table 2).
+  Dataset d = testing::MakeFigure2Dataset();
+  TopNLists lists;
+  lists.lists = {{{0, 0.0}, {1, 0.0}, {2, 0.0}},
+                 {{3, 0.0}, {4, 0.0}},
+                 {{5, 0.0}}};
+  EXPECT_DOUBLE_EQ(DiversityOfLists(d, lists, 10), 1.0);
+}
+
+TEST(SimilarityTest, OntologyPathSimilarityDrivesScore) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.02));
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  // For a user, an item in the same leaf as a rated item scores 1.
+  const UserId u = 0;
+  const ItemId rated = d.UserItems(u)[0];
+  ItemId same_leaf = -1;
+  for (ItemId i = 0; i < d.num_items(); ++i) {
+    if (i != rated && d.item_categories[i] == d.item_categories[rated]) {
+      same_leaf = i;
+      break;
+    }
+  }
+  if (same_leaf >= 0) {
+    EXPECT_DOUBLE_EQ(UserItemSimilarity(d, data->ontology, u, same_leaf),
+                     1.0);
+  }
+  // Every similarity is within [0, 1].
+  for (ItemId i = 0; i < std::min<ItemId>(d.num_items(), 50); ++i) {
+    const double s = UserItemSimilarity(d, data->ontology, u, i);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(SimilarityOfListsTest, AveragesOverUsersAndItems) {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.02));
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  std::vector<UserId> users = {0, 1};
+  TopNLists lists;
+  lists.lists = {{{0, 0.0}, {1, 0.0}}, {{2, 0.0}}};
+  const double sim = SimilarityOfLists(d, data->ontology, users, lists);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,148 @@
+#include "data/movielens_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+class MovieLensIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(MovieLensIoTest, ParsesDatFormat) {
+  const std::string path = TempPath("ratings.dat");
+  WriteFile(path,
+            "1::10::5::978300760\n"
+            "1::20::3::978300761\n"
+            "2::10::4::978300762\n");
+  auto d = LoadMovieLensRatings(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_users(), 2);
+  EXPECT_EQ(d->num_items(), 2);
+  EXPECT_EQ(d->num_ratings(), 3);
+  // First-seen remapping: raw user 1 → 0, raw item 10 → 0.
+  EXPECT_FLOAT_EQ(d->GetRating(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(d->GetRating(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(d->GetRating(1, 0), 4.0f);
+}
+
+TEST_F(MovieLensIoTest, ParsesCsvWithHeader) {
+  const std::string path = TempPath("ratings.csv");
+  WriteFile(path,
+            "userId,movieId,rating,timestamp\n"
+            "7,99,4.5,123\n"
+            "8,99,2.0,124\n");
+  MovieLensLoadOptions options;
+  options.dat_format = false;
+  auto d = LoadMovieLensRatings(path, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_users(), 2);
+  EXPECT_EQ(d->num_items(), 1);
+  EXPECT_FLOAT_EQ(d->GetRating(0, 0), 4.5f);
+}
+
+TEST_F(MovieLensIoTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.dat");
+  WriteFile(path, "1::10::5::0\n\n  \n2::10::3::0\n");
+  auto d = LoadMovieLensRatings(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_ratings(), 2);
+}
+
+TEST_F(MovieLensIoTest, MalformedLineFails) {
+  const std::string path = TempPath("bad.dat");
+  WriteFile(path, "1::10\n");
+  EXPECT_FALSE(LoadMovieLensRatings(path).ok());
+}
+
+TEST_F(MovieLensIoTest, NonNumericFieldFails) {
+  const std::string path = TempPath("nonnum.dat");
+  WriteFile(path, "abc::10::5::0\n");
+  EXPECT_FALSE(LoadMovieLensRatings(path).ok());
+}
+
+TEST_F(MovieLensIoTest, NonPositiveRatingFails) {
+  const std::string path = TempPath("zero.dat");
+  WriteFile(path, "1::10::0::0\n");
+  EXPECT_FALSE(LoadMovieLensRatings(path).ok());
+}
+
+TEST_F(MovieLensIoTest, MissingFileFails) {
+  auto d = LoadMovieLensRatings(TempPath("does_not_exist.dat"));
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(MovieLensIoTest, EmptyFileFails) {
+  const std::string path = TempPath("empty.dat");
+  WriteFile(path, "");
+  EXPECT_FALSE(LoadMovieLensRatings(path).ok());
+}
+
+TEST_F(MovieLensIoTest, MinUserRatingsFilterRemapsUsers) {
+  const std::string path = TempPath("filter.dat");
+  WriteFile(path,
+            "1::10::5::0\n"
+            "1::20::4::0\n"
+            "2::10::3::0\n"    // user 2 has only one rating
+            "3::20::2::0\n"
+            "3::10::5::0\n");
+  MovieLensLoadOptions options;
+  options.min_user_ratings = 2;
+  auto d = LoadMovieLensRatings(path, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_users(), 2);  // users 1 and 3 survive
+  EXPECT_EQ(d->num_ratings(), 4);
+  for (UserId u = 0; u < d->num_users(); ++u) {
+    EXPECT_GE(d->UserDegree(u), 2);
+  }
+}
+
+TEST_F(MovieLensIoTest, WriteLoadRoundTrip) {
+  Dataset original = testing::MakeFigure2Dataset();
+  const std::string path = TempPath("roundtrip.dat");
+  ASSERT_TRUE(WriteMovieLensRatings(original, path).ok());
+  auto loaded = LoadMovieLensRatings(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_users(), original.num_users());
+  EXPECT_EQ(loaded->num_items(), original.num_items());
+  EXPECT_EQ(loaded->num_ratings(), original.num_ratings());
+  // Users are written user-major so their ids survive the first-seen
+  // remap; items are re-labelled in first-seen order, so compare
+  // permutation-invariant structure instead of raw ids.
+  for (UserId u = 0; u < original.num_users(); ++u) {
+    EXPECT_EQ(loaded->UserDegree(u), original.UserDegree(u));
+    std::vector<float> a(original.UserValues(u).begin(),
+                         original.UserValues(u).end());
+    std::vector<float> b(loaded->UserValues(u).begin(),
+                         loaded->UserValues(u).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "user " << u;
+  }
+  std::vector<int> pop_a, pop_b;
+  for (ItemId i = 0; i < original.num_items(); ++i) {
+    pop_a.push_back(original.ItemPopularity(i));
+    pop_b.push_back(loaded->ItemPopularity(i));
+  }
+  std::sort(pop_a.begin(), pop_a.end());
+  std::sort(pop_b.begin(), pop_b.end());
+  EXPECT_EQ(pop_a, pop_b);
+}
+
+}  // namespace
+}  // namespace longtail

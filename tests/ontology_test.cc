@@ -1,0 +1,91 @@
+#include "data/ontology.h"
+
+#include <gtest/gtest.h>
+
+namespace longtail {
+namespace {
+
+CategoryOntology MakeSmall() {
+  auto ont = CategoryOntology::BuildBalanced({"Computer", "Fiction"}, 2, 3);
+  EXPECT_TRUE(ont.ok());
+  return std::move(ont).value();
+}
+
+TEST(OntologyTest, LeafCountMatchesShape) {
+  CategoryOntology ont = MakeSmall();
+  EXPECT_EQ(ont.num_leaves(), 2 * 2 * 3);
+}
+
+TEST(OntologyTest, SelfSimilarityIsOne) {
+  CategoryOntology ont = MakeSmall();
+  for (int32_t l = 0; l < ont.num_leaves(); ++l) {
+    EXPECT_DOUBLE_EQ(ont.PathSimilarity(l, l), 1.0);
+  }
+}
+
+TEST(OntologyTest, SiblingsShareTwoOfThreeLevels) {
+  // Leaves 0 and 1 are under the same Sub0 of Computer: prefix 2 of 3.
+  CategoryOntology ont = MakeSmall();
+  EXPECT_NEAR(ont.PathSimilarity(0, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(OntologyTest, CousinsShareOneLevel) {
+  // Leaf 0 (Computer/Sub0) vs leaf 3 (Computer/Sub1): share only "Computer".
+  CategoryOntology ont = MakeSmall();
+  EXPECT_NEAR(ont.PathSimilarity(0, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(OntologyTest, DifferentTopCategoriesShareNothing) {
+  // Leaf 0 (Computer) vs leaf 6 (Fiction).
+  CategoryOntology ont = MakeSmall();
+  EXPECT_DOUBLE_EQ(ont.PathSimilarity(0, 6), 0.0);
+}
+
+TEST(OntologyTest, SimilarityIsSymmetric) {
+  CategoryOntology ont = MakeSmall();
+  for (int32_t a = 0; a < ont.num_leaves(); ++a) {
+    for (int32_t b = 0; b < ont.num_leaves(); ++b) {
+      EXPECT_DOUBLE_EQ(ont.PathSimilarity(a, b), ont.PathSimilarity(b, a));
+    }
+  }
+}
+
+TEST(OntologyTest, PaperExampleRatio) {
+  // The paper's example: two books sharing "Book: Computer & Internet:
+  // Database" out of 4 levels score 2/4. Emulate with a depth-4 tree by
+  // treating our 3 levels: a sibling-sub pair scores 1/3 — structural
+  // analogue checked above; here verify the formula |prefix|/max(len)
+  // via LeafPath lengths.
+  CategoryOntology ont = MakeSmall();
+  const auto& path = ont.LeafPath(0);
+  EXPECT_EQ(path.size(), 3u);
+}
+
+TEST(OntologyTest, LeavesUnderTopPartitionTheLeaves) {
+  CategoryOntology ont = MakeSmall();
+  const auto computer = ont.LeavesUnderTop(0);
+  const auto fiction = ont.LeavesUnderTop(1);
+  EXPECT_EQ(computer.size(), 6u);
+  EXPECT_EQ(fiction.size(), 6u);
+  for (int32_t l : computer) {
+    EXPECT_EQ(ont.LeafPath(l)[0], "Computer");
+  }
+  for (int32_t l : fiction) {
+    EXPECT_EQ(ont.LeafPath(l)[0], "Fiction");
+  }
+}
+
+TEST(OntologyTest, LeafPathStringFormat) {
+  CategoryOntology ont = MakeSmall();
+  const std::string s = ont.LeafPathString(0);
+  EXPECT_EQ(s, "Computer: Computer/Sub0: Computer/Sub0/Leaf0");
+}
+
+TEST(OntologyTest, RejectsBadShapes) {
+  EXPECT_FALSE(CategoryOntology::BuildBalanced({}, 2, 2).ok());
+  EXPECT_FALSE(CategoryOntology::BuildBalanced({"A"}, 0, 2).ok());
+  EXPECT_FALSE(CategoryOntology::BuildBalanced({"A"}, 2, 0).ok());
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,145 @@
+#include "baselines/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+TEST(PageRankTest, PprVectorIsDistribution) {
+  Dataset d = MakeFigure2Dataset();
+  PageRankRecommender rec(/*discounted=*/false);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto ppr = rec.ComputePpr(testing::kU5);
+  ASSERT_TRUE(ppr.ok());
+  double total = 0.0;
+  for (double p : *ppr) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, RestartNodeHasLargestMass) {
+  Dataset d = MakeFigure2Dataset();
+  PageRankRecommender rec(/*discounted=*/false);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto ppr = rec.ComputePpr(testing::kU5);
+  ASSERT_TRUE(ppr.ok());
+  const BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  size_t argmax = 0;
+  for (size_t v = 1; v < ppr->size(); ++v) {
+    if ((*ppr)[v] > (*ppr)[argmax]) argmax = v;
+  }
+  EXPECT_EQ(argmax, static_cast<size_t>(g.UserNode(testing::kU5)));
+}
+
+TEST(PageRankTest, SatisfiesFixedPointEquation) {
+  // π = (1-λ) e + λ Pᵀ π.
+  Dataset d = MakeFigure2Dataset();
+  PageRankOptions options;
+  options.damping = 0.5;
+  options.tolerance = 1e-14;
+  PageRankRecommender rec(false, options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto ppr = rec.ComputePpr(testing::kU1);
+  ASSERT_TRUE(ppr.ok());
+  BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double in = 0.0;
+    for (size_t k = 0; k < g.Neighbors(v).size(); ++k) {
+      const NodeId src = g.Neighbors(v)[k];
+      const double w = g.Weights(v)[k];
+      in += (*ppr)[src] * w / g.WeightedDegree(src);
+    }
+    const double restart = v == g.UserNode(testing::kU1) ? 1.0 : 0.0;
+    EXPECT_NEAR((*ppr)[v], 0.5 * restart + 0.5 * in, 1e-9);
+  }
+}
+
+TEST(PageRankTest, PprPrefersPopularDpprPrefersNiche) {
+  // The paper's motivation for DPPR (Eq. 15): PPR ranks the popular M1
+  // above the niche M4 for U5; DPPR flips that.
+  Dataset d = MakeFigure2Dataset();
+  PageRankRecommender ppr(false);
+  PageRankRecommender dppr(true);
+  ASSERT_TRUE(ppr.Fit(d).ok());
+  ASSERT_TRUE(dppr.Fit(d).ok());
+  const std::vector<ItemId> items = {testing::kM1, testing::kM4};
+  auto s_ppr = ppr.ScoreItems(testing::kU5, items);
+  auto s_dppr = dppr.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(s_ppr.ok());
+  ASSERT_TRUE(s_dppr.ok());
+  EXPECT_GT((*s_ppr)[0], (*s_ppr)[1]);    // PPR: M1 > M4.
+  EXPECT_GT((*s_dppr)[1], (*s_dppr)[0]);  // DPPR: M4 > M1.
+}
+
+TEST(PageRankTest, DpprEqualsPprOverPopularity) {
+  Dataset d = MakeFigure2Dataset();
+  PageRankRecommender ppr(false);
+  PageRankRecommender dppr(true);
+  ASSERT_TRUE(ppr.Fit(d).ok());
+  ASSERT_TRUE(dppr.Fit(d).ok());
+  const std::vector<ItemId> items = {testing::kM1, testing::kM4, testing::kM5};
+  auto s_ppr = ppr.ScoreItems(testing::kU5, items);
+  auto s_dppr = dppr.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(s_ppr.ok());
+  ASSERT_TRUE(s_dppr.ok());
+  for (size_t k = 0; k < items.size(); ++k) {
+    EXPECT_NEAR((*s_dppr)[k],
+                (*s_ppr)[k] / d.ItemPopularity(items[k]), 1e-12);
+  }
+}
+
+TEST(PageRankTest, RestartAtItemsMode) {
+  Dataset d = MakeFigure2Dataset();
+  PageRankOptions options;
+  options.restart_at_items = true;
+  PageRankRecommender rec(false, options);
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto ppr = rec.ComputePpr(testing::kU5);
+  ASSERT_TRUE(ppr.ok());
+  double total = 0.0;
+  for (double p : *ppr) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  // Restart mass concentrates on the rated items rather than the user.
+  BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  EXPECT_GT((*ppr)[g.ItemNode(testing::kM3)], (*ppr)[g.UserNode(testing::kU1)]);
+}
+
+TEST(PageRankTest, RestartAtItemsColdStartFails) {
+  auto d = Dataset::Create(2, 1, {{0, 0, 5.0f}});
+  ASSERT_TRUE(d.ok());
+  PageRankOptions options;
+  options.restart_at_items = true;
+  PageRankRecommender rec(false, options);
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  EXPECT_FALSE(rec.ComputePpr(1).ok());
+}
+
+TEST(PageRankTest, InvalidDampingRejected) {
+  Dataset d = MakeFigure2Dataset();
+  PageRankOptions options;
+  options.damping = 1.5;
+  PageRankRecommender rec(false, options);
+  EXPECT_FALSE(rec.Fit(d).ok());
+}
+
+TEST(PageRankTest, TopKExcludesRatedAndUnreachable) {
+  auto d = Dataset::Create(2, 3, {{0, 0, 5.0f}, {0, 1, 3.0f}, {1, 2, 4.0f}});
+  ASSERT_TRUE(d.ok());
+  PageRankRecommender rec(false);
+  ASSERT_TRUE(rec.Fit(*d).ok());
+  auto top = rec.RecommendTopK(0, 3);
+  ASSERT_TRUE(top.ok());
+  // Item 2 is in a different component → unreachable; items 0/1 rated.
+  EXPECT_TRUE(top->empty());
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,69 @@
+#include "baselines/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+
+TEST(PopularityRecommenderTest, RanksByRatingCount) {
+  Dataset d = MakeFigure2Dataset();
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  // U5 rated M2, M3. Remaining popularities: M1=3, M5=2, M6=2, M4=1.
+  auto top = rec.RecommendTopK(testing::kU5, 4);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 4u);
+  EXPECT_EQ((*top)[0].item, testing::kM1);
+  EXPECT_EQ((*top)[3].item, testing::kM4);
+}
+
+TEST(PopularityRecommenderTest, ScoresAreCounts) {
+  Dataset d = MakeFigure2Dataset();
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const std::vector<ItemId> items = {testing::kM1, testing::kM4};
+  auto scores = rec.ScoreItems(testing::kU5, items);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*scores)[1], 1.0);
+}
+
+TEST(PopularityRecommenderTest, SameRankingForAllUsers) {
+  Dataset d = MakeFigure2Dataset();
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  const std::vector<ItemId> items = {testing::kM1, testing::kM4, testing::kM5};
+  auto s1 = rec.ScoreItems(testing::kU1, items);
+  auto s2 = rec.ScoreItems(testing::kU4, items);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST(PopularityRecommenderTest, ExcludesRated) {
+  Dataset d = MakeFigure2Dataset();
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  auto top = rec.RecommendTopK(testing::kU2, 6);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 1u);  // U2 rated 5 of 6 items.
+  EXPECT_EQ((*top)[0].item, testing::kM4);
+}
+
+TEST(PopularityRecommenderTest, ErrorsBeforeFitAndOnBadInput) {
+  PopularityRecommender rec;
+  EXPECT_FALSE(rec.RecommendTopK(0, 1).ok());
+  Dataset d = MakeFigure2Dataset();
+  ASSERT_TRUE(rec.Fit(d).ok());
+  EXPECT_FALSE(rec.Fit(d).ok());
+  EXPECT_FALSE(rec.RecommendTopK(17, 1).ok());
+  const std::vector<ItemId> bad = {-1};
+  EXPECT_FALSE(rec.ScoreItems(0, bad).ok());
+}
+
+}  // namespace
+}  // namespace longtail

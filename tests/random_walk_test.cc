@@ -1,0 +1,139 @@
+#include "graph/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/markov.h"
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+using testing::MakeStarDataset;
+
+TEST(StationaryDistributionTest, SumsToOne) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  const auto pi = StationaryDistribution(g);
+  double total = 0.0;
+  for (double p : pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StationaryDistributionTest, ProportionalToWeightedDegree) {
+  // Eq. 2: π_i = d_i / Σ d_j.
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  const auto pi = StationaryDistribution(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(pi[v], g.WeightedDegree(v) / g.TotalWeight(), 1e-12);
+  }
+}
+
+TEST(StationaryDistributionTest, IsFixedPointOfTransition) {
+  // πᵀ P = πᵀ for the reversible walk.
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  const auto pi = StationaryDistribution(g);
+  CsrMatrix p = TransitionMatrix(g);
+  std::vector<double> next;
+  p.MultiplyTranspose(pi, &next);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(next[v], pi[v], 1e-12);
+  }
+}
+
+TEST(TransitionMatrixTest, RowsAreStochastic) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  CsrMatrix p = TransitionMatrix(g);
+  for (int32_t r = 0; r < p.rows(); ++r) {
+    EXPECT_NEAR(p.RowSum(r), 1.0, 1e-12);
+  }
+}
+
+TEST(TransitionMatrixTest, TimeReversibility) {
+  // π_i p_ij = π_j p_ji (§3.3).
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  CsrMatrix p = TransitionMatrix(g);
+  const auto pi = StationaryDistribution(g);
+  for (int32_t i = 0; i < p.rows(); ++i) {
+    const auto idx = p.RowIndices(i);
+    const auto val = p.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int32_t j = idx[k];
+      EXPECT_NEAR(pi[i] * val[k], pi[j] * p.At(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(TransitionMatrixTest, WeightedProbabilities) {
+  // U5 rated M2=4 and M3=5: p(U5→M3) = 5/9.
+  Dataset d = MakeFigure2Dataset();
+  BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  CsrMatrix p = TransitionMatrix(g);
+  EXPECT_NEAR(p.At(g.UserNode(testing::kU5), g.ItemNode(testing::kM3)),
+              5.0 / 9.0, 1e-12);
+  EXPECT_NEAR(p.At(g.UserNode(testing::kU5), g.ItemNode(testing::kM2)),
+              4.0 / 9.0, 1e-12);
+}
+
+TEST(SimulatorTest, StepReachesOnlyNeighbors) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  RandomWalkSimulator sim(&g);
+  Rng rng(3);
+  const NodeId start = g.UserNode(testing::kU5);
+  for (int t = 0; t < 200; ++t) {
+    auto next = sim.Step(start, &rng);
+    ASSERT_TRUE(next.has_value());
+    const ItemId item = g.ItemOf(*next);
+    EXPECT_TRUE(item == testing::kM2 || item == testing::kM3);
+  }
+}
+
+TEST(SimulatorTest, StepFromIsolatedNodeIsNull) {
+  auto d = Dataset::Create(2, 1, {{0, 0, 1.0f}});
+  ASSERT_TRUE(d.ok());
+  BipartiteGraph g = BipartiteGraph::FromDataset(*d);
+  RandomWalkSimulator sim(&g);
+  Rng rng(4);
+  EXPECT_FALSE(sim.Step(g.UserNode(1), &rng).has_value());
+}
+
+TEST(SimulatorTest, MonteCarloMatchesAnalyticAbsorbingTime) {
+  // Star with 4 items, absorb at the user: every item is 1 step away.
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeStarDataset(4));
+  RandomWalkSimulator sim(&g);
+  std::vector<bool> absorbing(g.num_nodes(), false);
+  absorbing[g.UserNode(0)] = true;
+  Rng rng(5);
+  const double estimate =
+      sim.EstimateAbsorbingTime(g.ItemNode(2), absorbing, 2000, 1000, &rng);
+  EXPECT_NEAR(estimate, 1.0, 1e-9);
+}
+
+TEST(SimulatorTest, MonteCarloMatchesExactOnFigure2) {
+  Dataset d = MakeFigure2Dataset();
+  BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  std::vector<bool> absorbing(g.num_nodes(), false);
+  absorbing[g.UserNode(testing::kU5)] = true;
+  auto exact = AbsorbingTimeExact(g, absorbing);
+  ASSERT_TRUE(exact.ok());
+  RandomWalkSimulator sim(&g);
+  Rng rng(6);
+  const NodeId m4 = g.ItemNode(testing::kM4);
+  const double estimate =
+      sim.EstimateAbsorbingTime(m4, absorbing, 20000, 100000, &rng);
+  // Monte-Carlo within ~3 standard errors (std dev of absorption time is
+  // on the order of the mean here).
+  EXPECT_NEAR(estimate, (*exact)[m4], 0.06 * (*exact)[m4]);
+}
+
+TEST(SimulatorTest, WalkFromAbsorbingNodeTakesZeroSteps) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeStarDataset(3));
+  RandomWalkSimulator sim(&g);
+  std::vector<bool> absorbing(g.num_nodes(), true);
+  Rng rng(7);
+  auto steps = sim.WalkUntilAbsorbed(0, absorbing, 10, &rng);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_EQ(*steps, 0);
+}
+
+}  // namespace
+}  // namespace longtail

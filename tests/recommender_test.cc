@@ -1,0 +1,58 @@
+#include "core/recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+TEST(TopKScoredItemsTest, SortsByScoreDescending) {
+  auto top = TopKScoredItems({{0, 1.0}, {1, 3.0}, {2, 2.0}}, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].item, 1);
+  EXPECT_EQ(top[1].item, 2);
+  EXPECT_EQ(top[2].item, 0);
+}
+
+TEST(TopKScoredItemsTest, KeepsOnlyK) {
+  auto top = TopKScoredItems({{0, 1.0}, {1, 3.0}, {2, 2.0}, {3, 5.0}}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 3);
+  EXPECT_EQ(top[1].item, 1);
+}
+
+TEST(TopKScoredItemsTest, TiesBrokenByItemId) {
+  auto top = TopKScoredItems({{5, 1.0}, {2, 1.0}, {9, 1.0}}, 3);
+  EXPECT_EQ(top[0].item, 2);
+  EXPECT_EQ(top[1].item, 5);
+  EXPECT_EQ(top[2].item, 9);
+}
+
+TEST(TopKScoredItemsTest, KLargerThanInput) {
+  auto top = TopKScoredItems({{0, 1.0}}, 10);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(TopKScoredItemsTest, NegativeKIsEmpty) {
+  auto top = TopKScoredItems({{0, 1.0}}, -3);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(TopKScoredItemsTest, EmptyInput) {
+  auto top = TopKScoredItems({}, 5);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(CheckQueryUserTest, Validations) {
+  EXPECT_EQ(CheckQueryUser(nullptr, 0).code(),
+            StatusCode::kFailedPrecondition);
+  Dataset d = testing::MakeFigure2Dataset();
+  EXPECT_TRUE(CheckQueryUser(&d, 0).ok());
+  EXPECT_TRUE(CheckQueryUser(&d, 4).ok());
+  EXPECT_EQ(CheckQueryUser(&d, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CheckQueryUser(&d, -1).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,136 @@
+// Robustness: every parser/loader must return a clean Status on malformed
+// input — never crash, hang, or silently accept garbage.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/absorbing_time.h"
+#include "data/generator.h"
+#include "data/movielens_io.h"
+#include "data/serialization.h"
+#include "test_util.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace longtail {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string RandomBytes(Rng* rng, size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng->NextUint64(256));
+  return s;
+}
+
+TEST(RobustnessTest, MovieLensLoaderSurvivesRandomGarbage) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string path = TempPath("garbage.dat");
+    WriteBytes(path, RandomBytes(&rng, 64 + rng.NextUint64(512)));
+    auto result = LoadMovieLensRatings(path);  // Must not crash.
+    if (result.ok()) {
+      // Exceedingly unlikely, but if it parses it must be structurally sane.
+      EXPECT_GE(result->num_users(), 1);
+    }
+  }
+}
+
+TEST(RobustnessTest, DatasetLoaderSurvivesRandomGarbage) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string path = TempPath("garbage.ltds");
+    WriteBytes(path, RandomBytes(&rng, 64 + rng.NextUint64(512)));
+    auto result = LoadDatasetBinary(path);
+    EXPECT_FALSE(result.ok());  // magic check rejects random bytes
+  }
+}
+
+TEST(RobustnessTest, DatasetLoaderSurvivesHeaderWithGarbageBody) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string path = TempPath("magic_garbage.ltds");
+    WriteBytes(path, "LTDS0001" + RandomBytes(&rng, 32 + rng.NextUint64(256)));
+    auto result = LoadDatasetBinary(path);  // Must not crash or overalloc.
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(RobustnessTest, LdaLoaderSurvivesHeaderWithGarbageBody) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string path = TempPath("magic_garbage.ltlm");
+    WriteBytes(path, "LTLM0001" + RandomBytes(&rng, 32 + rng.NextUint64(256)));
+    auto result = LoadLdaModel(path);
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(RobustnessTest, FlagParserSurvivesHostileArgv) {
+  Rng rng(2028);
+  for (int trial = 0; trial < 50; ++trial) {
+    FlagParser parser;
+    int v = 0;
+    double d = 0;
+    bool b = false;
+    std::string s;
+    parser.AddInt("v", &v, "v");
+    parser.AddDouble("d", &d, "d");
+    parser.AddBool("b", &b, "b");
+    parser.AddString("s", &s, "s");
+    std::vector<std::string> storage = {"prog"};
+    const int n = 1 + static_cast<int>(rng.NextUint64(5));
+    for (int a = 0; a < n; ++a) {
+      std::string arg = rng.NextBool(0.7) ? "--" : "";
+      arg += RandomBytes(&rng, 1 + rng.NextUint64(12));
+      storage.push_back(std::move(arg));
+    }
+    std::vector<char*> argv;
+    for (auto& str : storage) argv.push_back(str.data());
+    parser.Parse(static_cast<int>(argv.size()), argv.data());  // No crash.
+  }
+}
+
+TEST(RobustnessTest, GeneratorHandlesDegenerateShapes) {
+  // One user, min-degree catalog.
+  SyntheticSpec spec;
+  spec.num_users = 1;
+  spec.num_items = 3;
+  spec.mean_user_degree = 3;
+  spec.min_user_degree = 3;
+  spec.max_user_degree = 3;
+  spec.num_genres = 1;
+  auto data = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dataset.num_ratings(), 3);
+
+  // Catalog exactly equals the degree floor for many users.
+  spec.num_users = 20;
+  auto data2 = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data2.ok());
+  for (UserId u = 0; u < 20; ++u) {
+    EXPECT_EQ(data2->dataset.UserDegree(u), 3);
+  }
+}
+
+TEST(RobustnessTest, EmptyCandidateListsAreFine) {
+  Dataset d = testing::MakeFigure2Dataset();
+  // ScoreItems with an empty span returns an empty vector for any
+  // recommender built on the base machinery.
+  AbsorbingTimeRecommender rec;
+  ASSERT_TRUE(rec.Fit(d).ok());
+  std::vector<ItemId> empty;
+  auto scores = rec.ScoreItems(testing::kU5, empty);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(scores->empty());
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,137 @@
+#include "linalg/solvers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace longtail {
+namespace {
+
+// A: substochastic 2x2 walk block; solve x = A x + b.
+CsrMatrix MakeContraction() {
+  // [[0, 0.5], [0.5, 0]]
+  auto m = CsrMatrix::FromTriplets(2, 2, {{0, 1, 0.5}, {1, 0, 0.5}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(FixedPointSolveTest, SolvesKnownSystem) {
+  // x0 = 0.5 x1 + 1, x1 = 0.5 x0 + 1 → x = (2, 2).
+  CsrMatrix a = MakeContraction();
+  std::vector<double> x;
+  auto report = FixedPointSolve(a, {1.0, 1.0}, &x);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-8);
+  EXPECT_NEAR(x[1], 2.0, 1e-8);
+}
+
+TEST(GaussSeidelSolveTest, SolvesKnownSystem) {
+  CsrMatrix a = MakeContraction();
+  std::vector<double> x;
+  auto report = GaussSeidelSolve(a, {1.0, 1.0}, &x);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-8);
+  EXPECT_NEAR(x[1], 2.0, 1e-8);
+}
+
+TEST(GaussSeidelSolveTest, HandlesDiagonalEntries) {
+  // x0 = 0.25 x0 + 0.5 x1 + 1; x1 = 0.5 x0 + 1.
+  // Solution: x0 = 0.75 x0... solve: x0 - 0.25x0 - 0.5x1 = 1 →
+  // 0.75 x0 - 0.5 x1 = 1; -0.5 x0 + x1 = 1 → x0 = 3, x1 = 2.5.
+  auto a = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 0.25}, {0, 1, 0.5}, {1, 0, 0.5}});
+  ASSERT_TRUE(a.ok());
+  std::vector<double> x;
+  auto report = GaussSeidelSolve(*a, {1.0, 1.0}, &x);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_NEAR(x[0], 3.0, 1e-8);
+  EXPECT_NEAR(x[1], 2.5, 1e-8);
+}
+
+TEST(GaussSeidelSolveTest, ConvergesFasterThanJacobi) {
+  CsrMatrix a = MakeContraction();
+  std::vector<double> x1, x2;
+  auto jacobi = FixedPointSolve(a, {1.0, 1.0}, &x1);
+  auto gs = GaussSeidelSolve(a, {1.0, 1.0}, &x2);
+  ASSERT_TRUE(jacobi.ok());
+  ASSERT_TRUE(gs.ok());
+  EXPECT_LE(gs->iterations, jacobi->iterations);
+}
+
+TEST(SolversTest, RejectNonSquare) {
+  auto a = CsrMatrix::FromTriplets(2, 3, {{0, 0, 0.5}});
+  ASSERT_TRUE(a.ok());
+  std::vector<double> x;
+  EXPECT_FALSE(FixedPointSolve(*a, {1.0, 1.0}, &x).ok());
+  EXPECT_FALSE(GaussSeidelSolve(*a, {1.0, 1.0}, &x).ok());
+  EXPECT_FALSE(ConjugateGradientSolve(*a, {1.0, 1.0}, &x).ok());
+}
+
+TEST(SolversTest, RejectRhsSizeMismatch) {
+  CsrMatrix a = MakeContraction();
+  std::vector<double> x;
+  EXPECT_FALSE(FixedPointSolve(a, {1.0}, &x).ok());
+}
+
+TEST(SolversTest, MaxIterationsReported) {
+  CsrMatrix a = MakeContraction();
+  std::vector<double> x;
+  SolverOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 1e-300;
+  auto report = FixedPointSolve(a, {1.0, 1.0}, &x, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->converged);
+  EXPECT_EQ(report->iterations, 2);
+}
+
+TEST(ConjugateGradientTest, SolvesSpdSystem) {
+  // [[4, 1], [1, 3]] x = [1, 2] → x = (1/11, 7/11).
+  auto a = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 4.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 3.0}});
+  ASSERT_TRUE(a.ok());
+  std::vector<double> x;
+  auto report = ConjugateGradientSolve(*a, {1.0, 2.0}, &x);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-8);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-8);
+}
+
+TEST(ConjugateGradientTest, ConvergesInAtMostNIterationsExactArithmetic) {
+  // CG on an n-dim SPD system converges in ≤ n iterations (plus rounding).
+  const int n = 20;
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, i, 4.0});
+    if (i + 1 < n) {
+      t.push_back({i, i + 1, 1.0});
+      t.push_back({i + 1, i, 1.0});
+    }
+  }
+  auto a = CsrMatrix::FromTriplets(n, n, std::move(t));
+  ASSERT_TRUE(a.ok());
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x;
+  auto report = ConjugateGradientSolve(*a, b, &x);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_LE(report->iterations, n + 2);
+  // Verify residual.
+  std::vector<double> ax;
+  a->Multiply(x, &ax);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-7);
+}
+
+TEST(ConjugateGradientTest, RejectsIndefiniteMatrix) {
+  auto a = CsrMatrix::FromTriplets(2, 2, {{0, 0, -1.0}, {1, 1, 1.0}});
+  ASSERT_TRUE(a.ok());
+  std::vector<double> x;
+  EXPECT_FALSE(ConjugateGradientSolve(*a, {1.0, 1.0}, &x).ok());
+}
+
+}  // namespace
+}  // namespace longtail

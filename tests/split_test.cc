@@ -1,0 +1,124 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "data/longtail_stats.h"
+
+namespace longtail {
+namespace {
+
+Dataset MakeCorpus() {
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.08));
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value().dataset;
+}
+
+TEST(SplitTest, TestCasesAreLongTailHighRatings) {
+  const Dataset full = MakeCorpus();
+  LongTailSplitOptions options;
+  options.num_test_cases = 100;
+  auto split = MakeLongTailSplit(full, options);
+  ASSERT_TRUE(split.ok());
+  EXPECT_GT(split->test.size(), 0u);
+  const auto tail = TailItemFlags(full, options.tail_rating_share);
+  for (const TestCase& c : split->test) {
+    EXPECT_GE(c.value, options.min_rating);
+    EXPECT_TRUE(tail[c.item]) << "test item not in the long tail";
+  }
+}
+
+TEST(SplitTest, HeldOutRatingsRemovedFromTrain) {
+  const Dataset full = MakeCorpus();
+  LongTailSplitOptions options;
+  options.num_test_cases = 100;
+  auto split = MakeLongTailSplit(full, options);
+  ASSERT_TRUE(split.ok());
+  for (const TestCase& c : split->test) {
+    EXPECT_FALSE(split->train.HasRating(c.user, c.item));
+    EXPECT_TRUE(full.HasRating(c.user, c.item));
+  }
+  EXPECT_EQ(split->train.num_ratings() + static_cast<int64_t>(split->test.size()),
+            full.num_ratings());
+}
+
+TEST(SplitTest, AtMostOneTestCasePerUser) {
+  const Dataset full = MakeCorpus();
+  LongTailSplitOptions options;
+  options.num_test_cases = 500;
+  auto split = MakeLongTailSplit(full, options);
+  ASSERT_TRUE(split.ok());
+  std::set<UserId> users;
+  for (const TestCase& c : split->test) {
+    EXPECT_TRUE(users.insert(c.user).second) << "duplicate user " << c.user;
+  }
+}
+
+TEST(SplitTest, UsersKeepMinimumDegree) {
+  const Dataset full = MakeCorpus();
+  LongTailSplitOptions options;
+  options.num_test_cases = 200;
+  options.min_remaining_user_degree = 5;
+  auto split = MakeLongTailSplit(full, options);
+  ASSERT_TRUE(split.ok());
+  for (const TestCase& c : split->test) {
+    EXPECT_GE(split->train.UserDegree(c.user), 5);
+  }
+}
+
+TEST(SplitTest, MetadataCopiedToTrain) {
+  const Dataset full = MakeCorpus();
+  LongTailSplitOptions options;
+  options.num_test_cases = 10;
+  auto split = MakeLongTailSplit(full, options);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.item_genres, full.item_genres);
+  EXPECT_EQ(split->train.item_categories, full.item_categories);
+  EXPECT_EQ(split->train.num_genres, full.num_genres);
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  const Dataset full = MakeCorpus();
+  LongTailSplitOptions options;
+  options.num_test_cases = 50;
+  auto s1 = MakeLongTailSplit(full, options);
+  auto s2 = MakeLongTailSplit(full, options);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s1->test.size(), s2->test.size());
+  for (size_t k = 0; k < s1->test.size(); ++k) {
+    EXPECT_EQ(s1->test[k].user, s2->test[k].user);
+    EXPECT_EQ(s1->test[k].item, s2->test[k].item);
+  }
+}
+
+TEST(SplitTest, ImpossibleThresholdFails) {
+  const Dataset full = MakeCorpus();
+  LongTailSplitOptions options;
+  options.min_rating = 99.0f;
+  EXPECT_FALSE(MakeLongTailSplit(full, options).ok());
+}
+
+TEST(SampleTestUsersTest, RespectsCountAndDegree) {
+  const Dataset full = MakeCorpus();
+  const auto users = SampleTestUsers(full, 50, 10, 1);
+  EXPECT_LE(users.size(), 50u);
+  for (UserId u : users) {
+    EXPECT_GE(full.UserDegree(u), 10);
+  }
+  std::set<UserId> unique(users.begin(), users.end());
+  EXPECT_EQ(unique.size(), users.size());
+}
+
+TEST(SampleTestUsersTest, CountLargerThanPopulation) {
+  auto d = Dataset::Create(3, 2,
+                           {{0, 0, 5.0f}, {1, 0, 4.0f}, {2, 1, 3.0f}});
+  ASSERT_TRUE(d.ok());
+  const auto users = SampleTestUsers(*d, 100, 1, 2);
+  EXPECT_EQ(users.size(), 3u);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,96 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace longtail {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 → 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, NegativeValues) {
+  RunningStat s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(PercentileTest, MedianOfOdd) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  // Sorted: 10, 20, 30, 40. p=25 → rank 0.75 → 17.5.
+  EXPECT_DOUBLE_EQ(Percentile({40.0, 10.0, 30.0, 20.0}, 25.0), 17.5);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5.0, 5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, TotalConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 100.0;
+  // Gini of one-holder distribution is (n-1)/n.
+  EXPECT_NEAR(GiniCoefficient(v), 0.99, 1e-9);
+}
+
+TEST(GiniTest, KnownSmallCase) {
+  // {1, 3}: Gini = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(GiniTest, ScaleInvariant) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 10.0};
+  std::vector<double> b = {10.0, 20.0, 30.0, 100.0};
+  EXPECT_NEAR(GiniCoefficient(a), GiniCoefficient(b), 1e-12);
+}
+
+TEST(GiniTest, AllZerosIsZero) {
+  EXPECT_EQ(GiniCoefficient({0.0, 0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace longtail

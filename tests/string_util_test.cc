@@ -1,0 +1,64 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace longtail {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiter) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitBySeparatorTest, MovieLensDoubleColon) {
+  EXPECT_EQ(SplitBySeparator("1::1193::5::978300760", "::"),
+            (std::vector<std::string>{"1", "1193", "5", "978300760"}));
+}
+
+TEST(SplitBySeparatorTest, EmptySeparatorReturnsWhole) {
+  EXPECT_EQ(SplitBySeparator("abc", ""), (std::vector<std::string>{"abc"}));
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.425, 3), "0.425");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatWithCommasTest, GroupsDigits) {
+  EXPECT_EQ(FormatWithCommas(13506215), "13,506,215");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("userId,movieId", "userId"));
+  EXPECT_FALSE(StartsWith("user", "userId"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,117 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+using testing::MakeFigure2Dataset;
+using testing::MakePathDataset;
+
+TEST(SubgraphTest, FullGraphWhenUncapped) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  SubgraphOptions options;
+  options.max_items = 0;  // no cap
+  Subgraph sub = ExtractSubgraph(g, {g.UserNode(testing::kU5)}, options);
+  // Figure 2's graph is connected, so everything is reached.
+  EXPECT_EQ(sub.users.size(), 5u);
+  EXPECT_EQ(sub.items.size(), 6u);
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+}
+
+TEST(SubgraphTest, SeedAlwaysIncluded) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  SubgraphOptions options;
+  options.max_items = 1;
+  Subgraph sub = ExtractSubgraph(g, {g.ItemNode(testing::kM4)}, options);
+  EXPECT_GE(sub.items.size(), 1u);
+  EXPECT_GE(sub.LocalItemNode(testing::kM4), 0);
+}
+
+TEST(SubgraphTest, RespectsItemCapApproximately) {
+  // The cap is checked after each insertion: item count stays within the
+  // cap + one BFS neighbor expansion.
+  auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.05));
+  ASSERT_TRUE(data.ok());
+  BipartiteGraph g = BipartiteGraph::FromDataset(data->dataset);
+  SubgraphOptions options;
+  options.max_items = 30;
+  Subgraph sub = ExtractSubgraph(g, {g.UserNode(0)}, options);
+  EXPECT_GE(static_cast<int32_t>(sub.items.size()), 1);
+  EXPECT_LE(static_cast<int32_t>(sub.items.size()), options.max_items + 1);
+}
+
+TEST(SubgraphTest, MappingsRoundTrip) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakeFigure2Dataset());
+  SubgraphOptions options;
+  options.max_items = 0;
+  Subgraph sub = ExtractSubgraph(g, {g.UserNode(testing::kU5)}, options);
+  for (size_t lu = 0; lu < sub.users.size(); ++lu) {
+    EXPECT_EQ(sub.LocalUserNode(sub.users[lu]), static_cast<NodeId>(lu));
+  }
+  for (size_t li = 0; li < sub.items.size(); ++li) {
+    EXPECT_EQ(sub.LocalItemNode(sub.items[li]),
+              static_cast<NodeId>(sub.users.size() + li));
+  }
+  EXPECT_EQ(sub.LocalUserNode(-1), -1);
+  EXPECT_EQ(sub.LocalItemNode(999), -1);
+}
+
+TEST(SubgraphTest, InducedWeightsMatchOriginal) {
+  Dataset d = MakeFigure2Dataset();
+  BipartiteGraph g = BipartiteGraph::FromDataset(d);
+  SubgraphOptions options;
+  options.max_items = 0;
+  Subgraph sub = ExtractSubgraph(g, {g.UserNode(testing::kU5)}, options);
+  // Every induced edge weight equals the original rating.
+  for (size_t lu = 0; lu < sub.users.size(); ++lu) {
+    const NodeId local = static_cast<NodeId>(lu);
+    const auto nbrs = sub.graph.Neighbors(local);
+    const auto wts = sub.graph.Weights(local);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const ItemId item = sub.items[sub.graph.ItemOf(nbrs[k])];
+      EXPECT_DOUBLE_EQ(wts[k], d.GetRating(sub.users[lu], item));
+    }
+  }
+}
+
+TEST(SubgraphTest, DisconnectedComponentExcluded) {
+  // Two components: {u0, i0} and {u1, i1}. BFS from u0 never reaches u1.
+  auto d = Dataset::Create(2, 2, {{0, 0, 1.0f}, {1, 1, 1.0f}});
+  ASSERT_TRUE(d.ok());
+  BipartiteGraph g = BipartiteGraph::FromDataset(*d);
+  SubgraphOptions options;
+  options.max_items = 0;
+  Subgraph sub = ExtractSubgraph(g, {g.UserNode(0)}, options);
+  EXPECT_EQ(sub.users.size(), 1u);
+  EXPECT_EQ(sub.items.size(), 1u);
+  EXPECT_EQ(sub.LocalUserNode(1), -1);
+  EXPECT_EQ(sub.LocalItemNode(1), -1);
+}
+
+TEST(SubgraphTest, BfsLevelsExpandOutward) {
+  // On a path graph, a small cap keeps only nearby nodes.
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakePathDataset(6));
+  SubgraphOptions options;
+  options.max_items = 2;
+  Subgraph sub = ExtractSubgraph(g, {g.UserNode(0)}, options);
+  // Items are i0..i4 along the path; the closest ones are kept.
+  EXPECT_GE(sub.LocalItemNode(0), 0);
+  EXPECT_EQ(sub.LocalItemNode(4), -1);
+}
+
+TEST(SubgraphTest, MultipleSeeds) {
+  BipartiteGraph g = BipartiteGraph::FromDataset(MakePathDataset(6));
+  SubgraphOptions options;
+  options.max_items = 1;
+  Subgraph sub = ExtractSubgraph(
+      g, {g.UserNode(0), g.UserNode(5)}, options);
+  EXPECT_GE(sub.LocalUserNode(0), 0);
+  EXPECT_GE(sub.LocalUserNode(5), 0);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,197 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace longtail {
+namespace {
+
+TEST(SvdTest, DiagonalMatrixExact) {
+  // diag(3, 2, 1) → singular values 3, 2, 1.
+  auto a = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 3.0}, {1, 1, 2.0}, {2, 2, 1.0}});
+  ASSERT_TRUE(a.ok());
+  SvdOptions options;
+  options.rank = 3;
+  options.oversample = 0;
+  auto svd = RandomizedSvd(*a, options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 3.0, 1e-8);
+  EXPECT_NEAR(svd->singular_values[1], 2.0, 1e-8);
+  EXPECT_NEAR(svd->singular_values[2], 1.0, 1e-8);
+}
+
+TEST(SvdTest, RankOneMatrixRecovered) {
+  // A = 2 * u vᵀ with u = e0+e1 (norm √2), v = e0 (norm 1) → σ = 2√2.
+  auto a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 2.0}, {1, 0, 2.0}});
+  ASSERT_TRUE(a.ok());
+  SvdOptions options;
+  options.rank = 2;
+  auto svd = RandomizedSvd(*a, options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 2.0 * std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(svd->singular_values[1], 0.0, 1e-8);
+}
+
+TEST(SvdTest, ReconstructionErrorSmallForLowRankMatrix) {
+  // Build a rank-3 random matrix (product of sparse random factors) and
+  // check rank-3 truncated SVD reconstructs it.
+  const int m = 40;
+  const int n = 30;
+  const int true_rank = 3;
+  Rng rng(1234);
+  std::vector<std::vector<double>> u(m, std::vector<double>(true_rank));
+  std::vector<std::vector<double>> v(n, std::vector<double>(true_rank));
+  for (auto& row : u) {
+    for (auto& x : row) x = rng.NextGaussian();
+  }
+  for (auto& row : v) {
+    for (auto& x : row) x = rng.NextGaussian();
+  }
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double val = 0.0;
+      for (int k = 0; k < true_rank; ++k) val += u[i][k] * v[j][k];
+      triplets.push_back({i, j, val});
+    }
+  }
+  auto a = CsrMatrix::FromTriplets(m, n, std::move(triplets));
+  ASSERT_TRUE(a.ok());
+
+  SvdOptions options;
+  options.rank = true_rank;
+  options.power_iterations = 3;
+  auto svd = RandomizedSvd(*a, options);
+  ASSERT_TRUE(svd.ok());
+
+  // || A - U Σ Vᵀ ||_F / || A ||_F should be tiny.
+  double err = 0.0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double approx = 0.0;
+      for (int k = 0; k < true_rank; ++k) {
+        approx += svd->u(i, k) * svd->singular_values[k] * svd->v(j, k);
+      }
+      const double diff = approx - a->At(i, j);
+      err += diff * diff;
+    }
+  }
+  EXPECT_LT(std::sqrt(err) / a->FrobeniusNorm(), 1e-6);
+}
+
+TEST(SvdTest, SingularVectorsOrthonormal) {
+  Rng rng(77);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 25; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      if (rng.NextDouble() < 0.3) {
+        triplets.push_back({i, j, rng.NextDouble(1.0, 5.0)});
+      }
+    }
+  }
+  auto a = CsrMatrix::FromTriplets(25, 20, std::move(triplets));
+  ASSERT_TRUE(a.ok());
+  SvdOptions options;
+  options.rank = 5;
+  auto svd = RandomizedSvd(*a, options);
+  ASSERT_TRUE(svd.ok());
+  for (int c1 = 0; c1 < 5; ++c1) {
+    for (int c2 = 0; c2 < 5; ++c2) {
+      double dot_u = 0.0;
+      for (int i = 0; i < 25; ++i) dot_u += svd->u(i, c1) * svd->u(i, c2);
+      double dot_v = 0.0;
+      for (int i = 0; i < 20; ++i) dot_v += svd->v(i, c1) * svd->v(i, c2);
+      const double expected = c1 == c2 ? 1.0 : 0.0;
+      EXPECT_NEAR(dot_u, expected, 1e-6);
+      EXPECT_NEAR(dot_v, expected, 1e-6);
+    }
+  }
+}
+
+TEST(SvdTest, SingularValuesDescending) {
+  Rng rng(99);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 30; ++j) {
+      if (rng.NextDouble() < 0.2) {
+        triplets.push_back({i, j, rng.NextDouble()});
+      }
+    }
+  }
+  auto a = CsrMatrix::FromTriplets(30, 30, std::move(triplets));
+  ASSERT_TRUE(a.ok());
+  SvdOptions options;
+  options.rank = 8;
+  auto svd = RandomizedSvd(*a, options);
+  ASSERT_TRUE(svd.ok());
+  for (int k = 1; k < 8; ++k) {
+    EXPECT_GE(svd->singular_values[k - 1], svd->singular_values[k] - 1e-12);
+  }
+}
+
+TEST(SvdTest, TopSingularValueMatchesPowerIteration) {
+  Rng rng(55);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 25; ++j) {
+      if (rng.NextDouble() < 0.25) {
+        triplets.push_back({i, j, rng.NextDouble(0.5, 3.0)});
+      }
+    }
+  }
+  auto a = CsrMatrix::FromTriplets(40, 25, std::move(triplets));
+  ASSERT_TRUE(a.ok());
+
+  // Reference: power iteration on AᵀA.
+  std::vector<double> v(25, 1.0);
+  std::vector<double> tmp, av;
+  double sigma = 0.0;
+  for (int it = 0; it < 500; ++it) {
+    a->Multiply(v, &tmp);
+    a->MultiplyTranspose(tmp, &av);
+    double norm = 0.0;
+    for (double x : av) norm += x * x;
+    norm = std::sqrt(norm);
+    for (size_t i = 0; i < av.size(); ++i) v[i] = av[i] / norm;
+    sigma = std::sqrt(norm);
+  }
+
+  SvdOptions options;
+  options.rank = 3;
+  options.power_iterations = 4;
+  auto svd = RandomizedSvd(*a, options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], sigma, sigma * 1e-4);
+}
+
+TEST(SvdTest, InvalidRankRejected) {
+  auto a = CsrMatrix::FromTriplets(3, 3, {{0, 0, 1.0}});
+  ASSERT_TRUE(a.ok());
+  SvdOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(RandomizedSvd(*a, options).ok());
+  options.rank = 4;
+  EXPECT_FALSE(RandomizedSvd(*a, options).ok());
+}
+
+TEST(SvdTest, DeterministicForFixedSeed) {
+  auto a = CsrMatrix::FromTriplets(
+      5, 4, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}, {3, 3, 4.0}, {4, 0, 1.0}});
+  ASSERT_TRUE(a.ok());
+  SvdOptions options;
+  options.rank = 2;
+  auto s1 = RandomizedSvd(*a, options);
+  auto s2 = RandomizedSvd(*a, options);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (int k = 0; k < 2; ++k) {
+    EXPECT_DOUBLE_EQ(s1->singular_values[k], s2->singular_values[k]);
+  }
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace longtail {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(
+      5, [&](size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  const size_t n = 100000;
+  std::atomic<long long> sum{0};
+  ParallelFor(n, [&](size_t i) { sum.fetch_add(static_cast<long long>(i)); });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, [&](size_t i) { hits[i].fetch_add(1); }, 64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,99 @@
+#include "eval/user_study.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/popularity.h"
+#include "core/absorbing_time.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+class UserStudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = GenerateSyntheticData(SyntheticSpec::MovieLensLike(0.04));
+    ASSERT_TRUE(data.ok());
+    corpus_ = new Dataset(std::move(data).value().dataset);
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static Dataset* corpus_;
+};
+
+Dataset* UserStudyTest::corpus_ = nullptr;
+
+UserStudyOptions FastStudy() {
+  UserStudyOptions options;
+  options.num_evaluators = 20;
+  options.k = 5;
+  options.min_degree = 10;
+  return options;
+}
+
+TEST_F(UserStudyTest, ScoresWithinScales) {
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(*corpus_).ok());
+  auto report = RunUserStudy(rec, *corpus_, FastStudy());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->preference, 1.0);
+  EXPECT_LE(report->preference, 5.0);
+  EXPECT_GE(report->novelty, 0.0);
+  EXPECT_LE(report->novelty, 1.0);
+  EXPECT_GE(report->serendipity, 1.0);
+  EXPECT_LE(report->serendipity, 5.0);
+  EXPECT_GE(report->score, 1.0);
+  EXPECT_LE(report->score, 5.0);
+  EXPECT_GT(report->items_evaluated, 0);
+}
+
+TEST_F(UserStudyTest, PopularRecommenderLacksNovelty) {
+  // Table 6's mechanism: head-item recommenders are already known to
+  // evaluators; the graph recommender surfaces unknown tail items.
+  PopularityRecommender popular;
+  ASSERT_TRUE(popular.Fit(*corpus_).ok());
+  GraphWalkOptions walk;
+  walk.iterations = 10;
+  AbsorbingTimeRecommender at(walk);
+  ASSERT_TRUE(at.Fit(*corpus_).ok());
+  auto pop_report = RunUserStudy(popular, *corpus_, FastStudy());
+  auto at_report = RunUserStudy(at, *corpus_, FastStudy());
+  ASSERT_TRUE(pop_report.ok());
+  ASSERT_TRUE(at_report.ok());
+  EXPECT_GT(at_report->novelty, pop_report->novelty);
+  EXPECT_GT(at_report->serendipity, pop_report->serendipity);
+}
+
+TEST_F(UserStudyTest, RequiresGroundTruthMetadata) {
+  Dataset bare = testing::MakeFigure2Dataset();  // No generator metadata.
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(bare).ok());
+  EXPECT_FALSE(RunUserStudy(rec, bare, FastStudy()).ok());
+}
+
+TEST_F(UserStudyTest, DeterministicForSeed) {
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(*corpus_).ok());
+  auto r1 = RunUserStudy(rec, *corpus_, FastStudy());
+  auto r2 = RunUserStudy(rec, *corpus_, FastStudy());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->preference, r2->preference);
+  EXPECT_DOUBLE_EQ(r1->novelty, r2->novelty);
+  EXPECT_DOUBLE_EQ(r1->serendipity, r2->serendipity);
+  EXPECT_DOUBLE_EQ(r1->score, r2->score);
+}
+
+TEST_F(UserStudyTest, ReportNamesTheAlgorithm) {
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(*corpus_).ok());
+  auto report = RunUserStudy(rec, *corpus_, FastStudy());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->algorithm, "MostPopular");
+}
+
+}  // namespace
+}  // namespace longtail
