@@ -7,6 +7,7 @@
 #include "util/logging.h"
 
 #include "baselines/pagerank.h"
+#include "core/absorbing_time.h"
 #include "core/entropy.h"
 #include "data/generator.h"
 #include "graph/markov.h"
@@ -45,6 +46,24 @@ void BM_BfsSubgraphExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsSubgraphExtraction)->Arg(100)->Arg(500)->Arg(0);
+
+// Same extraction through a reused WalkWorkspace: no global-sized lookup
+// tables are allocated per query, which is the batch engine's steady state.
+void BM_BfsSubgraphWorkspace(benchmark::State& state) {
+  const BipartiteGraph& g = Graph();
+  SubgraphOptions options;
+  options.max_items = static_cast<int32_t>(state.range(0));
+  WalkWorkspace workspace;
+  std::vector<NodeId> seeds(1);
+  UserId user = 0;
+  for (auto _ : state) {
+    seeds[0] = g.UserNode(user);
+    const Subgraph& sub = ExtractSubgraphInto(g, seeds, options, &workspace);
+    benchmark::DoNotOptimize(sub.items.size());
+    user = (user + 1) % g.num_users();
+  }
+}
+BENCHMARK(BM_BfsSubgraphWorkspace)->Arg(100)->Arg(500)->Arg(0);
 
 void BM_AbsorbingTimeTruncated(benchmark::State& state) {
   const BipartiteGraph& g = Graph();
@@ -107,6 +126,33 @@ void BM_PprQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PprQuery)->Unit(benchmark::kMillisecond);
+
+// End-to-end batched queries through the engine (workspace-reused walks on
+// the thread pool). Arg = worker threads; compare users/sec across args and
+// against BM_PprQuery-style single queries for the Table 5 story.
+void BM_BatchRecommend(benchmark::State& state) {
+  static AbsorbingTimeRecommender* rec = [] {
+    auto* r = new AbsorbingTimeRecommender();
+    LT_CHECK_OK(r->Fit(Corpus().dataset));
+    return r;
+  }();
+  const int num_users =
+      std::min<int>(64, Corpus().dataset.num_users());
+  std::vector<UserId> users(num_users);
+  for (int u = 0; u < num_users; ++u) users[u] = u;
+  BatchOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto lists = rec->RecommendBatch(users, 10, options);
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_users);
+}
+BENCHMARK(BM_BatchRecommend)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ItemEntropy(benchmark::State& state) {
   for (auto _ : state) {

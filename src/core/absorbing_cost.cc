@@ -35,15 +35,17 @@ Status AbsorbingCostRecommender::FitImpl() {
   return Status::OK();
 }
 
-std::vector<double> AbsorbingCostRecommender::NodeCosts(
-    const Subgraph& sub) const {
+void AbsorbingCostRecommender::NodeCosts(const Subgraph& sub,
+                                         std::vector<double>* costs) const {
   // Map global entropies onto the subgraph's local user ids, then build the
-  // per-node expected-immediate-cost vector of Eq. 9.
+  // per-node expected-immediate-cost vector of Eq. 9. The entropy staging
+  // vector is subgraph-sized, so this stays within the steady-state
+  // allocation budget (only global-sized tables are banned per query).
   std::vector<double> local_entropy(sub.users.size(), 0.0);
   for (size_t lu = 0; lu < sub.users.size(); ++lu) {
     local_entropy[lu] = user_entropy_[sub.users[lu]];
   }
-  return EntropyNodeCosts(sub.graph, local_entropy, resolved_jump_cost_);
+  EntropyNodeCostsInto(sub.graph, local_entropy, resolved_jump_cost_, costs);
 }
 
 }  // namespace longtail

@@ -62,7 +62,8 @@ class AbsorbingCostRecommender : public AbsorbingTimeRecommender {
 
  protected:
   Status FitImpl() override;
-  std::vector<double> NodeCosts(const Subgraph& sub) const override;
+  void NodeCosts(const Subgraph& sub,
+                 std::vector<double>* costs) const override;
 
  private:
   EntropySource source_;

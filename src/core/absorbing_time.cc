@@ -4,32 +4,30 @@
 
 namespace longtail {
 
-Result<std::vector<NodeId>> AbsorbingTimeRecommender::SeedNodes(
-    UserId user) const {
+Status AbsorbingTimeRecommender::SeedNodes(UserId user,
+                                           std::vector<NodeId>* seeds) const {
   const auto items = data_->UserItems(user);
   if (items.empty()) {
     return Status::FailedPrecondition("user " + std::to_string(user) +
                                       " has no ratings");
   }
-  std::vector<NodeId> seeds;
-  seeds.reserve(items.size() + 1);
+  seeds->reserve(items.size() + 1);
   // Seeding with S_q; the query user node is adjacent to all of S_q and
   // therefore joins the subgraph in the first BFS level, but including it
   // explicitly keeps the behaviour obvious.
-  seeds.push_back(graph_.UserNode(user));
-  for (ItemId item : items) seeds.push_back(graph_.ItemNode(item));
-  return seeds;
+  seeds->push_back(graph_.UserNode(user));
+  for (ItemId item : items) seeds->push_back(graph_.ItemNode(item));
+  return Status::OK();
 }
 
-std::vector<bool> AbsorbingTimeRecommender::AbsorbingFlags(const Subgraph& sub,
-                                                           UserId user) const {
-  std::vector<bool> absorbing(sub.graph.num_nodes(), false);
+void AbsorbingTimeRecommender::AbsorbingFlags(
+    const Subgraph& sub, UserId user, std::vector<bool>* absorbing) const {
+  absorbing->assign(sub.graph.num_nodes(), false);
   for (ItemId item : data_->UserItems(user)) {
     const NodeId local = sub.LocalItemNode(item);
     LT_CHECK_GE(local, 0) << "rated item must be in its own subgraph";
-    absorbing[local] = true;
+    (*absorbing)[local] = true;
   }
-  return absorbing;
 }
 
 }  // namespace longtail

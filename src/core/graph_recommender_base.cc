@@ -1,9 +1,27 @@
 #include "core/graph_recommender_base.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace longtail {
+
+namespace {
+
+/// Thread-local workspace backing the single-user query path, so ad-hoc
+/// RecommendTopK/ScoreItems calls get the same zero-allocation steady state
+/// as the batch engine. Deliberate trade-off: the buffers (O(global nodes))
+/// stay resident for the thread's lifetime and can outlive the recommender
+/// that sized them. Long-lived servers should prefer QueryBatch, whose
+/// workspaces live only for the batch.
+WalkWorkspace& LocalWorkspace() {
+  static thread_local WalkWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace
 
 Status GraphRecommenderBase::Fit(const Dataset& data) {
   if (data_ != nullptr) {
@@ -14,68 +32,144 @@ Status GraphRecommenderBase::Fit(const Dataset& data) {
   return FitImpl();
 }
 
-std::vector<double> GraphRecommenderBase::NodeCosts(const Subgraph& sub) const {
-  return std::vector<double>(sub.graph.num_nodes(), 1.0);
+void GraphRecommenderBase::NodeCosts(const Subgraph& sub,
+                                     std::vector<double>* costs) const {
+  costs->assign(sub.graph.num_nodes(), 1.0);
 }
 
-Result<GraphRecommenderBase::WalkValues> GraphRecommenderBase::ComputeWalk(
-    UserId user) const {
+Status GraphRecommenderBase::ComputeWalk(UserId user,
+                                         WalkWorkspace* ws) const {
   LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
-  LT_ASSIGN_OR_RETURN(std::vector<NodeId> seeds, SeedNodes(user));
-  if (seeds.empty()) {
+  ws->seeds.clear();
+  LT_RETURN_IF_ERROR(SeedNodes(user, &ws->seeds));
+  if (ws->seeds.empty()) {
     return Status::FailedPrecondition(
         "no seed nodes for user " + std::to_string(user) +
         " (cold-start users cannot be served by graph recommenders)");
   }
-  WalkValues out;
   SubgraphOptions sub_options;
   sub_options.max_items = options_.max_subgraph_items;
-  out.sub = ExtractSubgraph(graph_, seeds, sub_options);
-  const std::vector<bool> absorbing = AbsorbingFlags(out.sub, user);
-  const std::vector<double> costs = NodeCosts(out.sub);
+  const Subgraph& sub =
+      ExtractSubgraphInto(graph_, ws->seeds, sub_options, ws);
+  AbsorbingFlags(sub, user, &ws->absorbing);
+  NodeCosts(sub, &ws->node_costs);
   if (options_.exact) {
-    LT_ASSIGN_OR_RETURN(out.values, AbsorbingValueExact(out.sub.graph,
-                                                        absorbing, costs,
-                                                        options_.solver));
+    LT_RETURN_IF_ERROR(AbsorbingValueExactInto(sub.graph, ws->absorbing,
+                                               ws->node_costs,
+                                               options_.solver, &ws->values,
+                                               &ws->solver));
   } else {
-    out.values = AbsorbingValueTruncated(out.sub.graph, absorbing, costs,
-                                         options_.iterations);
+    AbsorbingValueTruncated(sub.graph, ws->absorbing, ws->node_costs,
+                            options_.iterations, &ws->values,
+                            &ws->dp_scratch);
   }
-  return out;
+  return Status::OK();
 }
 
-Result<std::vector<ScoredItem>> GraphRecommenderBase::RecommendTopK(
-    UserId user, int k) const {
-  LT_ASSIGN_OR_RETURN(WalkValues walk, ComputeWalk(user));
-  const int32_t num_local_users =
-      static_cast<int32_t>(walk.sub.users.size());
+Result<std::vector<ScoredItem>> GraphRecommenderBase::TopKFromWalk(
+    UserId user, int k, const WalkWorkspace& ws) const {
+  const Subgraph& sub = ws.sub();
+  const int32_t num_local_users = static_cast<int32_t>(sub.users.size());
   std::vector<ScoredItem> candidates;
-  candidates.reserve(walk.sub.items.size());
-  for (size_t li = 0; li < walk.sub.items.size(); ++li) {
-    const ItemId item = walk.sub.items[li];
+  candidates.reserve(sub.items.size());
+  for (size_t li = 0; li < sub.items.size(); ++li) {
+    const ItemId item = sub.items[li];
     if (data_->HasRating(user, item)) continue;
-    const double value = walk.values[num_local_users + static_cast<int32_t>(li)];
+    const double value = ws.values[num_local_users + static_cast<int32_t>(li)];
     if (!std::isfinite(value)) continue;  // Unreachable from absorbing set.
     candidates.push_back({item, -value});
   }
   return TopKScoredItems(std::move(candidates), k);
 }
 
-Result<std::vector<double>> GraphRecommenderBase::ScoreItems(
-    UserId user, std::span<const ItemId> items) const {
-  LT_ASSIGN_OR_RETURN(WalkValues walk, ComputeWalk(user));
+Result<std::vector<double>> GraphRecommenderBase::ScoresFromWalk(
+    std::span<const ItemId> items, const WalkWorkspace& ws) const {
+  const Subgraph& sub = ws.sub();
   std::vector<double> scores(items.size(), kUnreachableScore);
   for (size_t k = 0; k < items.size(); ++k) {
     const ItemId item = items[k];
     if (item < 0 || item >= data_->num_items()) {
       return Status::OutOfRange("candidate item id out of range");
     }
-    const NodeId local = walk.sub.LocalItemNode(item);
+    const NodeId local = sub.LocalItemNode(item);
     if (local < 0) continue;  // Outside the subgraph: unreachable.
-    const double value = walk.values[local];
+    const double value = ws.values[local];
     if (std::isfinite(value)) scores[k] = -value;
   }
   return scores;
+}
+
+Result<std::vector<ScoredItem>> GraphRecommenderBase::RecommendTopK(
+    UserId user, int k) const {
+  WalkWorkspace& ws = LocalWorkspace();
+  LT_RETURN_IF_ERROR(ComputeWalk(user, &ws));
+  return TopKFromWalk(user, k, ws);
+}
+
+Result<std::vector<double>> GraphRecommenderBase::ScoreItems(
+    UserId user, std::span<const ItemId> items) const {
+  WalkWorkspace& ws = LocalWorkspace();
+  LT_RETURN_IF_ERROR(ComputeWalk(user, &ws));
+  return ScoresFromWalk(items, ws);
+}
+
+UserQueryResult GraphRecommenderBase::RunQuery(const UserQuery& query,
+                                               WalkWorkspace* ws) const {
+  UserQueryResult out;
+  // An empty query requests nothing: skip the walk entirely and return OK,
+  // matching the default Recommender::QueryBatch (which never invokes the
+  // per-user virtuals for it).
+  if (query.top_k <= 0 && query.score_items.empty()) return out;
+  out.status = ComputeWalk(query.user, ws);
+  if (!out.status.ok()) return out;
+  if (query.top_k > 0) {
+    auto top = TopKFromWalk(query.user, query.top_k, *ws);
+    if (!top.ok()) {
+      out.status = top.status();
+      return out;
+    }
+    out.top_k = std::move(top).value();
+  }
+  if (!query.score_items.empty()) {
+    auto scores = ScoresFromWalk(query.score_items, *ws);
+    if (!scores.ok()) {
+      out.status = scores.status();
+      return out;
+    }
+    out.scores = std::move(scores).value();
+  }
+  return out;
+}
+
+std::vector<UserQueryResult> GraphRecommenderBase::QueryBatch(
+    std::span<const UserQuery> queries, const BatchOptions& options) const {
+  std::vector<UserQueryResult> results(queries.size());
+  const size_t n = queries.size();
+  if (n == 0) return results;
+  size_t num_threads = options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    WalkWorkspace ws;
+    for (size_t i = 0; i < n; ++i) results[i] = RunQuery(queries[i], &ws);
+    return results;
+  }
+  // One workspace per pool worker; queries are claimed one at a time so
+  // skewed subgraph sizes stay balanced across threads.
+  ThreadPool pool(num_threads);
+  std::atomic<size_t> next{0};
+  for (size_t t = 0; t < num_threads; ++t) {
+    pool.Submit([&] {
+      WalkWorkspace ws;
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        results[i] = RunQuery(queries[i], &ws);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
 }
 
 }  // namespace longtail

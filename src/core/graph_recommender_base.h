@@ -3,6 +3,12 @@
 // Query flow (Algorithm 1): seed nodes → BFS subgraph capped at µ item
 // nodes → truncated DP for τ iterations (or an exact linear solve when
 // configured) → rank items by smallest time/cost.
+//
+// All query state lives in a WalkWorkspace, so the per-query walk performs
+// no global-sized heap allocation in the steady state. Single-user calls
+// reuse a thread-local workspace; QueryBatch fans queries out over a
+// ThreadPool with one workspace per worker and serves the top-k and
+// candidate-scoring halves of a query from a single walk.
 #ifndef LONGTAIL_CORE_GRAPH_RECOMMENDER_BASE_H_
 #define LONGTAIL_CORE_GRAPH_RECOMMENDER_BASE_H_
 
@@ -30,8 +36,10 @@ struct GraphWalkOptions {
   SolverOptions solver;
 };
 
-/// Base class implementing Fit/RecommendTopK/ScoreItems on top of three
-/// hooks: seed nodes, absorbing flags, and per-node costs.
+/// Base class implementing Fit/RecommendTopK/ScoreItems/QueryBatch on top
+/// of three hooks: seed nodes, absorbing flags, and per-node costs. The
+/// hooks write into caller-owned buffers so the batch engine can reuse them
+/// across queries.
 class GraphRecommenderBase : public Recommender {
  public:
   Status Fit(const Dataset& data) override;
@@ -39,6 +47,14 @@ class GraphRecommenderBase : public Recommender {
                                                 int k) const override;
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
+
+  /// Batch engine: one walk per query (shared between the top-k and
+  /// scoring halves), executed on a ThreadPool with one WalkWorkspace per
+  /// worker. Results are bit-identical to the sequential per-user calls at
+  /// any thread count.
+  std::vector<UserQueryResult> QueryBatch(
+      std::span<const UserQuery> queries,
+      const BatchOptions& options = {}) const override;
 
   const GraphWalkOptions& options() const { return options_; }
   const BipartiteGraph& graph() const { return graph_; }
@@ -50,26 +66,34 @@ class GraphRecommenderBase : public Recommender {
   /// Extra training after the graph is built (entropies, LDA). Default none.
   virtual Status FitImpl() { return Status::OK(); }
 
-  /// Global node ids to seed the BFS subgraph for this query.
-  virtual Result<std::vector<NodeId>> SeedNodes(UserId user) const = 0;
+  /// Appends the global node ids seeding the BFS subgraph for this query
+  /// to `*seeds` (cleared by the caller).
+  virtual Status SeedNodes(UserId user, std::vector<NodeId>* seeds) const = 0;
 
-  /// Local absorbing flags on the extracted subgraph.
-  virtual std::vector<bool> AbsorbingFlags(const Subgraph& sub,
-                                           UserId user) const = 0;
+  /// Writes local absorbing flags on the extracted subgraph into
+  /// `*absorbing` (resized to the subgraph's node count).
+  virtual void AbsorbingFlags(const Subgraph& sub, UserId user,
+                              std::vector<bool>* absorbing) const = 0;
 
-  /// Local per-node immediate costs; default unit cost (absorbing *time*).
-  virtual std::vector<double> NodeCosts(const Subgraph& sub) const;
+  /// Writes local per-node immediate costs into `*costs`; default unit
+  /// cost (absorbing *time*).
+  virtual void NodeCosts(const Subgraph& sub,
+                         std::vector<double>* costs) const;
 
   const Dataset* data_ = nullptr;
   BipartiteGraph graph_;
   GraphWalkOptions options_;
 
  private:
-  struct WalkValues {
-    Subgraph sub;
-    std::vector<double> values;  // per local node; +inf = unreachable
-  };
-  Result<WalkValues> ComputeWalk(UserId user) const;
+  /// Runs Algorithm 1 for one user: subgraph into ws->sub(), per-local-node
+  /// values into ws->values (+inf = unreachable).
+  Status ComputeWalk(UserId user, WalkWorkspace* ws) const;
+  /// Serves one batched query from a single walk.
+  UserQueryResult RunQuery(const UserQuery& query, WalkWorkspace* ws) const;
+  Result<std::vector<ScoredItem>> TopKFromWalk(UserId user, int k,
+                                               const WalkWorkspace& ws) const;
+  Result<std::vector<double>> ScoresFromWalk(std::span<const ItemId> items,
+                                             const WalkWorkspace& ws) const;
 };
 
 }  // namespace longtail

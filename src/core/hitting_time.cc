@@ -4,22 +4,22 @@
 
 namespace longtail {
 
-Result<std::vector<NodeId>> HittingTimeRecommender::SeedNodes(
-    UserId user) const {
+Status HittingTimeRecommender::SeedNodes(UserId user,
+                                         std::vector<NodeId>* seeds) const {
   if (data_->UserDegree(user) == 0) {
     return Status::FailedPrecondition("user " + std::to_string(user) +
                                       " has no ratings");
   }
-  return std::vector<NodeId>{graph_.UserNode(user)};
+  seeds->push_back(graph_.UserNode(user));
+  return Status::OK();
 }
 
-std::vector<bool> HittingTimeRecommender::AbsorbingFlags(const Subgraph& sub,
-                                                         UserId user) const {
-  std::vector<bool> absorbing(sub.graph.num_nodes(), false);
+void HittingTimeRecommender::AbsorbingFlags(
+    const Subgraph& sub, UserId user, std::vector<bool>* absorbing) const {
+  absorbing->assign(sub.graph.num_nodes(), false);
   const NodeId local = sub.LocalUserNode(user);
   LT_CHECK_GE(local, 0) << "query user must be in its own subgraph";
-  absorbing[local] = true;
-  return absorbing;
+  (*absorbing)[local] = true;
 }
 
 }  // namespace longtail

@@ -21,9 +21,9 @@ class HittingTimeRecommender : public GraphRecommenderBase {
   std::string name() const override { return "HT"; }
 
  protected:
-  Result<std::vector<NodeId>> SeedNodes(UserId user) const override;
-  std::vector<bool> AbsorbingFlags(const Subgraph& sub,
-                                   UserId user) const override;
+  Status SeedNodes(UserId user, std::vector<NodeId>* seeds) const override;
+  void AbsorbingFlags(const Subgraph& sub, UserId user,
+                      std::vector<bool>* absorbing) const override;
 };
 
 }  // namespace longtail

@@ -2,7 +2,82 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
 namespace longtail {
+
+std::vector<UserQueryResult> Recommender::QueryBatch(
+    std::span<const UserQuery> queries, const BatchOptions& options) const {
+  std::vector<UserQueryResult> results(queries.size());
+  ParallelFor(
+      queries.size(),
+      [&](size_t idx) {
+        const UserQuery& q = queries[idx];
+        UserQueryResult& out = results[idx];
+        if (q.top_k > 0) {
+          auto top = RecommendTopK(q.user, q.top_k);
+          if (!top.ok()) {
+            out.status = top.status();
+            return;
+          }
+          out.top_k = std::move(top).value();
+        }
+        if (!q.score_items.empty()) {
+          auto scores = ScoreItems(q.user, q.score_items);
+          if (!scores.ok()) {
+            out.status = scores.status();
+            return;
+          }
+          out.scores = std::move(scores).value();
+        }
+      },
+      options.num_threads);
+  return results;
+}
+
+std::vector<Result<std::vector<ScoredItem>>> Recommender::RecommendBatch(
+    std::span<const UserId> users, int k, const BatchOptions& options) const {
+  std::vector<UserQuery> queries(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    queries[i].user = users[i];
+    queries[i].top_k = k;
+  }
+  std::vector<UserQueryResult> batch = QueryBatch(queries, options);
+  std::vector<Result<std::vector<ScoredItem>>> results;
+  results.reserve(batch.size());
+  for (UserQueryResult& r : batch) {
+    if (r.status.ok()) {
+      results.emplace_back(std::move(r.top_k));
+    } else {
+      results.emplace_back(std::move(r.status));
+    }
+  }
+  return results;
+}
+
+std::vector<Result<std::vector<double>>> Recommender::ScoreBatch(
+    std::span<const UserId> users,
+    std::span<const std::vector<ItemId>> items_per_user,
+    const BatchOptions& options) const {
+  LT_CHECK_EQ(users.size(), items_per_user.size());
+  std::vector<UserQuery> queries(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    queries[i].user = users[i];
+    queries[i].score_items = items_per_user[i];
+  }
+  std::vector<UserQueryResult> batch = QueryBatch(queries, options);
+  std::vector<Result<std::vector<double>>> results;
+  results.reserve(batch.size());
+  for (UserQueryResult& r : batch) {
+    if (r.status.ok()) {
+      results.emplace_back(std::move(r.scores));
+    } else {
+      results.emplace_back(std::move(r.status));
+    }
+  }
+  return results;
+}
 
 std::vector<ScoredItem> TopKScoredItems(std::vector<ScoredItem> candidates,
                                         int k) {

@@ -24,6 +24,32 @@ namespace longtail {
 /// (e.g. items outside the BFS subgraph). Ranks below every real score.
 inline constexpr double kUnreachableScore = -1e300;
 
+/// Options for the batch query engine.
+struct BatchOptions {
+  /// Worker threads: 0 = hardware concurrency, 1 = the calling thread only.
+  size_t num_threads = 0;
+};
+
+/// One user's request in a batch: top-k recommendations, scores for an
+/// explicit candidate list, or both. Graph recommenders serve both halves
+/// from a single subgraph walk instead of recomputing it per call.
+struct UserQuery {
+  UserId user = 0;
+  /// > 0 → fill UserQueryResult::top_k with up to this many items.
+  int top_k = 0;
+  /// Non-empty → fill UserQueryResult::scores, aligned with this span. The
+  /// referenced storage must outlive the QueryBatch call.
+  std::span<const ItemId> score_items;
+};
+
+/// Per-query outcome. A failed query (cold-start user, bad candidate id)
+/// carries its error here without failing the rest of the batch.
+struct UserQueryResult {
+  Status status;
+  std::vector<ScoredItem> top_k;
+  std::vector<double> scores;
+};
+
 /// Abstract recommender. Implementations are immutable after Fit and safe
 /// for concurrent queries from multiple threads.
 class Recommender {
@@ -44,6 +70,26 @@ class Recommender {
   /// Returns one score per candidate item (aligned with `items`).
   virtual Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const = 0;
+
+  /// Serves a batch of queries; results align with `queries`. The default
+  /// loops over the per-user virtuals (parallelised across the batch when
+  /// `options.num_threads != 1`, which the thread-safe-query contract
+  /// permits). GraphRecommenderBase overrides this with a fused walk per
+  /// query and per-worker reusable workspaces.
+  virtual std::vector<UserQueryResult> QueryBatch(
+      std::span<const UserQuery> queries,
+      const BatchOptions& options = {}) const;
+
+  /// Batch RecommendTopK: top-k lists for many users, aligned with `users`.
+  std::vector<Result<std::vector<ScoredItem>>> RecommendBatch(
+      std::span<const UserId> users, int k,
+      const BatchOptions& options = {}) const;
+
+  /// Batch ScoreItems: `items_per_user[i]` is scored for `users[i]`.
+  std::vector<Result<std::vector<double>>> ScoreBatch(
+      std::span<const UserId> users,
+      std::span<const std::vector<ItemId>> items_per_user,
+      const BatchOptions& options = {}) const;
 };
 
 /// Sorts candidates by (score desc, item id asc) and keeps the best k.

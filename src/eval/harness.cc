@@ -6,6 +6,7 @@
 #include "baselines/popularity.h"
 #include "core/absorbing_time.h"
 #include "core/hitting_time.h"
+#include "util/timer.h"
 
 namespace longtail {
 
@@ -16,9 +17,24 @@ const Recommender* AlgorithmSuite::Find(const std::string& name) const {
   return nullptr;
 }
 
+double AlgorithmSuite::FitSeconds(const std::string& name) const {
+  for (const auto& [alg, seconds] : fit_seconds) {
+    if (alg == name) return seconds;
+  }
+  return 0.0;
+}
+
 Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
                                         const SuiteOptions& options) {
   AlgorithmSuite suite;
+
+  // Times each Fit() so benches can report per-algorithm offline cost.
+  const auto timed_fit = [&suite, &train](Recommender* rec) -> Status {
+    WallTimer timer;
+    LT_RETURN_IF_ERROR(rec->Fit(train));
+    suite.fit_seconds.emplace_back(rec->name(), timer.ElapsedSeconds());
+    return Status::OK();
+  };
 
   AbsorbingCostOptions ac_options;
   ac_options.walk = options.walk;
@@ -28,28 +44,28 @@ Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
   // AC2 first: it trains the LDA model the LDA baseline will adopt.
   auto ac2 = std::make_unique<AbsorbingCostRecommender>(
       EntropySource::kTopicBased, ac_options);
-  LT_RETURN_IF_ERROR(ac2->Fit(train));
+  LT_RETURN_IF_ERROR(timed_fit(ac2.get()));
   auto lda_baseline = std::make_unique<LdaRecommender>(options.lda);
   lda_baseline->AdoptModel(*ac2->lda_model());
 
   auto ac1 = std::make_unique<AbsorbingCostRecommender>(
       EntropySource::kItemBased, ac_options);
-  LT_RETURN_IF_ERROR(ac1->Fit(train));
+  LT_RETURN_IF_ERROR(timed_fit(ac1.get()));
 
   auto at = std::make_unique<AbsorbingTimeRecommender>(options.walk);
-  LT_RETURN_IF_ERROR(at->Fit(train));
+  LT_RETURN_IF_ERROR(timed_fit(at.get()));
 
   auto ht = std::make_unique<HittingTimeRecommender>(options.walk);
-  LT_RETURN_IF_ERROR(ht->Fit(train));
+  LT_RETURN_IF_ERROR(timed_fit(ht.get()));
 
   auto dppr = std::make_unique<PageRankRecommender>(/*discounted=*/true,
                                                     options.ppr);
-  LT_RETURN_IF_ERROR(dppr->Fit(train));
+  LT_RETURN_IF_ERROR(timed_fit(dppr.get()));
 
   auto pure_svd = std::make_unique<PureSvdRecommender>(options.svd);
-  LT_RETURN_IF_ERROR(pure_svd->Fit(train));
+  LT_RETURN_IF_ERROR(timed_fit(pure_svd.get()));
 
-  LT_RETURN_IF_ERROR(lda_baseline->Fit(train));
+  LT_RETURN_IF_ERROR(timed_fit(lda_baseline.get()));
 
   suite.algorithms.push_back(std::move(ac2));
   suite.algorithms.push_back(std::move(ac1));
@@ -61,13 +77,13 @@ Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
 
   if (options.include_extra_baselines) {
     auto popular = std::make_unique<PopularityRecommender>();
-    LT_RETURN_IF_ERROR(popular->Fit(train));
+    LT_RETURN_IF_ERROR(timed_fit(popular.get()));
     suite.algorithms.push_back(std::move(popular));
     auto knn = std::make_unique<ItemKnnRecommender>();
-    LT_RETURN_IF_ERROR(knn->Fit(train));
+    LT_RETURN_IF_ERROR(timed_fit(knn.get()));
     suite.algorithms.push_back(std::move(knn));
     auto katz = std::make_unique<KatzRecommender>();
-    LT_RETURN_IF_ERROR(katz->Fit(train));
+    LT_RETURN_IF_ERROR(timed_fit(katz.get()));
     suite.algorithms.push_back(std::move(katz));
   }
   return suite;

@@ -31,9 +31,14 @@ struct SuiteOptions {
 /// A fitted suite, in the paper's reporting order.
 struct AlgorithmSuite {
   std::vector<std::unique_ptr<Recommender>> algorithms;
+  /// Wall-clock Fit() seconds per algorithm, keyed by reporting name
+  /// (offline cost; feeds the machine-readable bench reports).
+  std::vector<std::pair<std::string, double>> fit_seconds;
 
   /// Convenience lookup by reporting name; nullptr if absent.
   const Recommender* Find(const std::string& name) const;
+  /// Fit() seconds for a reporting name; 0 if unknown.
+  double FitSeconds(const std::string& name) const;
 };
 
 /// Builds AC2, AC1, AT, HT, DPPR, PureSVD, LDA (plus extras when enabled)

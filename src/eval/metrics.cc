@@ -36,64 +36,97 @@ Result<RecallCurve> EvaluateRecall(const Recommender& rec,
   std::vector<double> case_rr(num_cases, 0.0);
   std::atomic<int> failures{0};
 
-  ParallelFor(
-      num_cases,
-      [&](size_t idx) {
-        const TestCase& c = test[idx];
-        // Deterministic per-case RNG regardless of thread scheduling.
-        Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + idx);
-        // Sample decoys unrated by the user, excluding the test item.
-        std::unordered_set<ItemId> decoys;
-        decoys.reserve(effective_decoys * 2);
-        int64_t attempts = 0;
-        const int64_t max_attempts = 60LL * effective_decoys + 1000;
-        while (static_cast<int>(decoys.size()) < effective_decoys &&
-               attempts < max_attempts) {
-          ++attempts;
-          const ItemId cand =
-              static_cast<ItemId>(rng.NextUint64(train.num_items()));
-          if (cand == c.item || train.HasRating(c.user, cand)) continue;
-          decoys.insert(cand);
-        }
-        std::vector<ItemId> candidates(decoys.begin(), decoys.end());
-        candidates.push_back(c.item);
-        auto scores = rec.ScoreItems(c.user, candidates);
-        if (!scores.ok()) {
-          failures.fetch_add(1);
-          return;
-        }
-        const double test_score = scores->back();
-        int greater = 0;
-        int ties = 0;
-        for (size_t j = 0; j + 1 < scores->size(); ++j) {
-          if ((*scores)[j] > test_score) {
-            ++greater;
-          } else if ((*scores)[j] == test_score) {
-            ++ties;
+  // Cases run through the batch engine in bounded chunks so peak memory
+  // stays O(chunk * decoys) rather than O(num_cases * decoys) while the
+  // engine still shares per-worker walk workspaces across a whole chunk.
+  constexpr size_t kChunkCases = 1024;
+  BatchOptions batch_options;
+  batch_options.num_threads = options.num_threads;
+  std::vector<std::vector<ItemId>> candidates;
+  std::vector<UserQuery> queries;
+  for (size_t chunk_begin = 0; chunk_begin < num_cases;
+       chunk_begin += kChunkCases) {
+    const size_t chunk = std::min(kChunkCases, num_cases - chunk_begin);
+
+    // Stage 1: sample each case's decoy candidates (deterministic per-case
+    // RNG regardless of thread scheduling or chunking).
+    candidates.assign(chunk, {});
+    ParallelFor(
+        chunk,
+        [&](size_t i) {
+          const size_t idx = chunk_begin + i;
+          const TestCase& c = test[idx];
+          Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + idx);
+          // Sample decoys unrated by the user, excluding the test item.
+          std::unordered_set<ItemId> decoys;
+          decoys.reserve(effective_decoys * 2);
+          int64_t attempts = 0;
+          const int64_t max_attempts = 60LL * effective_decoys + 1000;
+          while (static_cast<int>(decoys.size()) < effective_decoys &&
+                 attempts < max_attempts) {
+            ++attempts;
+            const ItemId cand =
+                static_cast<ItemId>(rng.NextUint64(train.num_items()));
+            if (cand == c.item || train.HasRating(c.user, cand)) continue;
+            decoys.insert(cand);
           }
-        }
-        // Expected hit@N with the test item uniformly placed among its ties:
-        // P(rank < N) = clamp(N - greater, 0, ties+1) / (ties+1).
-        for (int n = 1; n <= options.max_n; ++n) {
-          const double numer =
-              std::clamp<double>(n - greater, 0.0, ties + 1.0);
-          case_hits[idx][n - 1] = numer / (ties + 1.0);
-        }
-        // Ranking-quality extensions (single relevant item per case).
-        // Exact expectation over the uniform tie placement: the item's
-        // 0-based rank is greater + t for t uniform in [0, ties].
-        double rr = 0.0;
-        for (int t = 0; t <= ties; ++t) {
-          const int rank = greater + t;
-          rr += 1.0 / (rank + 1);
-          const double gain = 1.0 / std::log2(rank + 2.0);
-          for (int n = rank + 1; n <= options.max_n; ++n) {
-            case_gains[idx][n - 1] += gain / (ties + 1.0);
+          candidates[i].assign(decoys.begin(), decoys.end());
+          candidates[i].push_back(c.item);
+        },
+        options.num_threads);
+
+    // Stage 2: one batched scoring pass per chunk.
+    queries.assign(chunk, {});
+    for (size_t i = 0; i < chunk; ++i) {
+      queries[i].user = test[chunk_begin + i].user;
+      queries[i].score_items = candidates[i];
+    }
+    const std::vector<UserQueryResult> scored =
+        rec.QueryBatch(queries, batch_options);
+
+    // Stage 3: fold each case's scores into the recall/nDCG/MRR curves.
+    ParallelFor(
+        chunk,
+        [&](size_t i) {
+          const size_t idx = chunk_begin + i;
+          if (!scored[i].status.ok()) {
+            failures.fetch_add(1);
+            return;
           }
-        }
-        case_rr[idx] = rr / (ties + 1);
-      },
-      options.num_threads);
+          const std::vector<double>& scores = scored[i].scores;
+          const double test_score = scores.back();
+          int greater = 0;
+          int ties = 0;
+          for (size_t j = 0; j + 1 < scores.size(); ++j) {
+            if (scores[j] > test_score) {
+              ++greater;
+            } else if (scores[j] == test_score) {
+              ++ties;
+            }
+          }
+          // Expected hit@N with the test item uniformly placed among its
+          // ties: P(rank < N) = clamp(N - greater, 0, ties+1) / (ties+1).
+          for (int n = 1; n <= options.max_n; ++n) {
+            const double numer =
+                std::clamp<double>(n - greater, 0.0, ties + 1.0);
+            case_hits[idx][n - 1] = numer / (ties + 1.0);
+          }
+          // Ranking-quality extensions (single relevant item per case).
+          // Exact expectation over the uniform tie placement: the item's
+          // 0-based rank is greater + t for t uniform in [0, ties].
+          double rr = 0.0;
+          for (int t = 0; t <= ties; ++t) {
+            const int rank = greater + t;
+            rr += 1.0 / (rank + 1);
+            const double gain = 1.0 / std::log2(rank + 2.0);
+            for (int n = rank + 1; n <= options.max_n; ++n) {
+              case_gains[idx][n - 1] += gain / (ties + 1.0);
+            }
+          }
+          case_rr[idx] = rr / (ties + 1);
+        },
+        options.num_threads);
+  }
 
   const int ok_cases = static_cast<int>(num_cases) - failures.load();
   if (ok_cases <= 0) {
@@ -125,15 +158,16 @@ Result<TopNLists> ComputeTopNLists(const Recommender& rec,
   }
   TopNLists out;
   out.lists.assign(users.size(), {});
+  BatchOptions batch_options;
+  batch_options.num_threads = options.num_threads;
   WallTimer timer;
-  ParallelFor(
-      users.size(),
-      [&](size_t idx) {
-        auto result = rec.RecommendTopK(users[idx], options.k);
-        if (result.ok()) out.lists[idx] = std::move(result).value();
-      },
-      options.num_threads);
+  std::vector<Result<std::vector<ScoredItem>>> results =
+      rec.RecommendBatch(users, options.k, batch_options);
   out.seconds_per_user = timer.ElapsedSeconds() / users.size();
+  for (size_t idx = 0; idx < results.size(); ++idx) {
+    // Failed users (cold start) keep an empty list, as before.
+    if (results[idx].ok()) out.lists[idx] = std::move(results[idx]).value();
+  }
   return out;
 }
 

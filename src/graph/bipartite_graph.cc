@@ -50,6 +50,44 @@ BipartiteGraph BipartiteGraph::FromDataset(const Dataset& data,
   return g;
 }
 
+void BipartiteGraph::BeginAssign(int32_t num_users, int32_t num_items,
+                                 std::span<const int32_t> degrees) {
+  num_users_ = num_users;
+  num_items_ = num_items;
+  const int32_t n = num_nodes();
+  LT_CHECK_EQ(static_cast<size_t>(n), degrees.size());
+  ptr_.resize(n + 1);
+  ptr_[0] = 0;
+  for (int32_t v = 0; v < n; ++v) ptr_[v + 1] = ptr_[v] + degrees[v];
+  adj_.resize(ptr_[n]);
+  weights_.resize(ptr_[n]);
+  fill_.assign(ptr_.begin(), ptr_.end() - 1);
+  num_edges_ = 0;
+  total_weight_ = 0.0;
+}
+
+void BipartiteGraph::AssignEdge(NodeId a, NodeId b, double weight) {
+  adj_[fill_[a]] = b;
+  weights_[fill_[a]] = weight;
+  ++fill_[a];
+  adj_[fill_[b]] = a;
+  weights_[fill_[b]] = weight;
+  ++fill_[b];
+  ++num_edges_;
+}
+
+void BipartiteGraph::FinishAssign() {
+  const int32_t n = num_nodes();
+  weighted_degree_.resize(n);
+  for (int32_t v = 0; v < n; ++v) {
+    LT_CHECK_EQ(fill_[v], ptr_[v + 1]) << "node " << v << " under-filled";
+    double d = 0.0;
+    for (int64_t k = ptr_[v]; k < ptr_[v + 1]; ++k) d += weights_[k];
+    weighted_degree_[v] = d;
+    total_weight_ += d;
+  }
+}
+
 BipartiteGraph BipartiteGraph::FromAdjacency(
     int32_t num_users, int32_t num_items,
     const std::vector<std::vector<std::pair<NodeId, double>>>& adjacency) {

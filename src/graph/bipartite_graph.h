@@ -29,6 +29,18 @@ class BipartiteGraph {
       int32_t num_users, int32_t num_items,
       const std::vector<std::vector<std::pair<NodeId, double>>>& adjacency);
 
+  /// In-place rebuild, reusing existing storage (the batch query engine
+  /// rebuilds a per-query induced subgraph into the same object thousands
+  /// of times). `degrees[n]` is the number of adjacency entries node n will
+  /// receive. After BeginAssign, add each undirected edge exactly once with
+  /// AssignEdge (both directions are written), then call FinishAssign to
+  /// compute weighted degrees. No allocation occurs once capacity has grown
+  /// to the largest subgraph seen.
+  void BeginAssign(int32_t num_users, int32_t num_items,
+                   std::span<const int32_t> degrees);
+  void AssignEdge(NodeId a, NodeId b, double weight);
+  void FinishAssign();
+
   int32_t num_users() const { return num_users_; }
   int32_t num_items() const { return num_items_; }
   int32_t num_nodes() const { return num_users_ + num_items_; }
@@ -68,6 +80,8 @@ class BipartiteGraph {
   std::vector<NodeId> adj_;
   std::vector<double> weights_;
   std::vector<double> weighted_degree_;
+  /// Per-node write cursors, live only between BeginAssign and FinishAssign.
+  std::vector<int64_t> fill_;
 };
 
 }  // namespace longtail

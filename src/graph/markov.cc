@@ -1,8 +1,8 @@
 #include "graph/markov.h"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
-#include <queue>
 
 #include "util/logging.h"
 
@@ -11,42 +11,46 @@ namespace longtail {
 namespace {
 
 // Marks nodes that can reach the absorbing set (reverse BFS — the graph is
-// undirected so forward reachability equals reverse reachability).
-std::vector<bool> ReachableFromAbsorbing(const BipartiteGraph& g,
-                                         const std::vector<bool>& absorbing) {
+// undirected so forward reachability equals reverse reachability). Fills
+// `*reach` (1 = reachable); `*queue` is scratch storage.
+void ReachableFromAbsorbing(const BipartiteGraph& g,
+                            const std::vector<bool>& absorbing,
+                            std::vector<uint8_t>* reach,
+                            std::vector<NodeId>* queue) {
   const int32_t n = g.num_nodes();
-  std::vector<bool> reach(n, false);
-  std::queue<NodeId> queue;
+  reach->assign(n, 0);
+  queue->clear();
   for (int32_t v = 0; v < n; ++v) {
     if (absorbing[v]) {
-      reach[v] = true;
-      queue.push(v);
+      (*reach)[v] = 1;
+      queue->push_back(v);
     }
   }
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop();
+  for (size_t head = 0; head < queue->size(); ++head) {
+    const NodeId v = (*queue)[head];
     for (NodeId nbr : g.Neighbors(v)) {
-      if (!reach[nbr]) {
-        reach[nbr] = true;
-        queue.push(nbr);
+      if (!(*reach)[nbr]) {
+        (*reach)[nbr] = 1;
+        queue->push_back(nbr);
       }
     }
   }
-  return reach;
 }
 
 }  // namespace
 
-std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,
-                                            const std::vector<bool>& absorbing,
-                                            const std::vector<double>& node_cost,
-                                            int iterations) {
+void AbsorbingValueTruncated(const BipartiteGraph& g,
+                             const std::vector<bool>& absorbing,
+                             const std::vector<double>& node_cost,
+                             int iterations, std::vector<double>* value_out,
+                             std::vector<double>* scratch) {
   const int32_t n = g.num_nodes();
   LT_CHECK_EQ(static_cast<size_t>(n), absorbing.size());
   LT_CHECK_EQ(static_cast<size_t>(n), node_cost.size());
-  std::vector<double> value(n, 0.0);
-  std::vector<double> next(n, 0.0);
+  std::vector<double>& value = *value_out;
+  std::vector<double>& next = *scratch;
+  value.assign(n, 0.0);
+  next.assign(n, 0.0);
   for (int t = 0; t < iterations; ++t) {
     for (int32_t v = 0; v < n; ++v) {
       if (absorbing[v]) {
@@ -69,12 +73,25 @@ std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,
     }
     value.swap(next);
   }
+}
+
+std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,
+                                            const std::vector<bool>& absorbing,
+                                            const std::vector<double>& node_cost,
+                                            int iterations) {
+  std::vector<double> value;
+  std::vector<double> scratch;
+  AbsorbingValueTruncated(g, absorbing, node_cost, iterations, &value,
+                          &scratch);
   return value;
 }
 
-Result<std::vector<double>> AbsorbingValueExact(
-    const BipartiteGraph& g, const std::vector<bool>& absorbing,
-    const std::vector<double>& node_cost, const SolverOptions& options) {
+Status AbsorbingValueExactInto(const BipartiteGraph& g,
+                               const std::vector<bool>& absorbing,
+                               const std::vector<double>& node_cost,
+                               const SolverOptions& options,
+                               std::vector<double>* value_out,
+                               SolverScratch* scratch) {
   const int32_t n = g.num_nodes();
   if (absorbing.size() != static_cast<size_t>(n) ||
       node_cost.size() != static_cast<size_t>(n)) {
@@ -86,12 +103,14 @@ Result<std::vector<double>> AbsorbingValueExact(
   if (!any_absorbing) {
     return Status::InvalidArgument("absorbing set must be non-empty");
   }
-  const std::vector<bool> reach = ReachableFromAbsorbing(g, absorbing);
+  ReachableFromAbsorbing(g, absorbing, &scratch->flags, &scratch->queue);
+  const std::vector<uint8_t>& reach = scratch->flags;
 
   // Gauss–Seidel directly on the graph (avoids materializing P):
   //   V(i) ← node_cost(i) + Σ_j p_ij V(j)
   // over transient reachable nodes. Self-loops do not occur (bipartite).
-  std::vector<double> value(n, 0.0);
+  std::vector<double>& value = *value_out;
+  value.assign(n, 0.0);
   const double inf = std::numeric_limits<double>::infinity();
   for (int32_t v = 0; v < n; ++v) {
     if (!reach[v] && !absorbing[v]) value[v] = inf;
@@ -122,6 +141,16 @@ Result<std::vector<double>> AbsorbingValueExact(
                             std::to_string(it) + " iterations (delta=" +
                             std::to_string(delta) + ")");
   }
+  return Status::OK();
+}
+
+Result<std::vector<double>> AbsorbingValueExact(
+    const BipartiteGraph& g, const std::vector<bool>& absorbing,
+    const std::vector<double>& node_cost, const SolverOptions& options) {
+  std::vector<double> value;
+  SolverScratch scratch;
+  LT_RETURN_IF_ERROR(AbsorbingValueExactInto(g, absorbing, node_cost, options,
+                                             &value, &scratch));
   return value;
 }
 
@@ -150,12 +179,13 @@ Result<std::vector<double>> HittingTimeExact(const BipartiteGraph& g,
   return AbsorbingTimeExact(g, absorbing, options);
 }
 
-std::vector<double> EntropyNodeCosts(const BipartiteGraph& g,
-                                     const std::vector<double>& user_entropy,
-                                     double user_jump_cost) {
+void EntropyNodeCostsInto(const BipartiteGraph& g,
+                          const std::vector<double>& user_entropy,
+                          double user_jump_cost, std::vector<double>* cost_out) {
   LT_CHECK_EQ(static_cast<size_t>(g.num_users()), user_entropy.size());
   const int32_t n = g.num_nodes();
-  std::vector<double> cost(n, 0.0);
+  std::vector<double>& cost = *cost_out;
+  cost.assign(n, 0.0);
   for (int32_t v = 0; v < n; ++v) {
     if (g.IsUserNode(v)) {
       cost[v] = user_jump_cost;
@@ -175,6 +205,13 @@ std::vector<double> EntropyNodeCosts(const BipartiteGraph& g,
     }
     cost[v] = acc / d;
   }
+}
+
+std::vector<double> EntropyNodeCosts(const BipartiteGraph& g,
+                                     const std::vector<double>& user_entropy,
+                                     double user_jump_cost) {
+  std::vector<double> cost;
+  EntropyNodeCostsInto(g, user_entropy, user_jump_cost, &cost);
   return cost;
 }
 

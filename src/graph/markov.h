@@ -34,6 +34,15 @@ std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,
                                             const std::vector<double>& node_cost,
                                             int iterations);
 
+/// Workspace flavour: identical sweep, but the result lands in `*value` and
+/// the double-buffer lives in `*scratch`, both reused across queries by the
+/// batch engine (no allocation once capacity has grown).
+void AbsorbingValueTruncated(const BipartiteGraph& g,
+                             const std::vector<bool>& absorbing,
+                             const std::vector<double>& node_cost,
+                             int iterations, std::vector<double>* value,
+                             std::vector<double>* scratch);
+
 /// Exact fixed point of the same recurrence via Gauss–Seidel on the
 /// transient block. Requires every non-absorbing node to reach the absorbing
 /// set; nodes that cannot reach it make the system singular, so they are
@@ -41,6 +50,15 @@ std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,
 Result<std::vector<double>> AbsorbingValueExact(
     const BipartiteGraph& g, const std::vector<bool>& absorbing,
     const std::vector<double>& node_cost, const SolverOptions& options = {});
+
+/// Workspace flavour of AbsorbingValueExact: writes the fixed point into
+/// `*value`; reachability markers and queue storage come from `*scratch`.
+Status AbsorbingValueExactInto(const BipartiteGraph& g,
+                               const std::vector<bool>& absorbing,
+                               const std::vector<double>& node_cost,
+                               const SolverOptions& options,
+                               std::vector<double>* value,
+                               SolverScratch* scratch);
 
 /// Convenience: absorbing *time* (unit cost). Truncated flavour.
 std::vector<double> AbsorbingTimeTruncated(const BipartiteGraph& g,
@@ -67,6 +85,12 @@ Result<std::vector<double>> HittingTimeExact(const BipartiteGraph& g,
 std::vector<double> EntropyNodeCosts(const BipartiteGraph& g,
                                      const std::vector<double>& user_entropy,
                                      double user_jump_cost);
+
+/// Workspace flavour: writes the cost vector into `*cost` (resized to
+/// num_nodes), reusing its capacity across queries.
+void EntropyNodeCostsInto(const BipartiteGraph& g,
+                          const std::vector<double>& user_entropy,
+                          double user_jump_cost, std::vector<double>* cost);
 
 }  // namespace longtail
 

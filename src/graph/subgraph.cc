@@ -1,12 +1,13 @@
 #include "graph/subgraph.h"
 
-#include <queue>
+#include <algorithm>
 
 #include "util/logging.h"
 
 namespace longtail {
 
 NodeId Subgraph::LocalUserNode(UserId global_user) const {
+  if (workspace_ != nullptr) return workspace_->LocalUser(global_user);
   if (global_user < 0 ||
       global_user >= static_cast<int32_t>(global_user_to_local.size())) {
     return -1;
@@ -15,6 +16,7 @@ NodeId Subgraph::LocalUserNode(UserId global_user) const {
 }
 
 NodeId Subgraph::LocalItemNode(ItemId global_item) const {
+  if (workspace_ != nullptr) return workspace_->LocalItem(global_item);
   if (global_item < 0 ||
       global_item >= static_cast<int32_t>(global_item_to_local.size())) {
     return -1;
@@ -24,22 +26,47 @@ NodeId Subgraph::LocalItemNode(ItemId global_item) const {
   return static_cast<NodeId>(users.size()) + local_item;
 }
 
-Subgraph ExtractSubgraph(const BipartiteGraph& g,
-                         const std::vector<NodeId>& seed_nodes,
-                         const SubgraphOptions& options) {
+void WalkWorkspace::BeginQuery(const BipartiteGraph& g) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  num_global_users_ = g.num_users();
+  num_global_items_ = g.num_items();
+  if (stamp_.size() != n) {
+    stamp_.assign(n, 0);
+    local_id_.assign(n, -1);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {
+    // Epoch wrapped around: every stale stamp would look current again, so
+    // pay one O(n) clear per 2^32 queries.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
+                              const std::vector<NodeId>& seed_nodes,
+                              const SubgraphOptions& options,
+                              WalkWorkspace* workspace) {
+  WalkWorkspace& ws = *workspace;
+  ws.BeginQuery(g);
+  Subgraph& sub = ws.sub_;
+  sub.workspace_ = workspace;
+  sub.users.clear();
+  sub.items.clear();
+  sub.global_user_to_local.clear();
+  sub.global_item_to_local.clear();
+
   const int32_t n = g.num_nodes();
-  std::vector<bool> visited(n, false);
-  std::vector<NodeId> order;  // global node ids in visit order
-  order.reserve(256);
-  std::queue<NodeId> frontier;
+  std::vector<NodeId>& order = ws.order_;
+  order.clear();
   int32_t item_count = 0;
 
   auto visit = [&](NodeId v) {
-    if (visited[v]) return;
-    visited[v] = true;
+    if (ws.stamp_[v] == ws.epoch_) return;
+    ws.stamp_[v] = ws.epoch_;
+    ws.local_id_[v] = -1;
     order.push_back(v);
     if (g.IsItemNode(v)) ++item_count;
-    frontier.push(v);
   };
 
   for (NodeId s : seed_nodes) {
@@ -47,10 +74,12 @@ Subgraph ExtractSubgraph(const BipartiteGraph& g,
     LT_CHECK_LT(s, n);
     visit(s);
   }
+  // `order` doubles as the FIFO frontier: `head` walks it while `visit`
+  // appends, which is exactly the queue the old implementation kept.
   const bool capped = options.max_items > 0;
-  while (!frontier.empty() && (!capped || item_count <= options.max_items)) {
-    const NodeId v = frontier.front();
-    frontier.pop();
+  size_t head = 0;
+  while (head < order.size() && (!capped || item_count <= options.max_items)) {
+    const NodeId v = order[head++];
     for (NodeId nbr : g.Neighbors(v)) {
       visit(nbr);
       if (capped && item_count > options.max_items) break;
@@ -58,41 +87,68 @@ Subgraph ExtractSubgraph(const BipartiteGraph& g,
   }
 
   // Assign local ids: users first, then items, in visit order.
-  Subgraph sub;
-  sub.global_user_to_local.assign(g.num_users(), -1);
-  sub.global_item_to_local.assign(g.num_items(), -1);
   for (NodeId v : order) {
     if (g.IsUserNode(v)) {
-      sub.global_user_to_local[g.UserOf(v)] =
-          static_cast<int32_t>(sub.users.size());
+      ws.local_id_[v] = static_cast<int32_t>(sub.users.size());
       sub.users.push_back(g.UserOf(v));
     } else {
-      sub.global_item_to_local[g.ItemOf(v)] =
-          static_cast<int32_t>(sub.items.size());
       sub.items.push_back(g.ItemOf(v));
     }
   }
   const int32_t num_local_users = static_cast<int32_t>(sub.users.size());
   const int32_t num_local_items = static_cast<int32_t>(sub.items.size());
+  {
+    int32_t li = 0;
+    for (NodeId v : order) {
+      if (g.IsItemNode(v)) ws.local_id_[v] = num_local_users + li++;
+    }
+  }
 
-  // Induced adjacency: keep edges whose both endpoints are visited.
-  std::vector<std::vector<std::pair<NodeId, double>>> adjacency(
-      num_local_users + num_local_items);
+  // Induced CSR: count degrees, then fill edges directly into the reused
+  // graph storage. Iterating the user side only visits each undirected edge
+  // once and reproduces the old FromAdjacency entry order exactly (user
+  // rows in neighbor order, item rows in ascending local-user order).
+  ws.degrees_.assign(num_local_users + num_local_items, 0);
+  for (int32_t lu = 0; lu < num_local_users; ++lu) {
+    const NodeId gv = g.UserNode(sub.users[lu]);
+    for (NodeId nbr : g.Neighbors(gv)) {
+      const NodeId li = ws.LocalNode(nbr);
+      if (li < 0) continue;
+      ++ws.degrees_[lu];
+      ++ws.degrees_[li];
+    }
+  }
+  sub.graph.BeginAssign(num_local_users, num_local_items, ws.degrees_);
   for (int32_t lu = 0; lu < num_local_users; ++lu) {
     const NodeId gv = g.UserNode(sub.users[lu]);
     const auto nbrs = g.Neighbors(gv);
     const auto wts = g.Weights(gv);
     for (size_t k = 0; k < nbrs.size(); ++k) {
-      const ItemId gi = g.ItemOf(nbrs[k]);
-      const int32_t li = sub.global_item_to_local[gi];
+      const NodeId li = ws.LocalNode(nbrs[k]);
       if (li < 0) continue;
-      adjacency[lu].push_back({num_local_users + li, wts[k]});
-      adjacency[num_local_users + li].push_back({lu, wts[k]});
+      sub.graph.AssignEdge(lu, li, wts[k]);
     }
   }
-  sub.graph =
-      BipartiteGraph::FromAdjacency(num_local_users, num_local_items,
-                                    adjacency);
+  sub.graph.FinishAssign();
+  return sub;
+}
+
+Subgraph ExtractSubgraph(const BipartiteGraph& g,
+                         const std::vector<NodeId>& seed_nodes,
+                         const SubgraphOptions& options) {
+  WalkWorkspace workspace;
+  Subgraph sub = std::move(ExtractSubgraphInto(g, seed_nodes, options,
+                                               &workspace));
+  // Detach from the dying workspace: materialize the owned lookup tables.
+  sub.workspace_ = nullptr;
+  sub.global_user_to_local.assign(g.num_users(), -1);
+  sub.global_item_to_local.assign(g.num_items(), -1);
+  for (size_t lu = 0; lu < sub.users.size(); ++lu) {
+    sub.global_user_to_local[sub.users[lu]] = static_cast<int32_t>(lu);
+  }
+  for (size_t li = 0; li < sub.items.size(); ++li) {
+    sub.global_item_to_local[sub.items[li]] = static_cast<int32_t>(li);
+  }
   return sub;
 }
 

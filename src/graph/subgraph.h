@@ -5,14 +5,28 @@
 // once the number of *item* nodes exceeds µ. The induced subgraph keeps all
 // edges between visited nodes, and the mapping back to global ids is
 // retained so results can be reported in dataset coordinates.
+//
+// Two extraction paths exist:
+//  * ExtractSubgraph     — allocating; returns a self-contained Subgraph
+//    with owned O(num_users + num_items) reverse-lookup tables. Simple, but
+//    too expensive to run once per query under load.
+//  * ExtractSubgraphInto — writes into a caller-owned WalkWorkspace. The
+//    global-sized lookup tables are allocated once per workspace and
+//    invalidated between queries in O(1) via an epoch stamp, so the steady
+//    state performs zero global-sized heap allocation per query.
 #ifndef LONGTAIL_GRAPH_SUBGRAPH_H_
 #define LONGTAIL_GRAPH_SUBGRAPH_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "linalg/solvers.h"
 
 namespace longtail {
+
+class WalkWorkspace;
+struct SubgraphOptions;
 
 /// An induced subgraph with local⇄global node mappings. Local node ids
 /// follow the same convention (users first, then items).
@@ -27,9 +41,24 @@ struct Subgraph {
   NodeId LocalUserNode(UserId global_user) const;
   NodeId LocalItemNode(ItemId global_item) const;
 
-  /// Reverse lookup tables (sized to the global graph); built by Extract.
+  /// Reverse lookup tables (sized to the global graph); built by the
+  /// allocating ExtractSubgraph. Workspace-backed subgraphs leave these
+  /// empty and answer lookups from the workspace's epoch-stamped tables.
   std::vector<int32_t> global_user_to_local;
   std::vector<int32_t> global_item_to_local;
+
+ private:
+  friend class WalkWorkspace;
+  friend Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
+                                       const std::vector<NodeId>& seed_nodes,
+                                       const SubgraphOptions& options,
+                                       WalkWorkspace* workspace);
+  friend Subgraph ExtractSubgraph(const BipartiteGraph& g,
+                                  const std::vector<NodeId>& seed_nodes,
+                                  const SubgraphOptions& options);
+  /// Set by ExtractSubgraphInto; a workspace-backed subgraph is a view that
+  /// stays valid only until the workspace's next extraction.
+  const WalkWorkspace* workspace_ = nullptr;
 };
 
 struct SubgraphOptions {
@@ -39,6 +68,70 @@ struct SubgraphOptions {
   int32_t max_items = 6000;
 };
 
+/// Reusable per-thread buffers for Algorithm 1's per-query walk. One
+/// workspace serves any number of sequential queries, against any graphs;
+/// buffers are sized on first use (or graph change) and keep their capacity
+/// afterwards. Not thread-safe: use one workspace per worker thread.
+class WalkWorkspace {
+ public:
+  WalkWorkspace() = default;
+  WalkWorkspace(const WalkWorkspace&) = delete;
+  WalkWorkspace& operator=(const WalkWorkspace&) = delete;
+
+  /// The subgraph produced by the most recent ExtractSubgraphInto call.
+  const Subgraph& sub() const { return sub_; }
+
+  /// Local node id of a global node in the current subgraph; -1 if absent.
+  NodeId LocalNode(NodeId global_node) const {
+    if (global_node < 0 ||
+        static_cast<size_t>(global_node) >= stamp_.size() ||
+        stamp_[global_node] != epoch_) {
+      return -1;
+    }
+    return local_id_[global_node];
+  }
+  NodeId LocalUser(UserId global_user) const {
+    if (global_user < 0 || global_user >= num_global_users_) return -1;
+    return LocalNode(global_user);
+  }
+  NodeId LocalItem(ItemId global_item) const {
+    if (global_item < 0 || global_item >= num_global_items_) return -1;
+    return LocalNode(num_global_users_ + global_item);
+  }
+
+  // Scratch threaded down the stack by the batch query engine: the DP value
+  // sweeps, absorbing flags, node costs and solver temporaries all reuse
+  // these buffers across queries.
+  std::vector<NodeId> seeds;
+  std::vector<bool> absorbing;
+  std::vector<double> node_costs;
+  std::vector<double> values;
+  std::vector<double> dp_scratch;
+  SolverScratch solver;
+
+ private:
+  friend Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
+                                       const std::vector<NodeId>& seed_nodes,
+                                       const SubgraphOptions& options,
+                                       WalkWorkspace* workspace);
+
+  /// Sizes the lookup tables for `g` and invalidates the previous query's
+  /// mappings in O(1) by bumping the epoch.
+  void BeginQuery(const BipartiteGraph& g);
+
+  uint32_t epoch_ = 0;
+  int32_t num_global_users_ = 0;
+  int32_t num_global_items_ = 0;
+  /// Per global node: local node id, valid iff stamp_ matches epoch_.
+  std::vector<uint32_t> stamp_;
+  std::vector<int32_t> local_id_;
+  /// BFS visit order; doubles as the FIFO frontier.
+  std::vector<NodeId> order_;
+  /// Induced per-local-node degree counts.
+  std::vector<int32_t> degrees_;
+  Subgraph sub_;
+};
+
 /// Extracts the BFS-induced subgraph around `seed_nodes` (global node ids).
 /// Seeds are always included. Expansion is level-by-level; the level that
 /// crosses the µ cap is truncated mid-level in insertion order, which keeps
@@ -46,6 +139,15 @@ struct SubgraphOptions {
 Subgraph ExtractSubgraph(const BipartiteGraph& g,
                          const std::vector<NodeId>& seed_nodes,
                          const SubgraphOptions& options = {});
+
+/// Workspace flavour of ExtractSubgraph: identical output, but the subgraph
+/// and every lookup table live in `workspace` and are reused across calls.
+/// The returned reference is invalidated by the next call on the same
+/// workspace.
+Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
+                              const std::vector<NodeId>& seed_nodes,
+                              const SubgraphOptions& options,
+                              WalkWorkspace* workspace);
 
 }  // namespace longtail
 

@@ -22,11 +22,14 @@ Status CheckSquareCompatible(const CsrMatrix& a, const std::vector<double>& b) {
 Result<SolverReport> FixedPointSolve(const CsrMatrix& a,
                                      const std::vector<double>& b,
                                      std::vector<double>* x,
-                                     const SolverOptions& options) {
+                                     const SolverOptions& options,
+                                     SolverScratch* scratch) {
   LT_RETURN_IF_ERROR(CheckSquareCompatible(a, b));
   const int32_t n = a.rows();
   *x = b;
-  std::vector<double> next(n);
+  std::vector<double> local;
+  std::vector<double>& next = scratch != nullptr ? scratch->va : local;
+  next.assign(n, 0.0);
   SolverReport report;
   for (int it = 0; it < options.max_iterations; ++it) {
     a.Multiply(*x, &next);
@@ -88,13 +91,19 @@ Result<SolverReport> GaussSeidelSolve(const CsrMatrix& a,
 Result<SolverReport> ConjugateGradientSolve(const CsrMatrix& a,
                                             const std::vector<double>& b,
                                             std::vector<double>* x,
-                                            const SolverOptions& options) {
+                                            const SolverOptions& options,
+                                            SolverScratch* scratch) {
   LT_RETURN_IF_ERROR(CheckSquareCompatible(a, b));
   const int32_t n = a.rows();
   x->assign(n, 0.0);
-  std::vector<double> r = b;
-  std::vector<double> p = b;
-  std::vector<double> ap(n);
+  SolverScratch local;
+  SolverScratch& s = scratch != nullptr ? *scratch : local;
+  std::vector<double>& r = s.va;
+  std::vector<double>& p = s.vb;
+  std::vector<double>& ap = s.vc;
+  r.assign(b.begin(), b.end());
+  p.assign(b.begin(), b.end());
+  ap.assign(n, 0.0);
   double rs_old = Dot(r, r);
   SolverReport report;
   const double b_norm = std::max(1e-300, Norm2(b));

@@ -6,6 +6,7 @@
 #ifndef LONGTAIL_LINALG_SOLVERS_H_
 #define LONGTAIL_LINALG_SOLVERS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/csr_matrix.h"
@@ -20,6 +21,20 @@ struct SolverOptions {
   double tolerance = 1e-10;
 };
 
+/// Reusable temporaries threaded through the iterative solvers and the
+/// graph-walk value routines by the batch query engine. A scratch object is
+/// sized lazily and keeps its capacity, so repeated solves of similarly
+/// sized systems perform no heap allocation. Not thread-safe: use one per
+/// worker thread.
+struct SolverScratch {
+  /// Value-sized double temporaries (Jacobi next-iterate; CG r/p/ap).
+  std::vector<double> va, vb, vc;
+  /// Per-node marker bytes (absorbing-set reachability).
+  std::vector<uint8_t> flags;
+  /// BFS queue storage for reachability sweeps.
+  std::vector<int32_t> queue;
+};
+
 /// Outcome of a solve: iterations used and final delta/residual estimate.
 struct SolverReport {
   int iterations = 0;
@@ -29,11 +44,13 @@ struct SolverReport {
 
 /// Solves x = A x + b by fixed-point (Jacobi-style) iteration, i.e.
 /// (I - A) x = b. Requires spectral radius of A below 1 (true for
-/// substochastic transition blocks). x is initialized to b.
+/// substochastic transition blocks). x is initialized to b. When `scratch`
+/// is given its buffers are reused instead of allocating per call.
 Result<SolverReport> FixedPointSolve(const CsrMatrix& a,
                                      const std::vector<double>& b,
                                      std::vector<double>* x,
-                                     const SolverOptions& options = {});
+                                     const SolverOptions& options = {},
+                                     SolverScratch* scratch = nullptr);
 
 /// Gauss–Seidel for x = A x + b ((I - A) x = b). Typically ~2x fewer
 /// iterations than Jacobi on walk matrices. x is initialized to b.
@@ -42,11 +59,13 @@ Result<SolverReport> GaussSeidelSolve(const CsrMatrix& a,
                                       std::vector<double>* x,
                                       const SolverOptions& options = {});
 
-/// Conjugate gradient for symmetric positive definite A x = b.
+/// Conjugate gradient for symmetric positive definite A x = b. When
+/// `scratch` is given its buffers back the r/p/Ap temporaries.
 Result<SolverReport> ConjugateGradientSolve(const CsrMatrix& a,
                                             const std::vector<double>& b,
                                             std::vector<double>* x,
-                                            const SolverOptions& options = {});
+                                            const SolverOptions& options = {},
+                                            SolverScratch* scratch = nullptr);
 
 }  // namespace longtail
 

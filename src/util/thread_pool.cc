@@ -56,6 +56,30 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = std::min(threads_.size(), n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic chunking keeps threads busy when per-item cost is skewed
+  // (e.g. per-user subgraphs of very different sizes).
+  std::atomic<size_t> next{0};
+  const size_t chunk = std::max<size_t>(1, n / (workers * 8));
+  for (size_t t = 0; t < workers; ++t) {
+    Submit([&next, &fn, n, chunk] {
+      while (true) {
+        const size_t begin = next.fetch_add(chunk);
+        if (begin >= n) return;
+        const size_t end = std::min(n, begin + chunk);
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t num_threads) {
   if (n == 0) return;
@@ -67,23 +91,8 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> next{0};
-  // Dynamic chunking keeps threads busy when per-item cost is skewed
-  // (e.g. per-user subgraphs of very different sizes).
-  const size_t chunk = std::max<size_t>(1, n / (num_threads * 8));
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        const size_t begin = next.fetch_add(chunk);
-        if (begin >= n) return;
-        const size_t end = std::min(n, begin + chunk);
-        for (size_t i = begin; i < end; ++i) fn(i);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(n, fn);
 }
 
 }  // namespace longtail

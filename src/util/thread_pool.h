@@ -29,6 +29,13 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void Wait();
 
+  /// Runs fn(i) for i in [0, n) on the pool's workers, pulling dynamic
+  /// chunks so uneven per-index costs stay balanced. Blocks until every
+  /// iteration completes. fn must be thread-safe and must not throw. Do not
+  /// interleave with concurrent Submit/Wait callers (the completion wait is
+  /// pool-wide).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
   size_t num_threads() const { return threads_.size(); }
 
  private:

@@ -41,6 +41,64 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
   SUCCEED();
 }
 
+TEST(ThreadPoolParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// Stress with heavily uneven task sizes: dynamic chunking must cover every
+// index exactly once even when some indices cost orders of magnitude more
+// than others (the batch engine sees this shape with skewed subgraphs).
+TEST(ThreadPoolParallelForTest, UnevenTaskSizesStress) {
+  ThreadPool pool(8);
+  const size_t n = 2000;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<long long> checksum{0};
+  pool.ParallelFor(n, [&](size_t i) {
+    // Work skew: index i spins proportional to (i % 97)^2, so a few
+    // indices dominate the runtime.
+    volatile long long sink = 0;
+    const long long spins = static_cast<long long>(i % 97) * (i % 97);
+    for (long long s = 0; s < spins; ++s) sink += s;
+    hits[i].fetch_add(1);
+    checksum.fetch_add(static_cast<long long>(i));
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(checksum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+// The pool must stay usable for Submit/Wait and further ParallelFor calls
+// after a ParallelFor completes.
+TEST(ThreadPoolParallelForTest, ReusableAfterParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(100, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+  pool.ParallelFor(50, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 151);
+}
+
+TEST(ThreadPoolParallelForTest, ZeroAndSingleIteration) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   const size_t n = 10000;
   std::vector<std::atomic<int>> hits(n);
