@@ -1,21 +1,22 @@
 #include "core/graph_recommender_base.h"
 
-#include <atomic>
 #include <cmath>
 #include <limits>
 
-#include "util/thread_pool.h"
+#include "graph/subgraph_cache.h"
+#include "util/serving_pool.h"
 
 namespace longtail {
 
 namespace {
 
-/// Thread-local workspace backing the single-user query path, so ad-hoc
-/// RecommendTopK/ScoreItems calls get the same zero-allocation steady state
-/// as the batch engine. Deliberate trade-off: the buffers (O(global nodes))
-/// stay resident for the thread's lifetime and can outlive the recommender
-/// that sized them. Long-lived servers should prefer QueryBatch, whose
-/// workspaces live only for the batch.
+/// Workspace pinned to the current thread. Serving-pool workers live for
+/// the process, so their workspaces stay warm across batches — the
+/// per-worker pinning the serving layer is built around. Ad-hoc
+/// single-user RecommendTopK/ScoreItems callers get the same
+/// zero-allocation steady state on their own threads. Deliberate
+/// trade-off: the buffers (O(global nodes)) stay resident for the thread's
+/// lifetime and can outlive the recommender that sized them.
 WalkWorkspace& LocalWorkspace() {
   static thread_local WalkWorkspace workspace;
   return workspace;
@@ -37,8 +38,8 @@ void GraphRecommenderBase::NodeCosts(const Subgraph& sub,
   costs->assign(sub.graph.num_nodes(), 1.0);
 }
 
-Status GraphRecommenderBase::ComputeWalk(UserId user,
-                                         WalkWorkspace* ws) const {
+Status GraphRecommenderBase::ComputeWalk(UserId user, WalkWorkspace* ws,
+                                         SubgraphCache* cache) const {
   LT_RETURN_IF_ERROR(CheckQueryUser(data_, user));
   ws->seeds.clear();
   LT_RETURN_IF_ERROR(SeedNodes(user, &ws->seeds));
@@ -49,8 +50,23 @@ Status GraphRecommenderBase::ComputeWalk(UserId user,
   }
   SubgraphOptions sub_options;
   sub_options.max_items = options_.max_subgraph_items;
-  const Subgraph& sub =
-      ExtractSubgraphInto(graph_, ws->seeds, sub_options, ws);
+  // Subgraph extraction is a pure function of (graph, seeds, µ), so a
+  // cached extraction — possibly inserted by a sibling recommender fitted
+  // on the same dataset — is adopted verbatim; the walk below is
+  // bit-identical either way.
+  bool adopted = false;
+  uint64_t key = 0;
+  if (cache != nullptr) {
+    key = SubgraphCache::Key(graph_.fingerprint(), ws->seeds, sub_options);
+    adopted = cache->Lookup(key, graph_, ws->seeds, sub_options, ws);
+  }
+  if (!adopted) {
+    ExtractSubgraphInto(graph_, ws->seeds, sub_options, ws);
+    if (cache != nullptr) {
+      cache->Insert(key, graph_.fingerprint(), ws->seeds, sub_options, *ws);
+    }
+  }
+  const Subgraph& sub = ws->sub();
   AbsorbingFlags(sub, user, &ws->absorbing);
   NodeCosts(sub, &ws->node_costs);
   if (options_.exact) {
@@ -102,25 +118,26 @@ Result<std::vector<double>> GraphRecommenderBase::ScoresFromWalk(
 Result<std::vector<ScoredItem>> GraphRecommenderBase::RecommendTopK(
     UserId user, int k) const {
   WalkWorkspace& ws = LocalWorkspace();
-  LT_RETURN_IF_ERROR(ComputeWalk(user, &ws));
+  LT_RETURN_IF_ERROR(ComputeWalk(user, &ws, /*cache=*/nullptr));
   return TopKFromWalk(user, k, ws);
 }
 
 Result<std::vector<double>> GraphRecommenderBase::ScoreItems(
     UserId user, std::span<const ItemId> items) const {
   WalkWorkspace& ws = LocalWorkspace();
-  LT_RETURN_IF_ERROR(ComputeWalk(user, &ws));
+  LT_RETURN_IF_ERROR(ComputeWalk(user, &ws, /*cache=*/nullptr));
   return ScoresFromWalk(items, ws);
 }
 
 UserQueryResult GraphRecommenderBase::RunQuery(const UserQuery& query,
-                                               WalkWorkspace* ws) const {
+                                               WalkWorkspace* ws,
+                                               SubgraphCache* cache) const {
   UserQueryResult out;
   // An empty query requests nothing: skip the walk entirely and return OK,
   // matching the default Recommender::QueryBatch (which never invokes the
   // per-user virtuals for it).
   if (query.top_k <= 0 && query.score_items.empty()) return out;
-  out.status = ComputeWalk(query.user, ws);
+  out.status = ComputeWalk(query.user, ws, cache);
   if (!out.status.ok()) return out;
   if (query.top_k > 0) {
     auto top = TopKFromWalk(query.user, query.top_k, *ws);
@@ -144,31 +161,19 @@ UserQueryResult GraphRecommenderBase::RunQuery(const UserQuery& query,
 std::vector<UserQueryResult> GraphRecommenderBase::QueryBatch(
     std::span<const UserQuery> queries, const BatchOptions& options) const {
   std::vector<UserQueryResult> results(queries.size());
-  const size_t n = queries.size();
-  if (n == 0) return results;
-  size_t num_threads = options.num_threads;
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, n);
-  if (num_threads <= 1) {
-    WalkWorkspace ws;
-    for (size_t i = 0; i < n; ++i) results[i] = RunQuery(queries[i], &ws);
-    return results;
-  }
-  // One workspace per pool worker; queries are claimed one at a time so
-  // skewed subgraph sizes stay balanced across threads.
-  ThreadPool pool(num_threads);
-  std::atomic<size_t> next{0};
-  for (size_t t = 0; t < num_threads; ++t) {
-    pool.Submit([&] {
-      WalkWorkspace ws;
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        results[i] = RunQuery(queries[i], &ws);
-      }
-    });
-  }
-  pool.Wait();
+  if (queries.empty()) return results;
+  ServingPool& pool =
+      options.pool != nullptr ? *options.pool : ServingPool::Global();
+  // Queries are claimed one at a time (grain 1) so skewed subgraph sizes
+  // stay balanced; every participating thread — pool workers and the
+  // caller — serves them from its own pinned workspace.
+  pool.ParallelFor(
+      queries.size(),
+      [&](size_t i) {
+        results[i] =
+            RunQuery(queries[i], &LocalWorkspace(), options.subgraph_cache);
+      },
+      options.num_threads, /*grain=*/1);
   return results;
 }
 

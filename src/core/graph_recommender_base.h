@@ -5,10 +5,13 @@
 // configured) → rank items by smallest time/cost.
 //
 // All query state lives in a WalkWorkspace, so the per-query walk performs
-// no global-sized heap allocation in the steady state. Single-user calls
-// reuse a thread-local workspace; QueryBatch fans queries out over a
-// ThreadPool with one workspace per worker and serves the top-k and
-// candidate-scoring halves of a query from a single walk.
+// no global-sized heap allocation in the steady state. Every thread —
+// single-user callers and serving-pool workers alike — pins one
+// thread-local workspace; QueryBatch fans queries out over the
+// process-lifetime ServingPool (no per-batch thread spawn, workspaces stay
+// warm across batches), serves the top-k and candidate-scoring halves of a
+// query from a single walk, and can reuse extracted subgraphs through a
+// shared SubgraphCache (BatchOptions::subgraph_cache).
 #ifndef LONGTAIL_CORE_GRAPH_RECOMMENDER_BASE_H_
 #define LONGTAIL_CORE_GRAPH_RECOMMENDER_BASE_H_
 
@@ -49,9 +52,10 @@ class GraphRecommenderBase : public Recommender {
       UserId user, std::span<const ItemId> items) const override;
 
   /// Batch engine: one walk per query (shared between the top-k and
-  /// scoring halves), executed on a ThreadPool with one WalkWorkspace per
-  /// worker. Results are bit-identical to the sequential per-user calls at
-  /// any thread count.
+  /// scoring halves), fanned out on the long-lived ServingPool with one
+  /// pinned WalkWorkspace per worker thread. Results are bit-identical to
+  /// the sequential per-user calls at any thread count, with or without a
+  /// subgraph cache.
   std::vector<UserQueryResult> QueryBatch(
       std::span<const UserQuery> queries,
       const BatchOptions& options = {}) const override;
@@ -85,11 +89,15 @@ class GraphRecommenderBase : public Recommender {
   GraphWalkOptions options_;
 
  private:
-  /// Runs Algorithm 1 for one user: subgraph into ws->sub(), per-local-node
-  /// values into ws->values (+inf = unreachable).
-  Status ComputeWalk(UserId user, WalkWorkspace* ws) const;
+  /// Runs Algorithm 1 for one user: subgraph into ws->sub() (adopted from
+  /// `cache` on a hit, extracted — and inserted — on a miss; nullptr
+  /// disables caching), per-local-node values into ws->values
+  /// (+inf = unreachable).
+  Status ComputeWalk(UserId user, WalkWorkspace* ws,
+                     SubgraphCache* cache) const;
   /// Serves one batched query from a single walk.
-  UserQueryResult RunQuery(const UserQuery& query, WalkWorkspace* ws) const;
+  UserQueryResult RunQuery(const UserQuery& query, WalkWorkspace* ws,
+                           SubgraphCache* cache) const;
   Result<std::vector<ScoredItem>> TopKFromWalk(UserId user, int k,
                                                const WalkWorkspace& ws) const;
   Result<std::vector<double>> ScoresFromWalk(std::span<const ItemId> items,

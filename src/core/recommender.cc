@@ -3,14 +3,16 @@
 #include <algorithm>
 
 #include "util/logging.h"
-#include "util/thread_pool.h"
+#include "util/serving_pool.h"
 
 namespace longtail {
 
 std::vector<UserQueryResult> Recommender::QueryBatch(
     std::span<const UserQuery> queries, const BatchOptions& options) const {
   std::vector<UserQueryResult> results(queries.size());
-  ParallelFor(
+  ServingPool& pool =
+      options.pool != nullptr ? *options.pool : ServingPool::Global();
+  pool.ParallelFor(
       queries.size(),
       [&](size_t idx) {
         const UserQuery& q = queries[idx];
@@ -32,7 +34,7 @@ std::vector<UserQueryResult> Recommender::QueryBatch(
           out.scores = std::move(scores).value();
         }
       },
-      options.num_threads);
+      options.num_threads, /*grain=*/1);
   return results;
 }
 

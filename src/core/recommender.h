@@ -20,6 +20,9 @@
 
 namespace longtail {
 
+class ServingPool;
+class SubgraphCache;
+
 /// Score assigned to candidates that a recommender cannot reach or rank
 /// (e.g. items outside the BFS subgraph). Ranks below every real score.
 inline constexpr double kUnreachableScore = -1e300;
@@ -28,6 +31,14 @@ inline constexpr double kUnreachableScore = -1e300;
 struct BatchOptions {
   /// Worker threads: 0 = hardware concurrency, 1 = the calling thread only.
   size_t num_threads = 0;
+  /// Pool the batch fans out on; nullptr = the process-lifetime
+  /// ServingPool::Global(). Batches never spawn threads of their own.
+  ServingPool* pool = nullptr;
+  /// Optional shared cache of extracted walk subgraphs. Graph recommenders
+  /// consult it per query; results are bit-identical with and without it
+  /// (tests/subgraph_cache_test.cc). Other recommenders ignore it. The
+  /// cache may be shared across recommenders and concurrent batches.
+  SubgraphCache* subgraph_cache = nullptr;
 };
 
 /// One user's request in a batch: top-k recommendations, scores for an

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace longtail {
 
 namespace {
@@ -20,17 +22,11 @@ constexpr uint64_t kMaxArrayElements = 1000000000ULL;
 // Streaming FNV-1a over every byte written/read (excluding the trailer).
 class Checksum {
  public:
-  void Update(const void* data, size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 0x100000001B3ULL;
-    }
-  }
+  void Update(const void* data, size_t n) { hash_ = FnvHashBytes(data, n, hash_); }
   uint64_t value() const { return hash_; }
 
  private:
-  uint64_t hash_ = 0xCBF29CE484222325ULL;
+  uint64_t hash_ = kFnvOffsetBasis;
 };
 
 class Writer {
@@ -74,10 +70,27 @@ class Writer {
 class Reader {
  public:
   explicit Reader(const std::string& path)
-      : in_(path, std::ios::binary), path_(path) {}
+      : in_(path, std::ios::binary), path_(path) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      const auto end = in_.tellg();
+      file_size_ = end >= 0 ? static_cast<uint64_t>(end) : 0;
+      in_.seekg(0, std::ios::beg);
+    }
+  }
 
   bool ok() const { return static_cast<bool>(in_); }
   const std::string& path() const { return path_; }
+
+  /// Bytes between the read cursor and end of file. Length fields are
+  /// validated against this before any allocation, so a corrupted (e.g.
+  /// bit-flipped) length yields a clean error instead of a multi-gigabyte
+  /// resize that the checksum would only catch after the fact.
+  uint64_t Remaining() {
+    const auto pos = in_.tellg();
+    if (pos < 0 || static_cast<uint64_t>(pos) > file_size_) return 0;
+    return file_size_ - static_cast<uint64_t>(pos);
+  }
 
   Status Raw(void* data, size_t n) {
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
@@ -95,7 +108,8 @@ class Reader {
   Status Vector(std::vector<T>* v, uint64_t max_elements) {
     uint64_t n = 0;
     LT_RETURN_IF_ERROR(Scalar(&n));
-    if (n > max_elements || n > kMaxArrayElements) {
+    if (n > max_elements || n > kMaxArrayElements ||
+        n * sizeof(T) > Remaining()) {
       return Status::IOError("implausible array length in " + path_);
     }
     v->resize(n);
@@ -105,7 +119,7 @@ class Reader {
   Status String(std::string* s, uint64_t max_len = 1 << 20) {
     uint64_t n = 0;
     LT_RETURN_IF_ERROR(Scalar(&n));
-    if (n > max_len) {
+    if (n > max_len || n > Remaining()) {
       return Status::IOError("implausible string length in " + path_);
     }
     s->resize(n);
@@ -128,6 +142,7 @@ class Reader {
  private:
   std::ifstream in_;
   std::string path_;
+  uint64_t file_size_ = 0;
   Checksum checksum_;
 };
 
@@ -175,7 +190,10 @@ Result<Dataset> LoadDatasetBinary(const std::string& path) {
   LT_RETURN_IF_ERROR(r.Scalar(&num_ratings));
   const uint64_t max_plausible =
       static_cast<uint64_t>(num_users) * static_cast<uint64_t>(num_items);
-  if (num_ratings > max_plausible || num_ratings > kMaxArrayElements) {
+  constexpr uint64_t kRatingRecordBytes =
+      sizeof(int32_t) + sizeof(int32_t) + sizeof(float);
+  if (num_ratings > max_plausible || num_ratings > kMaxArrayElements ||
+      num_ratings * kRatingRecordBytes > r.Remaining()) {
     return Status::IOError("implausible rating count in " + path);
   }
   std::vector<RatingEntry> ratings;
@@ -197,7 +215,10 @@ Result<Dataset> LoadDatasetBinary(const std::string& path) {
   LT_RETURN_IF_ERROR(r.Vector(&user_genre_prefs, max_plausible + 1));
   uint64_t num_labels = 0;
   LT_RETURN_IF_ERROR(r.Scalar(&num_labels));
-  if (num_labels > static_cast<uint64_t>(num_items)) {
+  // Each label carries at least its 8-byte length prefix, so the count is
+  // also bounded by the bytes left in the file.
+  if (num_labels > static_cast<uint64_t>(num_items) ||
+      num_labels * sizeof(uint64_t) > r.Remaining()) {
     return Status::IOError("implausible label count in " + path);
   }
   std::vector<std::string> labels(num_labels);

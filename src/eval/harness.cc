@@ -92,10 +92,12 @@ Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
 Result<TopNReport> EvaluateTopN(const Recommender& rec, const Dataset& train,
                                 const std::vector<UserId>& users, int k,
                                 const CategoryOntology* ontology,
-                                size_t num_threads) {
+                                size_t num_threads,
+                                SubgraphCache* subgraph_cache) {
   TopNListOptions list_options;
   list_options.k = k;
   list_options.num_threads = num_threads;
+  list_options.subgraph_cache = subgraph_cache;
   LT_ASSIGN_OR_RETURN(TopNLists lists, ComputeTopNLists(rec, users,
                                                         list_options));
   TopNReport report;

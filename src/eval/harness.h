@@ -58,10 +58,13 @@ struct TopNReport {
 };
 
 /// Evaluates one recommender's top-k lists on all §5.2.2-style metrics.
+/// `subgraph_cache` (optional) is handed to the batch engine; sharing one
+/// cache across the suite lets AT/AC1/AC2 reuse each other's extractions.
 Result<TopNReport> EvaluateTopN(const Recommender& rec, const Dataset& train,
                                 const std::vector<UserId>& users, int k,
                                 const CategoryOntology* ontology,
-                                size_t num_threads = 0);
+                                size_t num_threads = 0,
+                                SubgraphCache* subgraph_cache = nullptr);
 
 }  // namespace longtail
 

@@ -7,7 +7,7 @@
 
 #include "util/logging.h"
 #include "util/random.h"
-#include "util/thread_pool.h"
+#include "util/serving_pool.h"
 #include "util/timer.h"
 
 namespace longtail {
@@ -42,6 +42,7 @@ Result<RecallCurve> EvaluateRecall(const Recommender& rec,
   constexpr size_t kChunkCases = 1024;
   BatchOptions batch_options;
   batch_options.num_threads = options.num_threads;
+  batch_options.subgraph_cache = options.subgraph_cache;
   std::vector<std::vector<ItemId>> candidates;
   std::vector<UserQuery> queries;
   for (size_t chunk_begin = 0; chunk_begin < num_cases;
@@ -160,6 +161,7 @@ Result<TopNLists> ComputeTopNLists(const Recommender& rec,
   out.lists.assign(users.size(), {});
   BatchOptions batch_options;
   batch_options.num_threads = options.num_threads;
+  batch_options.subgraph_cache = options.subgraph_cache;
   WallTimer timer;
   std::vector<Result<std::vector<ScoredItem>>> results =
       rec.RecommendBatch(users, options.k, batch_options);

@@ -30,6 +30,8 @@ struct RecallProtocolOptions {
   uint64_t seed = 1001;
   /// 0 = hardware concurrency.
   size_t num_threads = 0;
+  /// Optional shared subgraph cache handed to the batch engine.
+  SubgraphCache* subgraph_cache = nullptr;
 };
 
 struct RecallCurve {
@@ -63,6 +65,8 @@ struct TopNListOptions {
   int k = 10;
   /// 0 = hardware concurrency.
   size_t num_threads = 0;
+  /// Optional shared subgraph cache handed to the batch engine.
+  SubgraphCache* subgraph_cache = nullptr;
 };
 
 /// Top-k lists for each user (empty list if the recommender failed for that

@@ -1,8 +1,31 @@
 #include "graph/bipartite_graph.h"
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace longtail {
+
+void BipartiteGraph::ComputeFingerprint() {
+  uint64_t h = FnvHashBytes(&num_users_, sizeof(num_users_));
+  h = FnvHashBytes(&num_items_, sizeof(num_items_), h);
+  if (!adj_.empty()) {
+    h = FnvHashBytes(adj_.data(), adj_.size() * sizeof(NodeId), h);
+  }
+  if (!weights_.empty()) {
+    h = FnvHashBytes(weights_.data(), weights_.size() * sizeof(double), h);
+  }
+  fingerprint_ = h;
+}
+
+BipartiteGraph BipartiteGraph::CompactCopy() const {
+  BipartiteGraph g = *this;
+  // Drop the per-assign write cursors: they are transient scratch, and
+  // long-lived holders (cache payloads) should not pay num_nodes * 8
+  // bytes for them.
+  g.fill_.clear();
+  g.fill_.shrink_to_fit();
+  return g;
+}
 
 BipartiteGraph BipartiteGraph::FromDataset(const Dataset& data,
                                            bool weighted) {
@@ -47,6 +70,7 @@ BipartiteGraph BipartiteGraph::FromDataset(const Dataset& data,
     g.weighted_degree_[v] = d;
     g.total_weight_ += d;
   }
+  g.ComputeFingerprint();
   return g;
 }
 
@@ -64,6 +88,7 @@ void BipartiteGraph::BeginAssign(int32_t num_users, int32_t num_items,
   fill_.assign(ptr_.begin(), ptr_.end() - 1);
   num_edges_ = 0;
   total_weight_ = 0.0;
+  fingerprint_ = 0;  // In-place rebuilds are never cache keys.
 }
 
 void BipartiteGraph::AssignEdge(NodeId a, NodeId b, double weight) {
@@ -120,6 +145,7 @@ BipartiteGraph BipartiteGraph::FromAdjacency(
     g.total_weight_ += d;
   }
   g.num_edges_ = directed_entries / 2;
+  g.ComputeFingerprint();
   return g;
 }
 

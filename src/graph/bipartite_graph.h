@@ -71,11 +71,26 @@ class BipartiteGraph {
   /// Σ_{i,j} a(i, j) over the full (symmetric) adjacency.
   double TotalWeight() const { return total_weight_; }
 
+  /// A copy with the transient BeginAssign/AssignEdge scratch released —
+  /// what long-lived holders (e.g. SubgraphCache payloads) should store.
+  BipartiteGraph CompactCopy() const;
+
+  /// Content hash over dimensions, adjacency and weights, computed by
+  /// FromDataset/FromAdjacency. Two graphs built from the same ratings have
+  /// the same fingerprint even when they are distinct objects, which is what
+  /// lets a SubgraphCache be shared across recommenders fitted on one
+  /// dataset. 0 for graphs rebuilt in place via BeginAssign (per-query
+  /// induced subgraphs are never cache keys themselves).
+  uint64_t fingerprint() const { return fingerprint_; }
+
  private:
+  void ComputeFingerprint();
+
   int32_t num_users_ = 0;
   int32_t num_items_ = 0;
   int64_t num_edges_ = 0;
   double total_weight_ = 0.0;
+  uint64_t fingerprint_ = 0;
   std::vector<int64_t> ptr_{0};
   std::vector<NodeId> adj_;
   std::vector<double> weights_;

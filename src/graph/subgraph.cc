@@ -43,6 +43,28 @@ void WalkWorkspace::BeginQuery(const BipartiteGraph& g) {
   }
 }
 
+void WalkWorkspace::AdoptSubgraph(const BipartiteGraph& g,
+                                  const Subgraph& src) {
+  BeginQuery(g);
+  sub_.workspace_ = this;
+  sub_.users = src.users;
+  sub_.items = src.items;
+  sub_.graph = src.graph;
+  sub_.global_user_to_local.clear();
+  sub_.global_item_to_local.clear();
+  for (size_t lu = 0; lu < sub_.users.size(); ++lu) {
+    const NodeId gv = g.UserNode(sub_.users[lu]);
+    stamp_[gv] = epoch_;
+    local_id_[gv] = static_cast<int32_t>(lu);
+  }
+  const int32_t num_local_users = static_cast<int32_t>(sub_.users.size());
+  for (size_t li = 0; li < sub_.items.size(); ++li) {
+    const NodeId gv = g.ItemNode(sub_.items[li]);
+    stamp_[gv] = epoch_;
+    local_id_[gv] = num_local_users + static_cast<int32_t>(li);
+  }
+}
+
 Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
                               const std::vector<NodeId>& seed_nodes,
                               const SubgraphOptions& options,

@@ -78,8 +78,17 @@ class WalkWorkspace {
   WalkWorkspace(const WalkWorkspace&) = delete;
   WalkWorkspace& operator=(const WalkWorkspace&) = delete;
 
-  /// The subgraph produced by the most recent ExtractSubgraphInto call.
+  /// The subgraph produced by the most recent ExtractSubgraphInto or
+  /// AdoptSubgraph call.
   const Subgraph& sub() const { return sub_; }
+
+  /// Installs a copy of `src` — an induced subgraph of `g`, e.g. a
+  /// SubgraphCache entry — as this workspace's current subgraph, rebuilding
+  /// the epoch-stamped global→local tables. Equivalent to (and bit-identical
+  /// with) re-running ExtractSubgraphInto with the seeds that produced
+  /// `src`, but costs one sequential copy instead of a BFS + induced-CSR
+  /// rebuild. The copies reuse this workspace's buffer capacity.
+  void AdoptSubgraph(const BipartiteGraph& g, const Subgraph& src);
 
   /// Local node id of a global node in the current subgraph; -1 if absent.
   NodeId LocalNode(NodeId global_node) const {

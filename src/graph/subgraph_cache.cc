@@ -1,0 +1,170 @@
+#include "graph/subgraph_cache.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace longtail {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Resident payload estimate: the CSR (adjacency + weights + row pointers +
+/// weighted degrees) dominates; id maps and seeds ride along.
+size_t PayloadBytes(const Subgraph& sub, size_t num_seeds) {
+  const size_t nodes = static_cast<size_t>(sub.graph.num_nodes());
+  const size_t entries = 2 * static_cast<size_t>(sub.graph.num_edges());
+  return entries * (sizeof(NodeId) + sizeof(double)) +
+         nodes * (sizeof(int64_t) + sizeof(double)) +
+         sub.users.size() * sizeof(UserId) +
+         sub.items.size() * sizeof(ItemId) + num_seeds * sizeof(NodeId) +
+         128;  // entry bookkeeping overhead
+}
+
+}  // namespace
+
+SubgraphCache::SubgraphCache(SubgraphCacheOptions options) {
+  const size_t num_shards = RoundUpPow2(std::max<size_t>(1, options.num_shards));
+  shard_mask_ = num_shards - 1;
+  const size_t max_entries = std::max(options.max_entries, num_shards);
+  max_per_shard_ = std::max<size_t>(1, max_entries / num_shards);
+  max_bytes_per_shard_ =
+      options.max_bytes > 0
+          ? std::max<size_t>(1, options.max_bytes / num_shards)
+          : 0;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t SubgraphCache::Key(uint64_t graph_fingerprint,
+                            std::span<const NodeId> seeds,
+                            const SubgraphOptions& options) {
+  uint64_t h = FnvHashBytes(&graph_fingerprint, sizeof(graph_fingerprint));
+  h = FnvHashBytes(&options.max_items, sizeof(options.max_items), h);
+  if (!seeds.empty()) {
+    h = FnvHashBytes(seeds.data(), seeds.size() * sizeof(NodeId), h);
+  }
+  // Mix so both the low bits (shard selection) and the full value (index
+  // key) are well distributed.
+  return MixHash64(h);
+}
+
+bool SubgraphCache::Matches(const Entry& e, uint64_t fingerprint,
+                            std::span<const NodeId> seeds,
+                            int32_t max_items) {
+  return e.fingerprint == fingerprint && e.max_items == max_items &&
+         e.seeds.size() == seeds.size() &&
+         std::equal(e.seeds.begin(), e.seeds.end(), seeds.begin());
+}
+
+bool SubgraphCache::Lookup(uint64_t key, const BipartiteGraph& g,
+                           std::span<const NodeId> seeds,
+                           const SubgraphOptions& options,
+                           WalkWorkspace* ws) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const Subgraph> sub;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end() ||
+        !Matches(*it->second, g.fingerprint(), seeds, options.max_items)) {
+      ++shard.misses;
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    sub = it->second->sub;
+  }
+  // The workspace copy happens outside the lock: the shared_ptr keeps the
+  // payload alive even if this entry is evicted concurrently.
+  ws->AdoptSubgraph(g, *sub);
+  return true;
+}
+
+void SubgraphCache::Insert(uint64_t key, uint64_t graph_fingerprint,
+                           std::span<const NodeId> seeds,
+                           const SubgraphOptions& options,
+                           const WalkWorkspace& ws) {
+  // Detach a self-contained copy before taking the lock. Reverse-lookup
+  // tables stay empty: cached subgraphs are only ever read back through
+  // AdoptSubgraph, which rebuilds the workspace's stamped tables.
+  auto sub = std::make_shared<Subgraph>();
+  sub->graph = ws.sub().graph.CompactCopy();
+  sub->users = ws.sub().users;
+  sub->items = ws.sub().items;
+
+  Entry entry;
+  entry.key = key;
+  entry.fingerprint = graph_fingerprint;
+  entry.max_items = options.max_items;
+  entry.seeds.assign(seeds.begin(), seeds.end());
+  entry.bytes = PayloadBytes(*sub, seeds.size());
+  entry.sub = std::move(sub);
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    if (Matches(*it->second, graph_fingerprint, seeds, options.max_items)) {
+      // Another worker inserted the same extraction first; its payload is
+      // identical, so keep it and just refresh recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    // 64-bit key collision between different identities: latest wins.
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.evictions;
+  }
+  shard.bytes += entry.bytes;
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  ++shard.inserts;
+  EvictOverflow(&shard);
+}
+
+void SubgraphCache::EvictOverflow(Shard* shard) {
+  while (shard->lru.size() > max_per_shard_ ||
+         (max_bytes_per_shard_ > 0 && shard->bytes > max_bytes_per_shard_ &&
+          shard->lru.size() > 1)) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    ++shard->evictions;
+  }
+}
+
+SubgraphCacheStats SubgraphCache::Stats() const {
+  SubgraphCacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+    stats.resident_bytes += shard->bytes;
+  }
+  return stats;
+}
+
+void SubgraphCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+    shard->hits = shard->misses = shard->inserts = shard->evictions = 0;
+  }
+}
+
+}  // namespace longtail

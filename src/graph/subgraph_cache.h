@@ -1,0 +1,142 @@
+// Sharded, thread-safe LRU cache of extracted walk subgraphs.
+//
+// The paper's graph recommenders (HT, AT, AC1, AC2) extract a µ-capped BFS
+// subgraph per query. Queries with the same seed set — the same user asked
+// again, or AT/AC1/AC2 fitted on one dataset serving the same user —
+// rebuild byte-identical induced CSRs. The cache keys an entry by the exact
+// extraction inputs (graph fingerprint, seed sequence, µ) and stores the
+// extracted subgraph; a hit installs it into the caller's WalkWorkspace via
+// WalkWorkspace::AdoptSubgraph, one sequential copy instead of the BFS +
+// degree-count + CSR-scatter rebuild. Results are bit-identical either way
+// (enforced by tests/subgraph_cache_test.cc).
+//
+// Concurrency: the key space is split across power-of-two shards, each a
+// mutex-protected LRU list + index. Payloads are immutable and shared_ptr
+// owned, so a reader copying an entry into its workspace never races an
+// eviction — the shard lock covers only list/index surgery and pointer
+// grabs. Collision safety does not rest on the 64-bit key: entries store
+// the full identity (fingerprint, seeds, µ) and a lookup that hashes alike
+// but differs in identity is a miss.
+#ifndef LONGTAIL_GRAPH_SUBGRAPH_CACHE_H_
+#define LONGTAIL_GRAPH_SUBGRAPH_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/subgraph.h"
+
+namespace longtail {
+
+struct SubgraphCacheOptions {
+  /// Maximum cached subgraphs across all shards (split evenly; each shard
+  /// holds at least one). <= 0 entries would make every insert bounce, so
+  /// the count is clamped to >= num_shards.
+  size_t max_entries = 4096;
+  /// Concurrency shards; rounded up to a power of two.
+  size_t num_shards = 16;
+  /// Optional resident-payload byte budget across all shards (0 = entry
+  /// count only). Evicts LRU entries while a shard exceeds its slice.
+  size_t max_bytes = 0;
+};
+
+struct SubgraphCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t resident_bytes = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class SubgraphCache {
+ public:
+  explicit SubgraphCache(SubgraphCacheOptions options = {});
+
+  SubgraphCache(const SubgraphCache&) = delete;
+  SubgraphCache& operator=(const SubgraphCache&) = delete;
+
+  /// Hash of the extraction inputs. Deterministic across processes for a
+  /// given dataset (the fingerprint is a content hash).
+  static uint64_t Key(uint64_t graph_fingerprint,
+                      std::span<const NodeId> seeds,
+                      const SubgraphOptions& options);
+
+  /// On hit, installs the cached subgraph into `*ws` (AdoptSubgraph against
+  /// `g`) and refreshes the entry's recency. `g`, `seeds` and `options`
+  /// must be the inputs `key` was computed from; they double as the
+  /// collision check.
+  bool Lookup(uint64_t key, const BipartiteGraph& g,
+              std::span<const NodeId> seeds, const SubgraphOptions& options,
+              WalkWorkspace* ws);
+
+  /// Caches a copy of `ws.sub()` (the subgraph extracted from `seeds`)
+  /// under `key`, evicting least-recently-used entries beyond the budget.
+  /// Inserting a key that raced in from another thread refreshes recency
+  /// and keeps the resident payload (the two copies are identical).
+  void Insert(uint64_t key, uint64_t graph_fingerprint,
+              std::span<const NodeId> seeds, const SubgraphOptions& options,
+              const WalkWorkspace& ws);
+
+  /// Aggregated over shards; counters are cumulative since construction or
+  /// the last Clear().
+  SubgraphCacheStats Stats() const;
+
+  /// Drops every entry and zeroes the counters.
+  void Clear();
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t fingerprint = 0;
+    int32_t max_items = 0;
+    std::vector<NodeId> seeds;
+    std::shared_ptr<const Subgraph> sub;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // Keys are finalizer-mixed, so the low bits are uniform at any shard
+    // count.
+    return *shards_[key & shard_mask_];
+  }
+  static bool Matches(const Entry& e, uint64_t fingerprint,
+                      std::span<const NodeId> seeds, int32_t max_items);
+  /// Evicts from the back of `shard` until it fits both budgets. Caller
+  /// holds the shard mutex.
+  void EvictOverflow(Shard* shard);
+
+  size_t max_per_shard_ = 0;
+  size_t max_bytes_per_shard_ = 0;
+  uint64_t shard_mask_ = 0;
+  /// unique_ptr because Shard (mutex) is immovable and the count is a
+  /// runtime option.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_GRAPH_SUBGRAPH_CACHE_H_

@@ -1,0 +1,42 @@
+// Shared non-cryptographic hashing primitives: FNV-1a over bytes (also
+// the checksum used by the binary serialization format) and a SplitMix64
+// finalizer for when the hash feeds bucket/shard selection.
+#ifndef LONGTAIL_UTIL_HASH_H_
+#define LONGTAIL_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace longtail {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over a byte range, resumable via the running hash value. Each
+/// byte's update is a bijection of the state, so any single-byte change
+/// provably changes the result (what the serialization checksum relies
+/// on).
+inline uint64_t FnvHashBytes(const void* data, size_t n,
+                             uint64_t hash = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// SplitMix64 finalizer: FNV-1a alone leaves little entropy in the high
+/// bits; mix before using the hash for sharding or bucket selection.
+inline uint64_t MixHash64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_HASH_H_

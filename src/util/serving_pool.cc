@@ -1,0 +1,148 @@
+#include "util/serving_pool.h"
+
+#include <algorithm>
+
+namespace longtail {
+
+namespace {
+
+/// The pool owning the current thread, set for the lifetime of a worker
+/// thread; nullptr on non-pool threads. Per-pool (not a plain flag) so a
+/// worker of one pool can still fan out on a different pool.
+thread_local const ServingPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+ServingPool::ServingPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingPool::~ServingPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ServingPool& ServingPool::Global() {
+  // Deliberately leaked: the pool (and each worker's pinned thread_local
+  // workspaces) must outlive every static object that might query during
+  // program teardown, and the pointer stays reachable so leak checkers
+  // do not report it.
+  static ServingPool* pool = new ServingPool();
+  return *pool;
+}
+
+bool ServingPool::InWorker() { return tls_worker_pool != nullptr; }
+
+void ServingPool::DrainJob(Job* job) {
+  while (true) {
+    const size_t begin =
+        job->next.fetch_add(job->grain, std::memory_order_relaxed);
+    if (begin >= job->n) return;
+    const size_t end = std::min(job->n, begin + job->grain);
+    for (size_t i = begin; i < end; ++i) (*job->fn)(i);
+  }
+}
+
+void ServingPool::WorkerLoop() {
+  tls_worker_pool = this;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    DrainJob(job);
+    // fetch_sub under the job mutex so the caller cannot observe
+    // pending == 0, return, and destroy the job while this worker still
+    // holds a reference to it.
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        job->done_cv.notify_one();
+      }
+    }
+  }
+}
+
+void ServingPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                              size_t parallelism, size_t grain) {
+  if (n == 0) return;
+  size_t workers = parallelism == 0 ? threads_.size() : parallelism;
+  workers = std::min(workers, n);
+  // Helpers beyond the caller come from the pool; a call re-entrant on
+  // the *same* pool keeps everything on the current worker (its siblings
+  // may be blocked in their own ParallelFor waits, so queued helpers might
+  // never be scheduled). A worker of another pool is an ordinary caller.
+  const size_t helpers =
+      tls_worker_pool == this
+          ? 0
+          : std::min(workers > 0 ? workers - 1 : 0, threads_.size());
+  if (grain == 0) {
+    const size_t active = helpers + 1;
+    grain = std::clamp<size_t>(n / (active * 8), 1, 1024);
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.grain = grain;
+  if (helpers == 0) {
+    DrainJob(&job);
+    return;
+  }
+  job.pending.store(helpers, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (size_t t = 0; t < helpers; ++t) queue_.push_back(&job);
+  }
+  if (helpers == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+  // The caller is the first worker: progress is guaranteed even when every
+  // pool thread is busy with other callers' jobs.
+  DrainJob(&job);
+  // The job is drained; helper entries still sitting in the queue would
+  // only be popped and discarded. Dequeue them here so this batch's
+  // completion never waits behind other batches' work.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t removed = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (*it == &job) {
+        it = queue_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    if (removed > 0) {
+      job.pending.fetch_sub(removed, std::memory_order_acq_rel);
+    }
+  }
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.done_cv.wait(lock, [&job] {
+    return job.pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads) {
+  ServingPool::Global().ParallelFor(n, fn, num_threads);
+}
+
+}  // namespace longtail

@@ -1,0 +1,99 @@
+// Process-lifetime serving thread pool shared by every batch query.
+//
+// The first batch engine spun up a fresh thread pool per QueryBatch call:
+// thread creation/teardown on every batch and cold per-worker walk
+// workspaces. ServingPool replaces it with one long-lived pool (Global()),
+// so worker threads — and the thread_local WalkWorkspace each graph query
+// pins to its worker — survive across batches. In the steady state a batch
+// costs no thread spawns and no workspace growth: the global-sized lookup
+// tables and CSR buffers are sized once per worker and reused forever.
+//
+// Scheduling model: ParallelFor enqueues helper tasks that claim index
+// ranges from a shared atomic cursor, and the *calling thread participates
+// as a worker itself*. The caller therefore always makes progress even when
+// every pool thread is busy serving other batches, so any number of
+// concurrent callers can share one pool without deadlock. Re-entrant calls
+// (a pool task calling ParallelFor) run inline on the calling worker for
+// the same reason.
+#ifndef LONGTAIL_UTIL_SERVING_POOL_H_
+#define LONGTAIL_UTIL_SERVING_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace longtail {
+
+/// A long-lived work-sharing pool. Construction spawns the workers once;
+/// every ParallelFor afterwards reuses them. Tasks must not throw.
+class ServingPool {
+ public:
+  /// `num_threads == 0` means hardware concurrency (at least 1).
+  explicit ServingPool(size_t num_threads = 0);
+  ~ServingPool();
+
+  ServingPool(const ServingPool&) = delete;
+  ServingPool& operator=(const ServingPool&) = delete;
+
+  /// The process-lifetime pool every batch shares by default. Created on
+  /// first use with hardware concurrency and intentionally never destroyed
+  /// (its workers and their pinned workspaces live as long as the process).
+  static ServingPool& Global();
+
+  /// Runs fn(i) for i in [0, n) and blocks until every iteration completes.
+  /// At most `parallelism` threads participate, *including the caller*
+  /// (0 = pool width, 1 = fully inline on the calling thread). `grain` is
+  /// the number of consecutive indices claimed per cursor grab (0 = auto;
+  /// pass 1 when per-index cost is heavy or skewed, e.g. subgraph walks).
+  /// fn must be thread-safe and must not throw. Safe to call from multiple
+  /// threads at once and re-entrantly from inside a task (runs inline).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t parallelism = 0, size_t grain = 0);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// True while the calling thread is one of this process's pool workers
+  /// (used to detect re-entrant ParallelFor calls).
+  static bool InWorker();
+
+ private:
+  /// Per-call control block; lives on the caller's stack for the duration
+  /// of its ParallelFor (the caller only returns once `pending` helpers
+  /// have all finished, so queued pointers never dangle).
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    size_t grain = 1;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> pending{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+
+  static void DrainJob(Job* job);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  /// Deque rather than queue: a caller that drained its job dequeues its
+  /// remaining helper entries instead of waiting for busy workers to pop
+  /// and discard them.
+  std::deque<Job*> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on the global serving pool with up to
+/// `num_threads` participants (0 = hardware concurrency). Blocks until all
+/// iterations complete. fn must be thread-safe.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_SERVING_POOL_H_

@@ -9,7 +9,7 @@
 #include "core/absorbing_time.h"
 #include "baselines/pagerank.h"
 #include "data/generator.h"
-#include "util/thread_pool.h"
+#include "util/serving_pool.h"
 
 namespace longtail {
 namespace {

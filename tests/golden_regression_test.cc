@@ -1,0 +1,199 @@
+// Golden end-to-end regression: a fully seeded pipeline — synthetic
+// corpus → long-tail split → fit HT/AT/AC1/AC2 → recall / diversity /
+// long-tail coverage — pinned to committed golden values.
+//
+// Everything in the pipeline is deterministic (xoshiro RNG with explicit
+// seeds, sequential metric folds), so any drift here means an intended
+// algorithm change (re-baseline the constants below and say why in the
+// commit) or an accidental behaviour change (a bug — the usual catch).
+// Tolerances are tight but nonzero: the metrics are ratios of counts and
+// tie-probability rationals, exactly representable sums, but the walk
+// scores feeding the rankings are floating-point and entitled to vary in
+// the last ulp across compilers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/absorbing_cost.h"
+#include "core/absorbing_time.h"
+#include "core/hitting_time.h"
+#include "data/generator.h"
+#include "data/longtail_stats.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "graph/subgraph_cache.h"
+
+namespace longtail {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct GoldenRow {
+  const char* name;
+  double recall_at_5;
+  double recall_at_10;
+  double diversity;
+  double tail_coverage;
+};
+
+// ----------------------------------------------------------------- goldens
+// Produced by this test's own pipeline at the seeds below; the test prints
+// every actual, so re-baselining is running it once and copying the lines.
+constexpr GoldenRow kGolden[] = {
+    {"HT", 0.188034188034, 0.282051282051, 0.900000000000, 0.888888888889},
+    {"AT", 0.051282051282, 0.136752136752, 0.731250000000, 0.506172839506},
+    {"AC1", 0.025641025641, 0.051282051282, 0.656250000000, 0.345679012346},
+    {"AC2", 0.051282051282, 0.128205128205, 0.743750000000, 0.530864197531},
+};
+
+class GoldenRegressionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.name = "golden";
+    spec.num_users = 220;
+    spec.num_items = 160;
+    spec.mean_user_degree = 14;
+    spec.min_user_degree = 4;
+    spec.num_genres = 6;
+    spec.seed = 20120530;
+    auto generated = GenerateSyntheticData(spec);
+    ASSERT_TRUE(generated.ok());
+
+    LongTailSplitOptions split_options;
+    split_options.num_test_cases = 150;
+    split_options.min_rating = 4.0f;
+    split_options.seed = 4000;
+    auto split = MakeLongTailSplit(generated->dataset, split_options);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    split_ = new TrainTestSplit(std::move(split).value());
+
+    users_ = new std::vector<UserId>(
+        SampleTestUsers(split_->train, 80, 4, 2000));
+    ASSERT_FALSE(users_->empty());
+    tail_flags_ = new std::vector<bool>(TailItemFlags(split_->train));
+  }
+  static void TearDownTestSuite() {
+    delete split_;
+    delete users_;
+    delete tail_flags_;
+    split_ = nullptr;
+    users_ = nullptr;
+    tail_flags_ = nullptr;
+  }
+
+  static std::unique_ptr<Recommender> Build(const std::string& name) {
+    GraphWalkOptions walk;  // paper defaults: τ = 15, µ = 6000 (uncapped
+                            // at this scale), weighted edges
+    if (name == "HT") return std::make_unique<HittingTimeRecommender>(walk);
+    if (name == "AT") return std::make_unique<AbsorbingTimeRecommender>(walk);
+    AbsorbingCostOptions ac;
+    ac.walk = walk;
+    ac.lda.num_topics = 6;
+    ac.lda.iterations = 30;
+    return std::make_unique<AbsorbingCostRecommender>(
+        name == "AC1" ? EntropySource::kItemBased
+                      : EntropySource::kTopicBased,
+        ac);
+  }
+
+  /// Distinct tail items recommended across all lists, over the catalog's
+  /// tail size: how much of the long tail the algorithm surfaces at all.
+  static double TailCoverage(const TopNLists& lists) {
+    std::vector<bool> seen(tail_flags_->size(), false);
+    for (const auto& list : lists.lists) {
+      for (const ScoredItem& si : list) {
+        if ((*tail_flags_)[si.item]) seen[si.item] = true;
+      }
+    }
+    int64_t tail_total = 0;
+    int64_t tail_seen = 0;
+    for (size_t i = 0; i < seen.size(); ++i) {
+      tail_total += (*tail_flags_)[i] ? 1 : 0;
+      tail_seen += seen[i] ? 1 : 0;
+    }
+    return tail_total > 0 ? static_cast<double>(tail_seen) / tail_total : 0.0;
+  }
+
+  static TrainTestSplit* split_;
+  static std::vector<UserId>* users_;
+  static std::vector<bool>* tail_flags_;
+};
+
+TrainTestSplit* GoldenRegressionTest::split_ = nullptr;
+std::vector<UserId>* GoldenRegressionTest::users_ = nullptr;
+std::vector<bool>* GoldenRegressionTest::tail_flags_ = nullptr;
+
+TEST_F(GoldenRegressionTest, MetricsMatchCommittedGoldens) {
+  for (const GoldenRow& golden : kGolden) {
+    std::unique_ptr<Recommender> rec = Build(golden.name);
+    ASSERT_TRUE(rec->Fit(split_->train).ok()) << golden.name;
+
+    RecallProtocolOptions recall_options;
+    recall_options.num_decoys = 150;
+    recall_options.max_n = 10;
+    recall_options.num_threads = 1;
+    auto curve =
+        EvaluateRecall(*rec, split_->train, split_->test, recall_options);
+    ASSERT_TRUE(curve.ok()) << golden.name << ": "
+                            << curve.status().ToString();
+
+    TopNListOptions list_options;
+    list_options.k = 10;
+    list_options.num_threads = 1;
+    auto lists = ComputeTopNLists(*rec, *users_, list_options);
+    ASSERT_TRUE(lists.ok()) << golden.name;
+    const double diversity = DiversityOfLists(split_->train, *lists, 10);
+    const double coverage = TailCoverage(*lists);
+
+    // Always print the actuals so a legitimate re-baseline is a copy-paste.
+    std::printf("golden %-4s recall@5=%.12f recall@10=%.12f "
+                "diversity=%.12f tail_coverage=%.12f\n",
+                golden.name, curve->At(5), curve->At(10), diversity,
+                coverage);
+
+    EXPECT_NEAR(curve->At(5), golden.recall_at_5, kTol) << golden.name;
+    EXPECT_NEAR(curve->At(10), golden.recall_at_10, kTol) << golden.name;
+    EXPECT_NEAR(diversity, golden.diversity, kTol) << golden.name;
+    EXPECT_NEAR(coverage, golden.tail_coverage, kTol) << golden.name;
+  }
+}
+
+// The golden pipeline itself must be insensitive to serving-layer
+// configuration: same metrics through the shared pool at any thread count,
+// with or without the subgraph cache. (Bit-level parity is enforced in
+// batch_parity_test and subgraph_cache_test; this guards the end-to-end
+// metric fold.)
+TEST_F(GoldenRegressionTest, MetricsInvariantToThreadsAndCache) {
+  std::unique_ptr<Recommender> rec = Build("AT");
+  ASSERT_TRUE(rec->Fit(split_->train).ok());
+
+  TopNListOptions base;
+  base.k = 10;
+  base.num_threads = 1;
+  auto reference = ComputeTopNLists(*rec, *users_, base);
+  ASSERT_TRUE(reference.ok());
+  const double want_diversity = DiversityOfLists(split_->train, *reference, 10);
+  const double want_coverage = TailCoverage(*reference);
+
+  SubgraphCache cache;
+  for (size_t threads : {1u, 4u}) {
+    for (SubgraphCache* c : {static_cast<SubgraphCache*>(nullptr), &cache}) {
+      TopNListOptions options;
+      options.k = 10;
+      options.num_threads = threads;
+      options.subgraph_cache = c;
+      auto lists = ComputeTopNLists(*rec, *users_, options);
+      ASSERT_TRUE(lists.ok());
+      EXPECT_EQ(DiversityOfLists(split_->train, *lists, 10), want_diversity)
+          << threads << (c != nullptr ? " cached" : " uncached");
+      EXPECT_EQ(TailCoverage(*lists), want_coverage)
+          << threads << (c != nullptr ? " cached" : " uncached");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,240 @@
+// Corruption robustness for the binary persistence formats: a serving
+// process must survive any damaged artifact with a clean Status — never a
+// crash, never silently loaded garbage. The fuzz surface here is
+// exhaustive over the failure classes a filesystem can produce:
+// truncation at every byte (covers every section boundary), a single bit
+// flipped anywhere (covers the checksum trailer and every length field),
+// wrong magic/version tags, and hostile hand-crafted headers whose length
+// fields would request multi-gigabyte allocations.
+#include "data/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace longtail {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A dataset exercising every section of the format: ratings, genre
+/// metadata, category/preference arrays and labels.
+Dataset MakeRichDataset() {
+  Dataset data = testing::MakeFigure2Dataset();
+  data.num_genres = 3;
+  data.item_genres = {0, 1, 2, 0, 1, 2};
+  data.item_categories = {5, 4, 3, 2, 1, 0};
+  data.user_genre_prefs = {0.5, 0.25, 0.25, 0.1, 0.8, 0.1,
+                           0.3, 0.3,  0.4,  1.0, 0.0, 0.0,
+                           0.2, 0.2,  0.6};
+  data.item_labels = {"m1", "m2", "m3", "m4", "m5", "m6"};
+  return data;
+}
+
+LdaModel MakeSmallModel() {
+  DenseMatrix theta(3, 2);
+  theta.data() = {0.75, 0.25, 0.5, 0.5, 0.1, 0.9};
+  DenseMatrix phi(2, 4);
+  phi.data() = {0.4, 0.3, 0.2, 0.1, 0.1, 0.2, 0.3, 0.4};
+  auto model = LdaModel::FromParameters(std::move(theta), std::move(phi));
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+class SerializationFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_path_ = TempPath("fuzz_dataset.bin");
+    model_path_ = TempPath("fuzz_model.bin");
+    const Dataset data = MakeRichDataset();
+    ASSERT_TRUE(SaveDatasetBinary(data, dataset_path_).ok());
+    ASSERT_TRUE(SaveLdaModel(MakeSmallModel(), model_path_).ok());
+    dataset_bytes_ = ReadFileBytes(dataset_path_);
+    model_bytes_ = ReadFileBytes(model_path_);
+    ASSERT_GT(dataset_bytes_.size(), 16u);
+    ASSERT_GT(model_bytes_.size(), 16u);
+  }
+
+  std::string dataset_path_;
+  std::string model_path_;
+  std::vector<char> dataset_bytes_;
+  std::vector<char> model_bytes_;
+};
+
+TEST_F(SerializationFuzzTest, RoundTripBaselineStillLoads) {
+  auto data = LoadDatasetBinary(dataset_path_);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_users(), 5);
+  EXPECT_EQ(data->num_items(), 6);
+  EXPECT_EQ(data->item_labels.size(), 6u);
+  auto model = LoadLdaModel(model_path_);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->num_topics(), 2);
+}
+
+TEST_F(SerializationFuzzTest, DatasetTruncatedAtEveryByteFailsCleanly) {
+  const std::string path = TempPath("truncated_dataset.bin");
+  for (size_t len = 0; len < dataset_bytes_.size(); ++len) {
+    WriteFileBytes(path, std::vector<char>(dataset_bytes_.begin(),
+                                           dataset_bytes_.begin() + len));
+    auto result = LoadDatasetBinary(path);
+    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST_F(SerializationFuzzTest, ModelTruncatedAtEveryByteFailsCleanly) {
+  const std::string path = TempPath("truncated_model.bin");
+  for (size_t len = 0; len < model_bytes_.size(); ++len) {
+    WriteFileBytes(path, std::vector<char>(model_bytes_.begin(),
+                                           model_bytes_.begin() + len));
+    auto result = LoadLdaModel(path);
+    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST_F(SerializationFuzzTest, EveryBitFlipInChecksumTrailerIsRejected) {
+  const std::string path = TempPath("trailer_flip.bin");
+  const size_t trailer = dataset_bytes_.size() - sizeof(uint64_t);
+  for (size_t byte = trailer; byte < dataset_bytes_.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<char> mutated = dataset_bytes_;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      WriteFileBytes(path, mutated);
+      auto result = LoadDatasetBinary(path);
+      EXPECT_FALSE(result.ok())
+          << "trailer byte " << byte << " bit " << bit << " loaded";
+    }
+  }
+}
+
+// A single bit flipped anywhere in the file — magic, dimensions, length
+// prefixes, payload, checksum — must be rejected. FNV-1a's update is a
+// state bijection per byte, so any one-byte change provably changes the
+// final checksum; length-field flips are caught earlier by the structural
+// and remaining-bytes guards.
+TEST_F(SerializationFuzzTest, SingleBitFlipsAcrossDatasetAreRejected) {
+  const std::string path = TempPath("dataset_flip.bin");
+  for (size_t byte = 0; byte < dataset_bytes_.size(); ++byte) {
+    const int bit = static_cast<int>(byte % 8);
+    std::vector<char> mutated = dataset_bytes_;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+    WriteFileBytes(path, mutated);
+    auto result = LoadDatasetBinary(path);
+    EXPECT_FALSE(result.ok()) << "byte " << byte << " bit " << bit
+                              << " loaded";
+  }
+}
+
+TEST_F(SerializationFuzzTest, SingleBitFlipsAcrossModelAreRejected) {
+  const std::string path = TempPath("model_flip.bin");
+  for (size_t byte = 0; byte < model_bytes_.size(); ++byte) {
+    const int bit = static_cast<int>(byte % 8);
+    std::vector<char> mutated = model_bytes_;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+    WriteFileBytes(path, mutated);
+    auto result = LoadLdaModel(path);
+    EXPECT_FALSE(result.ok()) << "byte " << byte << " bit " << bit
+                              << " loaded";
+  }
+}
+
+TEST_F(SerializationFuzzTest, WrongMagicAndVersionAreRejected) {
+  const std::string path = TempPath("magic.bin");
+  // An LDA model file is not a dataset and vice versa.
+  EXPECT_FALSE(LoadDatasetBinary(model_path_).ok());
+  EXPECT_FALSE(LoadLdaModel(dataset_path_).ok());
+  // Bumped format version.
+  {
+    std::vector<char> mutated = dataset_bytes_;
+    mutated[7] = '2';  // "LTDS0001" → "LTDS0002"
+    WriteFileBytes(path, mutated);
+    EXPECT_FALSE(LoadDatasetBinary(path).ok());
+  }
+  // Garbage magic.
+  {
+    std::vector<char> mutated = dataset_bytes_;
+    std::memset(mutated.data(), 0, 8);
+    WriteFileBytes(path, mutated);
+    EXPECT_FALSE(LoadDatasetBinary(path).ok());
+  }
+  // Empty file and missing file.
+  WriteFileBytes(path, {});
+  EXPECT_FALSE(LoadDatasetBinary(path).ok());
+  EXPECT_FALSE(LoadDatasetBinary(TempPath("does_not_exist.bin")).ok());
+}
+
+// Hand-crafted headers with plausible-looking but hostile length fields:
+// the loader must refuse before attempting the implied allocation (the
+// remaining-bytes guard), not after exhausting memory.
+TEST_F(SerializationFuzzTest, HostileLengthFieldsAreRejectedBeforeAllocation) {
+  const std::string path = TempPath("hostile.bin");
+  {
+    // Dataset header claiming 500k ratings in a file with no rating bytes:
+    // num_users * num_items makes the count look plausible.
+    std::vector<char> bytes(dataset_bytes_.begin(),
+                            dataset_bytes_.begin() + 8);
+    const int32_t users = 40000, items = 30000;
+    const uint64_t ratings = 500000;
+    const char* p = reinterpret_cast<const char*>(&users);
+    bytes.insert(bytes.end(), p, p + 4);
+    p = reinterpret_cast<const char*>(&items);
+    bytes.insert(bytes.end(), p, p + 4);
+    p = reinterpret_cast<const char*>(&ratings);
+    bytes.insert(bytes.end(), p, p + 8);
+    WriteFileBytes(path, bytes);
+    EXPECT_FALSE(LoadDatasetBinary(path).ok());
+  }
+  {
+    // LDA header whose dimensions pass the element-count cap but imply a
+    // multi-gigabyte theta matrix that the file cannot possibly contain.
+    std::vector<char> bytes(model_bytes_.begin(), model_bytes_.begin() + 8);
+    const uint64_t users = 270000000, items = 4;
+    const int32_t topics = 3;
+    const uint64_t theta_len = users * static_cast<uint64_t>(topics);
+    const char* p = reinterpret_cast<const char*>(&users);
+    bytes.insert(bytes.end(), p, p + 8);
+    p = reinterpret_cast<const char*>(&items);
+    bytes.insert(bytes.end(), p, p + 8);
+    p = reinterpret_cast<const char*>(&topics);
+    bytes.insert(bytes.end(), p, p + 4);
+    p = reinterpret_cast<const char*>(&theta_len);
+    bytes.insert(bytes.end(), p, p + 8);
+    WriteFileBytes(path, bytes);
+    EXPECT_FALSE(LoadLdaModel(path).ok());
+  }
+}
+
+// Appending trailing garbage leaves the checksum (read at the cursor, not
+// end-of-file) intact — the canonical prefix still parses. Prepending or
+// inserting bytes shifts everything and must fail.
+TEST_F(SerializationFuzzTest, InsertedBytesAreRejected) {
+  const std::string path = TempPath("inserted.bin");
+  std::vector<char> mutated = dataset_bytes_;
+  mutated.insert(mutated.begin() + 12, 4, '\x7f');
+  WriteFileBytes(path, mutated);
+  EXPECT_FALSE(LoadDatasetBinary(path).ok());
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,168 @@
+// ServingPool: the process-lifetime pool every batch shares. The contract
+// under test — beyond plain ParallelFor coverage — is what makes one pool
+// safe to share: the caller participates as a worker (so saturated pools
+// cannot deadlock concurrent batches), re-entrant calls run inline, and
+// worker threads persist across calls (pinned thread_local state survives).
+#include "util/serving_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace longtail {
+namespace {
+
+TEST(ServingPoolTest, CoversEveryIndexExactlyOnce) {
+  ServingPool pool(4);
+  const size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ServingPoolTest, DefaultsToHardwareConcurrency) {
+  ServingPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ServingPoolTest, GlobalPoolIsASingleton) {
+  ServingPool& a = ServingPool::Global();
+  ServingPool& b = ServingPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+}
+
+TEST(ServingPoolTest, ParallelismOneRunsInlineInOrder) {
+  ServingPool pool(4);
+  std::vector<int> order;
+  const auto caller = std::this_thread::get_id();
+  pool.ParallelFor(
+      6,
+      [&](size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(static_cast<int>(i));
+      },
+      /*parallelism=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ServingPoolTest, CallerParticipatesAsWorker) {
+  ServingPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> threads;
+  std::atomic<int> count{0};
+  pool.ParallelFor(500, [&](size_t) {
+    count.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    threads.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(count.load(), 500);
+  // Caller + at most 2 pool workers.
+  EXPECT_LE(threads.size(), 3u);
+}
+
+// Worker threads persist across calls — no per-batch thread spawn. Over
+// many batches the set of executing threads stays bounded by
+// caller + pool width, which is what lets thread_local WalkWorkspaces
+// stay warm across batches.
+TEST(ServingPoolTest, WorkersPersistAcrossCalls) {
+  ServingPool pool(3);
+  std::mutex mu;
+  std::set<std::thread::id> threads;
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(
+        256,
+        [&](size_t) {
+          std::lock_guard<std::mutex> lock(mu);
+          threads.insert(std::this_thread::get_id());
+        },
+        /*parallelism=*/0, /*grain=*/1);
+  }
+  EXPECT_LE(threads.size(), pool.num_threads() + 1);
+}
+
+// Re-entrant ParallelFor (a task fanning out again) must complete inline
+// instead of deadlocking on its own pool.
+TEST(ServingPoolTest, ReentrantCallsRunInline) {
+  ServingPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ServingPoolTest, InWorkerFlagMatchesContext) {
+  EXPECT_FALSE(ServingPool::InWorker());
+  ServingPool pool(2);
+  std::atomic<int> worker_sightings{0};
+  pool.ParallelFor(
+      64,
+      [&](size_t) {
+        if (ServingPool::InWorker()) worker_sightings.fetch_add(1);
+      },
+      /*parallelism=*/0, /*grain=*/1);
+  // The caller is not a pool worker; helpers are. With 64 grain-1 indices
+  // and 2 helpers, at least one index lands on a helper in practice, but
+  // the only hard guarantee is the flag never reads true on the caller.
+  EXPECT_FALSE(ServingPool::InWorker());
+  EXPECT_LE(worker_sightings.load(), 64);
+}
+
+// Many external threads sharing one pool concurrently: every batch must
+// complete with exact coverage — the caller-participation rule makes this
+// deadlock-free even with more batches than workers.
+TEST(ServingPoolTest, ConcurrentBatchesFromManyThreads) {
+  ServingPool pool(2);
+  constexpr int kCallers = 6;
+  constexpr size_t kN = 2000;
+  std::vector<long long> sums(kCallers, -1);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      std::atomic<long long> sum{0};
+      pool.ParallelFor(kN, [&](size_t i) {
+        sum.fetch_add(static_cast<long long>(i));
+      });
+      sums[c] = sum.load();
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c], static_cast<long long>(kN) * (kN - 1) / 2) << c;
+  }
+}
+
+TEST(ServingPoolTest, ZeroAndSingleIteration) {
+  ServingPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ServingPoolTest, ExplicitGrainCoversAllIndices) {
+  ServingPool pool(3);
+  for (size_t grain : {1u, 7u, 64u, 1000u}) {
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); },
+                     /*parallelism=*/0, grain);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace longtail

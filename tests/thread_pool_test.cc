@@ -1,103 +1,19 @@
-#include "util/thread_pool.h"
+// The free ParallelFor — the codebase's fan-out primitive — now runs on
+// the process-lifetime ServingPool instead of spinning a fresh ThreadPool
+// per call (that construction path is gone). These tests pin down the
+// contract call sites rely on: every index exactly once, serial fallback
+// order, balanced coverage under skew, and reusability across calls.
+// Pool-level semantics (caller participation, re-entrancy, concurrent
+// batches) live in serving_pool_test.cc.
+#include "util/serving_pool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <numeric>
 #include <vector>
 
 namespace longtail {
 namespace {
-
-TEST(ThreadPoolTest, RunsAllTasks) {
-  ThreadPool pool(4);
-  std::atomic<int> counter{0};
-  for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
-  }
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 100);
-}
-
-TEST(ThreadPoolTest, WaitIsReusable) {
-  ThreadPool pool(2);
-  std::atomic<int> counter{0};
-  pool.Submit([&counter] { counter.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 1);
-  pool.Submit([&counter] { counter.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 2);
-}
-
-TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
-  ThreadPool pool;
-  EXPECT_GE(pool.num_threads(), 1u);
-}
-
-TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
-  ThreadPool pool(2);
-  pool.Wait();
-  SUCCEED();
-}
-
-TEST(ThreadPoolParallelForTest, CoversEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
-  const size_t n = 5000;
-  std::vector<std::atomic<int>> hits(n);
-  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
-  for (size_t i = 0; i < n; ++i) {
-    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
-  }
-}
-
-// Stress with heavily uneven task sizes: dynamic chunking must cover every
-// index exactly once even when some indices cost orders of magnitude more
-// than others (the batch engine sees this shape with skewed subgraphs).
-TEST(ThreadPoolParallelForTest, UnevenTaskSizesStress) {
-  ThreadPool pool(8);
-  const size_t n = 2000;
-  std::vector<std::atomic<int>> hits(n);
-  std::atomic<long long> checksum{0};
-  pool.ParallelFor(n, [&](size_t i) {
-    // Work skew: index i spins proportional to (i % 97)^2, so a few
-    // indices dominate the runtime.
-    volatile long long sink = 0;
-    const long long spins = static_cast<long long>(i % 97) * (i % 97);
-    for (long long s = 0; s < spins; ++s) sink += s;
-    hits[i].fetch_add(1);
-    checksum.fetch_add(static_cast<long long>(i));
-  });
-  for (size_t i = 0; i < n; ++i) {
-    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
-  }
-  EXPECT_EQ(checksum.load(), static_cast<long long>(n) * (n - 1) / 2);
-}
-
-// The pool must stay usable for Submit/Wait and further ParallelFor calls
-// after a ParallelFor completes.
-TEST(ThreadPoolParallelForTest, ReusableAfterParallelFor) {
-  ThreadPool pool(3);
-  std::atomic<int> counter{0};
-  pool.ParallelFor(100, [&](size_t) { counter.fetch_add(1); });
-  EXPECT_EQ(counter.load(), 100);
-  pool.Submit([&] { counter.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 101);
-  pool.ParallelFor(50, [&](size_t) { counter.fetch_add(1); });
-  EXPECT_EQ(counter.load(), 151);
-}
-
-TEST(ThreadPoolParallelForTest, ZeroAndSingleIteration) {
-  ThreadPool pool(4);
-  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
-  int calls = 0;
-  pool.ParallelFor(1, [&](size_t i) {
-    EXPECT_EQ(i, 0u);
-    ++calls;
-  });
-  EXPECT_EQ(calls, 1);
-}
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   const size_t n = 10000;
@@ -130,6 +46,41 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
   std::vector<std::atomic<int>> hits(3);
   ParallelFor(3, [&](size_t i) { hits[i].fetch_add(1); }, 64);
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Heavily uneven task sizes: dynamic claiming must still cover every index
+// exactly once when some indices cost orders of magnitude more than others
+// (the batch engine sees this shape with skewed subgraphs).
+TEST(ParallelForTest, UnevenTaskSizesStress) {
+  const size_t n = 2000;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<long long> checksum{0};
+  ParallelFor(
+      n,
+      [&](size_t i) {
+        volatile long long sink = 0;
+        const long long spins = static_cast<long long>(i % 97) * (i % 97);
+        for (long long s = 0; s < spins; ++s) sink = sink + s;
+        hits[i].fetch_add(1);
+        checksum.fetch_add(static_cast<long long>(i));
+      },
+      8);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(checksum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+// Back-to-back calls reuse the same long-lived pool; no state leaks from
+// one call into the next.
+TEST(ParallelForTest, ReusableAcrossCalls) {
+  std::atomic<int> counter{0};
+  ParallelFor(100, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+  ParallelFor(50, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 150);
+  ParallelFor(1, [&](size_t i) { counter.fetch_add(i == 0 ? 1 : 1000); });
+  EXPECT_EQ(counter.load(), 151);
 }
 
 }  // namespace
