@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "data/serialization.h"
+
 namespace longtail {
 
 Status ItemKnnRecommender::Fit(const Dataset& data) {
@@ -50,6 +52,101 @@ Status ItemKnnRecommender::Fit(const Dataset& data) {
     }
     neighbors_[i] = TopKScoredItems(std::move(sims), options_.num_neighbors);
   }
+  return Status::OK();
+}
+
+Status ItemKnnRecommender::SaveModel(CheckpointWriter& writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a fitted model");
+  }
+  // Neighbour lists flattened into parallel arrays (ScoredItem has interior
+  // padding; raw struct dumps would serialize indeterminate bytes).
+  std::vector<int32_t> counts;
+  std::vector<int32_t> items;
+  std::vector<double> scores;
+  counts.reserve(neighbors_.size());
+  for (const std::vector<ScoredItem>& list : neighbors_) {
+    counts.push_back(static_cast<int32_t>(list.size()));
+    for (const ScoredItem& si : list) {
+      items.push_back(si.item);
+      scores.push_back(si.score);
+    }
+  }
+  ChunkWriter chunk;
+  chunk.Scalar<int32_t>(options_.num_neighbors);
+  chunk.Scalar<int32_t>(options_.max_user_degree);
+  chunk.Vector(counts);
+  chunk.Vector(items);
+  chunk.Vector(scores);
+  return writer.WriteChunk(kChunkKnnNeighbors, kCheckpointChunkVersion,
+                           chunk);
+}
+
+Status ItemKnnRecommender::LoadModel(CheckpointReader& reader,
+                                     const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadModel requires an unfitted recommender");
+  }
+  // Staged locals, committed only on full success — a failed load must
+  // not leave checkpoint options behind for a fallback Fit() to train on.
+  bool have_neighbors = false;
+  ItemKnnOptions loaded_options = options_;
+  std::vector<int32_t> counts;
+  std::vector<int32_t> items;
+  std::vector<double> scores;
+  ChunkReader chunk;
+  while (true) {
+    LT_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+    if (!more) break;
+    if (chunk.tag() != kChunkKnnNeighbors) continue;  // Skip unknown.
+    if (chunk.version() > kCheckpointChunkVersion) {
+      return Status::IOError("unsupported ItemKNN chunk version");
+    }
+    LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.num_neighbors));
+    LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.max_user_degree));
+    LT_RETURN_IF_ERROR(chunk.Vector(&counts, kMaxSerializedArrayElements));
+    LT_RETURN_IF_ERROR(chunk.Vector(&items, kMaxSerializedArrayElements));
+    LT_RETURN_IF_ERROR(chunk.Vector(&scores, kMaxSerializedArrayElements));
+    have_neighbors = true;
+  }
+  if (!have_neighbors) {
+    return Status::IOError("checkpoint is missing the ItemKNN chunk");
+  }
+  if (counts.size() != static_cast<size_t>(data.num_items()) ||
+      items.size() != scores.size()) {
+    return Status::IOError("checkpoint neighbour tables do not match the "
+                           "dataset shape");
+  }
+  uint64_t total = 0;
+  for (const int32_t c : counts) {
+    if (c < 0) return Status::IOError("negative neighbour count");
+    total += static_cast<uint64_t>(c);
+  }
+  if (total != items.size()) {
+    return Status::IOError("checkpoint neighbour counts are inconsistent");
+  }
+  // NaN/Inf similarities in a checksummed-but-hostile file would poison
+  // every ranking under Status::OK; reject them like graph weights.
+  for (const double s : scores) {
+    if (!std::isfinite(s)) {
+      return Status::IOError("invalid neighbour similarity in checkpoint");
+    }
+  }
+  std::vector<std::vector<ScoredItem>> loaded(counts.size());
+  size_t pos = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    loaded[i].reserve(counts[i]);
+    for (int32_t k = 0; k < counts[i]; ++k, ++pos) {
+      if (items[pos] < 0 || items[pos] >= data.num_items()) {
+        return Status::IOError("checkpoint neighbour id out of range");
+      }
+      loaded[i].push_back({items[pos], scores[pos]});
+    }
+  }
+  options_ = loaded_options;
+  neighbors_ = std::move(loaded);
+  data_ = &data;
   return Status::OK();
 }
 

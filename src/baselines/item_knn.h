@@ -34,6 +34,11 @@ class ItemKnnRecommender : public Recommender {
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
+  /// Checkpointing: persists the precomputed neighbour lists (the O(n²)
+  /// similarity pass is the expensive part of Fit).
+  Status SaveModel(CheckpointWriter& writer) const override;
+  Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
+
   /// Stored neighbours of `item`: (neighbour, cosine), best first.
   const std::vector<ScoredItem>& Neighbors(ItemId item) const {
     return neighbors_[item];
@@ -44,7 +49,6 @@ class ItemKnnRecommender : public Recommender {
   std::vector<double> AccumulateScores(UserId user) const;
 
   ItemKnnOptions options_;
-  const Dataset* data_ = nullptr;
   std::vector<std::vector<ScoredItem>> neighbors_;
 };
 

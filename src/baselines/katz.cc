@@ -1,5 +1,7 @@
 #include "baselines/katz.h"
 
+#include "data/serialization.h"
+
 namespace longtail {
 
 Status KatzRecommender::Fit(const Dataset& data) {
@@ -15,6 +17,81 @@ Status KatzRecommender::Fit(const Dataset& data) {
   }
   data_ = &data;
   graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
+  return Status::OK();
+}
+
+Status KatzRecommender::SaveModel(CheckpointWriter& writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a fitted model");
+  }
+  ChunkWriter options;
+  options.Scalar<double>(options_.beta);
+  options.Scalar<int32_t>(options_.max_path_length);
+  options.Scalar<uint8_t>(options_.weighted_edges ? 1 : 0);
+  LT_RETURN_IF_ERROR(writer.WriteChunk(kChunkKatzOptions,
+                                       kCheckpointChunkVersion, options));
+  ChunkWriter graph;
+  graph_.SaveTo(&graph);
+  return writer.WriteChunk(kChunkBipartiteGraph, kCheckpointChunkVersion,
+                           graph);
+}
+
+Status KatzRecommender::LoadModel(CheckpointReader& reader,
+                                  const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadModel requires an unfitted recommender");
+  }
+  // Staged locals, committed only on full success — a failed load must
+  // not leave checkpoint options behind for a fallback Fit() to train on.
+  bool have_options = false;
+  bool have_graph = false;
+  KatzOptions loaded_options = options_;
+  BipartiteGraph loaded_graph;
+  ChunkReader chunk;
+  while (true) {
+    LT_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+    if (!more) break;
+    switch (chunk.tag()) {
+      case kChunkKatzOptions: {
+        if (chunk.version() > kCheckpointChunkVersion) {
+          return Status::IOError("unsupported Katz chunk version");
+        }
+        uint8_t weighted = 0;
+        LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.beta));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.max_path_length));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&weighted));
+        loaded_options.weighted_edges = weighted != 0;
+        have_options = true;
+        break;
+      }
+      case kChunkBipartiteGraph: {
+        if (chunk.version() > kCheckpointChunkVersion) {
+          return Status::IOError("unsupported graph chunk version");
+        }
+        LT_ASSIGN_OR_RETURN(loaded_graph, BipartiteGraph::LoadFrom(&chunk));
+        have_graph = true;
+        break;
+      }
+      default:
+        break;  // Unknown chunk: skip (forward compatibility).
+    }
+  }
+  if (!have_options || !have_graph) {
+    return Status::IOError("checkpoint is missing the Katz chunks");
+  }
+  // Same validity rules Fit enforces on constructor options.
+  if (loaded_options.beta <= 0.0 || loaded_options.max_path_length < 2) {
+    return Status::IOError("checkpoint Katz parameters are invalid");
+  }
+  if (loaded_graph.num_users() != data.num_users() ||
+      loaded_graph.num_items() != data.num_items()) {
+    return Status::InvalidArgument(
+        "checkpoint graph shape does not match the dataset");
+  }
+  options_ = loaded_options;
+  graph_ = std::move(loaded_graph);
+  data_ = &data;
   return Status::OK();
 }
 

@@ -38,12 +38,15 @@ class KatzRecommender : public Recommender {
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
+  /// Checkpointing: persists the fitted graph + attenuation parameters.
+  Status SaveModel(CheckpointWriter& writer) const override;
+  Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
+
   /// The accumulated Katz vector over all graph nodes for a query user.
   Result<std::vector<double>> ComputeKatzVector(UserId user) const;
 
  private:
   KatzOptions options_;
-  const Dataset* data_ = nullptr;
   BipartiteGraph graph_;
 };
 

@@ -1,5 +1,7 @@
 #include "baselines/lda_recommender.h"
 
+#include "data/serialization.h"
+
 namespace longtail {
 
 Status LdaRecommender::Fit(const Dataset& data) {
@@ -16,6 +18,49 @@ Status LdaRecommender::Fit(const Dataset& data) {
     return Status::InvalidArgument(
         "adopted LDA model dimensions do not match the dataset");
   }
+  return Status::OK();
+}
+
+Status LdaRecommender::SaveModel(CheckpointWriter& writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a fitted model");
+  }
+  ChunkWriter chunk;
+  WriteLdaModelChunk(*model_, &chunk);
+  return writer.WriteChunk(kChunkLdaModel, kCheckpointChunkVersion, chunk);
+}
+
+Status LdaRecommender::LoadModel(CheckpointReader& reader,
+                                 const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadModel requires an unfitted recommender");
+  }
+  // Staged local, committed only on full success — a failed load must not
+  // clobber an adopted model or leave checkpoint tables behind for a
+  // fallback Fit() to skip Gibbs sampling with.
+  std::optional<LdaModel> loaded;
+  ChunkReader chunk;
+  while (true) {
+    LT_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+    if (!more) break;
+    if (chunk.tag() != kChunkLdaModel) continue;  // Skip unknown.
+    if (chunk.version() > kCheckpointChunkVersion) {
+      return Status::IOError("unsupported LDA chunk version");
+    }
+    LT_ASSIGN_OR_RETURN(LdaModel model, ReadLdaModelChunk(&chunk));
+    loaded = std::move(model);
+  }
+  if (!loaded.has_value()) {
+    return Status::IOError("checkpoint is missing the LDA model chunk");
+  }
+  if (loaded->theta().rows() != static_cast<size_t>(data.num_users()) ||
+      loaded->phi().cols() != static_cast<size_t>(data.num_items())) {
+    return Status::IOError("checkpoint LDA model does not match the "
+                           "dataset shape");
+  }
+  model_ = std::move(loaded);
+  data_ = &data;
   return Status::OK();
 }
 

@@ -27,11 +27,15 @@ class LdaRecommender : public Recommender {
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
+  /// Checkpointing: persists θ and φ so a restart skips Gibbs sampling —
+  /// the single most expensive Fit in the suite (paper Table 5).
+  Status SaveModel(CheckpointWriter& writer) const override;
+  Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
+
   const LdaModel& model() const { return *model_; }
 
  private:
   LdaOptions options_;
-  const Dataset* data_ = nullptr;
   std::optional<LdaModel> model_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "data/serialization.h"
+
 namespace longtail {
 
 Status PageRankRecommender::Fit(const Dataset& data) {
@@ -13,6 +15,96 @@ Status PageRankRecommender::Fit(const Dataset& data) {
   }
   data_ = &data;
   graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
+  return Status::OK();
+}
+
+Status PageRankRecommender::SaveModel(CheckpointWriter& writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a fitted model");
+  }
+  ChunkWriter options;
+  options.Scalar<double>(options_.damping);
+  options.Scalar<double>(options_.tolerance);
+  options.Scalar<int32_t>(options_.max_iterations);
+  options.Scalar<uint8_t>(options_.restart_at_items ? 1 : 0);
+  options.Scalar<uint8_t>(options_.weighted_edges ? 1 : 0);
+  options.Scalar<uint8_t>(discounted_ ? 1 : 0);
+  LT_RETURN_IF_ERROR(writer.WriteChunk(kChunkPageRankOptions,
+                                       kCheckpointChunkVersion, options));
+  ChunkWriter graph;
+  graph_.SaveTo(&graph);
+  return writer.WriteChunk(kChunkBipartiteGraph, kCheckpointChunkVersion,
+                           graph);
+}
+
+Status PageRankRecommender::LoadModel(CheckpointReader& reader,
+                                      const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadModel requires an unfitted recommender");
+  }
+  // Staged locals, committed only on full success — a failed load must
+  // not leave checkpoint options behind for a fallback Fit() to train on.
+  bool have_options = false;
+  bool have_graph = false;
+  PageRankOptions loaded_options = options_;
+  BipartiteGraph loaded_graph;
+  ChunkReader chunk;
+  while (true) {
+    LT_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+    if (!more) break;
+    switch (chunk.tag()) {
+      case kChunkPageRankOptions: {
+        if (chunk.version() > kCheckpointChunkVersion) {
+          return Status::IOError("unsupported PageRank chunk version");
+        }
+        uint8_t restart_at_items = 0;
+        uint8_t weighted = 0;
+        uint8_t discounted = 0;
+        LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.damping));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.tolerance));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.max_iterations));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&restart_at_items));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&weighted));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&discounted));
+        loaded_options.restart_at_items = restart_at_items != 0;
+        loaded_options.weighted_edges = weighted != 0;
+        if ((discounted != 0) != discounted_) {
+          return Status::InvalidArgument(
+              "checkpoint holds a " +
+              std::string(discounted != 0 ? "DPPR" : "PPR") +
+              " model, not " + name());
+        }
+        have_options = true;
+        break;
+      }
+      case kChunkBipartiteGraph: {
+        if (chunk.version() > kCheckpointChunkVersion) {
+          return Status::IOError("unsupported graph chunk version");
+        }
+        LT_ASSIGN_OR_RETURN(loaded_graph, BipartiteGraph::LoadFrom(&chunk));
+        have_graph = true;
+        break;
+      }
+      default:
+        break;  // Unknown chunk: skip (forward compatibility).
+    }
+  }
+  if (!have_options || !have_graph) {
+    return Status::IOError("checkpoint is missing the " + name() +
+                           " chunks");
+  }
+  if (loaded_options.damping <= 0.0 || loaded_options.damping >= 1.0) {
+    return Status::IOError("checkpoint damping outside (0, 1)");
+  }
+  if (loaded_graph.num_users() != data.num_users() ||
+      loaded_graph.num_items() != data.num_items()) {
+    return Status::InvalidArgument(
+        "checkpoint graph shape does not match the dataset");
+  }
+  options_ = loaded_options;
+  graph_ = std::move(loaded_graph);
+  data_ = &data;
   return Status::OK();
 }
 

@@ -42,6 +42,12 @@ class PageRankRecommender : public Recommender {
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
+  /// Checkpointing: persists the fitted graph + iteration parameters. The
+  /// discounted/plain flag is part of the model's identity and must match
+  /// on load (PPR and DPPR register separately in the ModelRegistry).
+  Status SaveModel(CheckpointWriter& writer) const override;
+  Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
+
   /// The converged PPR vector for a user (one entry per graph node).
   Result<std::vector<double>> ComputePpr(UserId user) const;
 
@@ -50,7 +56,6 @@ class PageRankRecommender : public Recommender {
 
   bool discounted_;
   PageRankOptions options_;
-  const Dataset* data_ = nullptr;
   BipartiteGraph graph_;
 };
 

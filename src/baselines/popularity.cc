@@ -1,10 +1,37 @@
 #include "baselines/popularity.h"
 
+#include "data/serialization.h"
+
 namespace longtail {
 
 Status PopularityRecommender::Fit(const Dataset& data) {
   if (data_ != nullptr) {
     return Status::FailedPrecondition("Fit() must be called exactly once");
+  }
+  data_ = &data;
+  return Status::OK();
+}
+
+Status PopularityRecommender::SaveModel(CheckpointWriter& writer) const {
+  (void)writer;
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a fitted model");
+  }
+  return Status::OK();  // No model state beyond the dataset.
+}
+
+Status PopularityRecommender::LoadModel(CheckpointReader& reader,
+                                        const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadModel requires an unfitted recommender");
+  }
+  // Drain the chunk stream (verifying checksums; all tags are skippable
+  // for this model) so the end marker is still enforced.
+  ChunkReader chunk;
+  while (true) {
+    LT_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+    if (!more) break;
   }
   data_ = &data;
   return Status::OK();

@@ -19,8 +19,11 @@ class PopularityRecommender : public Recommender {
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
- private:
-  const Dataset* data_ = nullptr;
+  /// Checkpointing: all serving state is the dataset itself, so the model
+  /// body is empty — the checkpoint exists so the registry can cold-start
+  /// this algorithm uniformly with the rest of the suite.
+  Status SaveModel(CheckpointWriter& writer) const override;
+  Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
 };
 
 }  // namespace longtail

@@ -1,5 +1,8 @@
 #include "baselines/pure_svd.h"
 
+#include <cmath>
+
+#include "data/serialization.h"
 #include "linalg/csr_matrix.h"
 
 namespace longtail {
@@ -34,6 +37,60 @@ Status PureSvdRecommender::Fit(const Dataset& data) {
                std::min(data.num_users(), data.num_items()));
   LT_ASSIGN_OR_RETURN(SvdResult svd, RandomizedSvd(r, svd_options));
   item_factors_ = std::move(svd.v);  // num_items × f
+  return Status::OK();
+}
+
+Status PureSvdRecommender::SaveModel(CheckpointWriter& writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a fitted model");
+  }
+  ChunkWriter chunk;
+  chunk.Scalar<int32_t>(options_.num_factors);
+  WriteDenseMatrix(item_factors_, &chunk);
+  return writer.WriteChunk(kChunkSvdFactors, kCheckpointChunkVersion, chunk);
+}
+
+Status PureSvdRecommender::LoadModel(CheckpointReader& reader,
+                                     const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadModel requires an unfitted recommender");
+  }
+  // Staged locals, committed only on full success — a failed load must
+  // not leave checkpoint options behind for a fallback Fit() to train on.
+  bool have_factors = false;
+  int32_t loaded_num_factors = options_.num_factors;
+  DenseMatrix loaded_factors;
+  ChunkReader chunk;
+  while (true) {
+    LT_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+    if (!more) break;
+    if (chunk.tag() != kChunkSvdFactors) continue;  // Skip unknown.
+    if (chunk.version() > kCheckpointChunkVersion) {
+      return Status::IOError("unsupported PureSVD chunk version");
+    }
+    LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_num_factors));
+    LT_RETURN_IF_ERROR(ReadDenseMatrix(&chunk, &loaded_factors));
+    have_factors = true;
+  }
+  if (!have_factors) {
+    return Status::IOError("checkpoint is missing the PureSVD chunk");
+  }
+  if (loaded_factors.rows() != static_cast<size_t>(data.num_items()) ||
+      loaded_factors.cols() == 0) {
+    return Status::IOError("checkpoint factor matrix does not match the "
+                           "dataset shape");
+  }
+  // NaN/Inf factors in a checksummed-but-hostile file would poison every
+  // score under Status::OK; reject them like graph weights.
+  for (const double v : loaded_factors.data()) {
+    if (!std::isfinite(v)) {
+      return Status::IOError("invalid factor value in checkpoint");
+    }
+  }
+  options_.num_factors = loaded_num_factors;
+  item_factors_ = std::move(loaded_factors);
+  data_ = &data;
   return Status::OK();
 }
 

@@ -34,6 +34,11 @@ class PureSvdRecommender : public Recommender {
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
+  /// Checkpointing: persists the item factor matrix (the SVD itself is the
+  /// expensive part; user embeddings fold in at query time).
+  Status SaveModel(CheckpointWriter& writer) const override;
+  Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
+
   /// Item factor matrix Q (num_items × f).
   const DenseMatrix& item_factors() const { return item_factors_; }
 
@@ -42,7 +47,6 @@ class PureSvdRecommender : public Recommender {
   std::vector<double> UserEmbedding(UserId user) const;
 
   PureSvdOptions options_;
-  const Dataset* data_ = nullptr;
   DenseMatrix item_factors_;
 };
 

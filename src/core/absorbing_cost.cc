@@ -1,8 +1,10 @@
 #include "core/absorbing_cost.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/entropy.h"
+#include "data/serialization.h"
 #include "graph/markov.h"
 
 namespace longtail {
@@ -31,6 +33,76 @@ Status AbsorbingCostRecommender::FitImpl() {
     const double mean =
         user_entropy_.empty() ? 0.0 : sum / user_entropy_.size();
     resolved_jump_cost_ = std::max(mean, 1e-3);
+  }
+  return Status::OK();
+}
+
+Status AbsorbingCostRecommender::SaveExtraChunks(
+    CheckpointWriter& writer) const {
+  ChunkWriter entropy;
+  entropy.Scalar<double>(resolved_jump_cost_);
+  entropy.Vector(user_entropy_);
+  LT_RETURN_IF_ERROR(writer.WriteChunk(kChunkUserEntropy,
+                                       kCheckpointChunkVersion, entropy));
+  if (lda_model_.has_value()) {
+    ChunkWriter lda;
+    WriteLdaModelChunk(*lda_model_, &lda);
+    LT_RETURN_IF_ERROR(
+        writer.WriteChunk(kChunkLdaModel, kCheckpointChunkVersion, lda));
+  }
+  return Status::OK();
+}
+
+Status AbsorbingCostRecommender::LoadExtraChunk(ChunkReader& chunk,
+                                                bool* handled) {
+  switch (chunk.tag()) {
+    case kChunkUserEntropy: {
+      if (chunk.version() > kCheckpointChunkVersion) {
+        return Status::IOError("unsupported entropy chunk version");
+      }
+      LT_RETURN_IF_ERROR(chunk.Scalar(&resolved_jump_cost_));
+      LT_RETURN_IF_ERROR(
+          chunk.Vector(&user_entropy_, kMaxSerializedArrayElements));
+      *handled = true;
+      return Status::OK();
+    }
+    case kChunkLdaModel: {
+      if (chunk.version() > kCheckpointChunkVersion) {
+        return Status::IOError("unsupported LDA chunk version");
+      }
+      LT_ASSIGN_OR_RETURN(LdaModel model, ReadLdaModelChunk(&chunk));
+      lda_model_ = std::move(model);
+      *handled = true;
+      return Status::OK();
+    }
+    default:
+      *handled = false;
+      return Status::OK();
+  }
+}
+
+Status AbsorbingCostRecommender::FinishLoad(const Dataset& data) {
+  if (user_entropy_.size() != static_cast<size_t>(data.num_users())) {
+    return Status::IOError("checkpoint entropy table does not match the "
+                           "dataset's user count");
+  }
+  if (!(resolved_jump_cost_ > 0.0) || !std::isfinite(resolved_jump_cost_)) {
+    return Status::IOError("checkpoint carries an invalid user jump cost");
+  }
+  for (const double e : user_entropy_) {
+    if (!std::isfinite(e) || e < 0.0) {
+      return Status::IOError("checkpoint carries an invalid user entropy");
+    }
+  }
+  if (source_ == EntropySource::kTopicBased) {
+    if (!lda_model_.has_value()) {
+      return Status::IOError("AC2 checkpoint is missing its LDA model");
+    }
+    if (lda_model_->theta().rows() != static_cast<size_t>(data.num_users()) ||
+        lda_model_->phi().cols() != static_cast<size_t>(data.num_items())) {
+      return Status::IOError("AC2 checkpoint LDA model does not match the "
+                             "dataset shape");
+    }
   }
   return Status::OK();
 }

@@ -65,6 +65,13 @@ class AbsorbingCostRecommender : public AbsorbingTimeRecommender {
   void NodeCosts(const Subgraph& sub,
                  std::vector<double>* costs) const override;
 
+  /// Checkpointing: the entropies + resolved C ride in an extra chunk, and
+  /// AC2 adds its LDA tables, so a loaded instance prices walks (and can
+  /// hand the LDA baseline its model) exactly like the fitted one.
+  Status SaveExtraChunks(CheckpointWriter& writer) const override;
+  Status LoadExtraChunk(ChunkReader& chunk, bool* handled) override;
+  Status FinishLoad(const Dataset& data) override;
+
  private:
   EntropySource source_;
   AbsorbingCostOptions cost_options_;

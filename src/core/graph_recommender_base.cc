@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "data/serialization.h"
 #include "graph/subgraph_cache.h"
 #include "util/serving_pool.h"
 
@@ -36,6 +37,129 @@ Status GraphRecommenderBase::Fit(const Dataset& data) {
 void GraphRecommenderBase::NodeCosts(const Subgraph& sub,
                                      std::vector<double>* costs) const {
   costs->assign(sub.graph.num_nodes(), 1.0);
+}
+
+Status GraphRecommenderBase::SaveExtraChunks(CheckpointWriter& writer) const {
+  (void)writer;
+  return Status::OK();
+}
+
+Status GraphRecommenderBase::LoadExtraChunk(ChunkReader& chunk,
+                                            bool* handled) {
+  (void)chunk;
+  *handled = false;
+  return Status::OK();
+}
+
+Status GraphRecommenderBase::FinishLoad(const Dataset& data) {
+  (void)data;
+  return Status::OK();
+}
+
+Status GraphRecommenderBase::SaveModel(CheckpointWriter& writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a fitted model");
+  }
+  ChunkWriter options;
+  options.Scalar<int32_t>(options_.iterations);
+  options.Scalar<int32_t>(options_.max_subgraph_items);
+  options.Scalar<uint8_t>(options_.weighted_edges ? 1 : 0);
+  options.Scalar<uint8_t>(options_.exact ? 1 : 0);
+  options.Scalar<int32_t>(options_.solver.max_iterations);
+  options.Scalar<double>(options_.solver.tolerance);
+  LT_RETURN_IF_ERROR(writer.WriteChunk(kChunkGraphWalkOptions,
+                                       kCheckpointChunkVersion, options));
+  ChunkWriter graph;
+  graph_.SaveTo(&graph);
+  LT_RETURN_IF_ERROR(
+      writer.WriteChunk(kChunkBipartiteGraph, kCheckpointChunkVersion, graph));
+  return SaveExtraChunks(writer);
+}
+
+Status GraphRecommenderBase::LoadModel(CheckpointReader& reader,
+                                       const Dataset& data) {
+  if (data_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadModel requires an unfitted recommender");
+  }
+  // Staged into locals and committed only after the whole stream parses:
+  // a failed load must not leave half-restored options behind, or a
+  // fallback Fit() would silently train under the checkpoint's
+  // configuration instead of the caller's. (Subclass state touched by
+  // LoadExtraChunk needs no staging — FitImpl recomputes all of it.)
+  bool have_options = false;
+  bool have_graph = false;
+  GraphWalkOptions loaded_options = options_;
+  BipartiteGraph loaded_graph;
+  ChunkReader chunk;
+  while (true) {
+    LT_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+    if (!more) break;
+    switch (chunk.tag()) {
+      case kChunkGraphWalkOptions: {
+        if (chunk.version() > kCheckpointChunkVersion) {
+          return Status::IOError("unsupported walk-options chunk version");
+        }
+        int32_t iterations = 0;
+        int32_t max_items = 0;
+        uint8_t weighted = 0;
+        uint8_t exact = 0;
+        LT_RETURN_IF_ERROR(chunk.Scalar(&iterations));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&max_items));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&weighted));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&exact));
+        LT_RETURN_IF_ERROR(
+            chunk.Scalar(&loaded_options.solver.max_iterations));
+        LT_RETURN_IF_ERROR(chunk.Scalar(&loaded_options.solver.tolerance));
+        loaded_options.iterations = iterations;
+        loaded_options.max_subgraph_items = max_items;
+        loaded_options.weighted_edges = weighted != 0;
+        loaded_options.exact = exact != 0;
+        have_options = true;
+        break;
+      }
+      case kChunkBipartiteGraph: {
+        if (chunk.version() > kCheckpointChunkVersion) {
+          return Status::IOError("unsupported graph chunk version");
+        }
+        LT_ASSIGN_OR_RETURN(loaded_graph, BipartiteGraph::LoadFrom(&chunk));
+        have_graph = true;
+        break;
+      }
+      default: {
+        bool handled = false;
+        LT_RETURN_IF_ERROR(LoadExtraChunk(chunk, &handled));
+        // Unhandled tags are skipped: newer checkpoints stay loadable.
+        break;
+      }
+    }
+  }
+  if (!have_options || !have_graph) {
+    return Status::IOError(
+        "checkpoint is missing the graph walker chunks for " + name());
+  }
+  // Value validation mirrors what Fit-time construction guarantees: a
+  // checksummed-but-hostile file must not bind a walker whose every query
+  // silently returns garbage. (max_subgraph_items may be <= 0: uncapped.)
+  if (loaded_options.iterations < 1 ||
+      loaded_options.solver.max_iterations < 1 ||
+      !std::isfinite(loaded_options.solver.tolerance) ||
+      loaded_options.solver.tolerance < 0.0) {
+    return Status::IOError("checkpoint walk options are invalid");
+  }
+  if (loaded_graph.num_users() != data.num_users() ||
+      loaded_graph.num_items() != data.num_items()) {
+    return Status::InvalidArgument(
+        "checkpoint graph shape does not match the dataset");
+  }
+  // Subclass validation runs before the commit below: if it fails, the
+  // object stays unfitted (data_ null, caller's options intact) and the
+  // harness's fallback Fit() still works.
+  LT_RETURN_IF_ERROR(FinishLoad(data));
+  options_ = loaded_options;
+  graph_ = std::move(loaded_graph);
+  data_ = &data;
+  return Status::OK();
 }
 
 Status GraphRecommenderBase::ComputeWalk(UserId user, WalkWorkspace* ws,

@@ -60,6 +60,14 @@ class GraphRecommenderBase : public Recommender {
       std::span<const UserQuery> queries,
       const BatchOptions& options = {}) const override;
 
+  /// Persists the fitted walker: walk options + the bipartite graph, plus
+  /// whatever SaveExtraChunks appends (AC entropies, AC2's LDA tables).
+  Status SaveModel(CheckpointWriter& writer) const override;
+
+  /// Restores a walker saved by SaveModel; serves bit-identically to the
+  /// fitted original without refitting.
+  Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
+
   const GraphWalkOptions& options() const { return options_; }
   const BipartiteGraph& graph() const { return graph_; }
 
@@ -84,7 +92,20 @@ class GraphRecommenderBase : public Recommender {
   virtual void NodeCosts(const Subgraph& sub,
                          std::vector<double>* costs) const;
 
-  const Dataset* data_ = nullptr;
+  /// Appends subclass checkpoint chunks after the shared walker chunks.
+  virtual Status SaveExtraChunks(CheckpointWriter& writer) const;
+
+  /// Offers a chunk the base loader does not recognise to the subclass;
+  /// sets `*handled` when consumed. Unhandled chunks are skipped (forward
+  /// compatibility).
+  virtual Status LoadExtraChunk(ChunkReader& chunk, bool* handled);
+
+  /// Validates subclass state (filled in by LoadExtraChunk) once the whole
+  /// chunk stream is consumed. Runs *before* the base commits options_,
+  /// graph_ and data_, so a failure leaves the object unfitted and a
+  /// fallback Fit() still works; validate against `data`, not data_.
+  virtual Status FinishLoad(const Dataset& data);
+
   BipartiteGraph graph_;
   GraphWalkOptions options_;
 

@@ -7,6 +7,17 @@
 
 namespace longtail {
 
+Status Recommender::SaveModel(CheckpointWriter& writer) const {
+  (void)writer;
+  return Status::Unimplemented("SaveModel is not implemented for " + name());
+}
+
+Status Recommender::LoadModel(CheckpointReader& reader, const Dataset& data) {
+  (void)reader;
+  (void)data;
+  return Status::Unimplemented("LoadModel is not implemented for " + name());
+}
+
 std::vector<UserQueryResult> Recommender::QueryBatch(
     std::span<const UserQuery> queries, const BatchOptions& options) const {
   std::vector<UserQueryResult> results(queries.size());

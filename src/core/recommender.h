@@ -20,8 +20,36 @@
 
 namespace longtail {
 
+class CheckpointReader;
+class CheckpointWriter;
+class ChunkReader;
+class ChunkWriter;
 class ServingPool;
 class SubgraphCache;
+
+/// Chunk tags of the built-in model-checkpoint format (the chunked
+/// container of data/serialization.h; files are written/read through
+/// serving/model_registry.h). Tag 0 is reserved for the container's end
+/// marker. Loaders skip tags they do not know — forward compatibility —
+/// so a tag, once shipped, must never be repurposed; new chunk kinds take
+/// fresh values.
+enum CheckpointChunkTag : uint32_t {
+  kChunkModelHeader = 1,       // algorithm name + fitted dataset shape
+  kChunkGraphWalkOptions = 2,  // GraphWalkOptions + SolverOptions
+  kChunkBipartiteGraph = 3,    // CSR adjacency of the fitted rating graph
+  kChunkUserEntropy = 4,       // AC1/AC2 per-user entropies + resolved C
+  kChunkLdaModel = 5,          // θ and φ tables (AC2, LDA baseline)
+  kChunkSvdFactors = 6,        // PureSVD item-factor matrix
+  kChunkKnnNeighbors = 7,      // ItemKNN per-item neighbour lists
+  kChunkKatzOptions = 8,       // Katz attenuation/truncation parameters
+  kChunkPageRankOptions = 9,   // (D)PPR damping/restart configuration
+};
+
+/// Version written for every built-in chunk. A loader rejects a *known*
+/// tag carrying a higher version (it cannot interpret the payload), while
+/// unknown tags are skipped entirely; bump this only with a loader that
+/// still accepts every older version.
+inline constexpr uint32_t kCheckpointChunkVersion = 1;
 
 /// Score assigned to candidates that a recommender cannot reach or rank
 /// (e.g. items outside the BFS subgraph). Ranks below every real score.
@@ -74,6 +102,23 @@ class Recommender {
   /// The dataset must outlive the recommender.
   virtual Status Fit(const Dataset& data) = 0;
 
+  /// Serializes the fitted model as checkpoint chunks (the container magic,
+  /// header chunk and end marker are the registry's job — see
+  /// serving/model_registry.h). Implementations may only be called after
+  /// Fit. Default: Unimplemented.
+  virtual Status SaveModel(CheckpointWriter& writer) const;
+
+  /// Restores a model written by SaveModel into this *unfitted* instance,
+  /// consuming the reader's remaining chunks (unknown tags are skipped).
+  /// `data` must be the dataset the model was fitted on and must outlive
+  /// the recommender, exactly as with Fit; afterwards the object answers
+  /// every query bit-identically to the instance that was saved, without
+  /// Fit ever running. Default: Unimplemented.
+  virtual Status LoadModel(CheckpointReader& reader, const Dataset& data);
+
+  /// The dataset bound by Fit or LoadModel (nullptr before either).
+  const Dataset* dataset() const { return data_; }
+
   /// Returns up to k items not rated by `user`, best first.
   virtual Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
                                                         int k) const = 0;
@@ -101,6 +146,12 @@ class Recommender {
       std::span<const UserId> users,
       std::span<const std::vector<ItemId>> items_per_user,
       const BatchOptions& options = {}) const;
+
+ protected:
+  /// The training/serving dataset, set by Fit and LoadModel
+  /// implementations. Shared here because every recommender needs it for
+  /// rated-item filtering and query validation.
+  const Dataset* data_ = nullptr;
 };
 
 /// Sorts candidates by (score desc, item id asc) and keeps the best k.

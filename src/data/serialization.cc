@@ -2,10 +2,7 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <vector>
-
-#include "util/hash.h"
 
 namespace longtail {
 
@@ -14,142 +11,167 @@ namespace {
 constexpr char kDatasetMagic[8] = {'L', 'T', 'D', 'S', '0', '0', '0', '1'};
 constexpr char kLdaMagic[8] = {'L', 'T', 'L', 'M', '0', '0', '0', '1'};
 
-// Hard ceiling on any deserialized array (10^9 elements ≈ 8 GB of doubles):
-// protects against hostile/corrupt headers requesting absurd allocations,
-// which would otherwise throw length_error out of resize().
-constexpr uint64_t kMaxArrayElements = 1000000000ULL;
-
-// Streaming FNV-1a over every byte written/read (excluding the trailer).
-class Checksum {
- public:
-  void Update(const void* data, size_t n) { hash_ = FnvHashBytes(data, n, hash_); }
-  uint64_t value() const { return hash_; }
-
- private:
-  uint64_t hash_ = kFnvOffsetBasis;
-};
-
-class Writer {
- public:
-  explicit Writer(const std::string& path)
-      : out_(path, std::ios::binary), path_(path) {}
-
-  bool ok() const { return static_cast<bool>(out_); }
-
-  void Raw(const void* data, size_t n) {
-    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-    checksum_.Update(data, n);
-  }
-  template <typename T>
-  void Scalar(T v) {
-    Raw(&v, sizeof(T));
-  }
-  template <typename T>
-  void Vector(const std::vector<T>& v) {
-    Scalar<uint64_t>(v.size());
-    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
-  }
-  void String(const std::string& s) {
-    Scalar<uint64_t>(s.size());
-    if (!s.empty()) Raw(s.data(), s.size());
-  }
-  Status Finish() {
-    const uint64_t sum = checksum_.value();
-    out_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
-    out_.flush();
-    if (!out_) return Status::IOError("write failed: " + path_);
-    return Status::OK();
-  }
-
- private:
-  std::ofstream out_;
-  std::string path_;
-  Checksum checksum_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::string& path)
-      : in_(path, std::ios::binary), path_(path) {
-    if (in_) {
-      in_.seekg(0, std::ios::end);
-      const auto end = in_.tellg();
-      file_size_ = end >= 0 ? static_cast<uint64_t>(end) : 0;
-      in_.seekg(0, std::ios::beg);
-    }
-  }
-
-  bool ok() const { return static_cast<bool>(in_); }
-  const std::string& path() const { return path_; }
-
-  /// Bytes between the read cursor and end of file. Length fields are
-  /// validated against this before any allocation, so a corrupted (e.g.
-  /// bit-flipped) length yields a clean error instead of a multi-gigabyte
-  /// resize that the checksum would only catch after the fact.
-  uint64_t Remaining() {
-    const auto pos = in_.tellg();
-    if (pos < 0 || static_cast<uint64_t>(pos) > file_size_) return 0;
-    return file_size_ - static_cast<uint64_t>(pos);
-  }
-
-  Status Raw(void* data, size_t n) {
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-    if (static_cast<size_t>(in_.gcount()) != n) {
-      return Status::IOError("truncated file: " + path_);
-    }
-    checksum_.Update(data, n);
-    return Status::OK();
-  }
-  template <typename T>
-  Status Scalar(T* v) {
-    return Raw(v, sizeof(T));
-  }
-  template <typename T>
-  Status Vector(std::vector<T>* v, uint64_t max_elements) {
-    uint64_t n = 0;
-    LT_RETURN_IF_ERROR(Scalar(&n));
-    if (n > max_elements || n > kMaxArrayElements ||
-        n * sizeof(T) > Remaining()) {
-      return Status::IOError("implausible array length in " + path_);
-    }
-    v->resize(n);
-    if (n > 0) return Raw(v->data(), n * sizeof(T));
-    return Status::OK();
-  }
-  Status String(std::string* s, uint64_t max_len = 1 << 20) {
-    uint64_t n = 0;
-    LT_RETURN_IF_ERROR(Scalar(&n));
-    if (n > max_len || n > Remaining()) {
-      return Status::IOError("implausible string length in " + path_);
-    }
-    s->resize(n);
-    if (n > 0) return Raw(s->data(), n);
-    return Status::OK();
-  }
-  Status VerifyChecksum() {
-    const uint64_t expected = checksum_.value();
-    uint64_t stored = 0;
-    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-    if (static_cast<size_t>(in_.gcount()) != sizeof(stored)) {
-      return Status::IOError("missing checksum trailer: " + path_);
-    }
-    if (stored != expected) {
-      return Status::IOError("checksum mismatch (corrupt file): " + path_);
-    }
-    return Status::OK();
-  }
-
- private:
-  std::ifstream in_;
-  std::string path_;
-  uint64_t file_size_ = 0;
-  Checksum checksum_;
-};
+/// FNV-1a over a chunk frame exactly as laid out on disk:
+/// tag ‖ version ‖ payload_len ‖ payload.
+uint64_t ChunkChecksum(uint32_t tag, uint32_t version,
+                       const std::string& payload) {
+  const uint64_t len = payload.size();
+  uint64_t h = FnvHashBytes(&tag, sizeof(tag));
+  h = FnvHashBytes(&version, sizeof(version), h);
+  h = FnvHashBytes(&len, sizeof(len), h);
+  if (!payload.empty()) h = FnvHashBytes(payload.data(), payload.size(), h);
+  return h;
+}
 
 }  // namespace
 
+// ------------------------------------------------------------- checkpoint
+
+CheckpointWriter::CheckpointWriter(const std::string& path) : out_(path) {
+  if (out_.ok()) out_.Raw(kCheckpointMagic, sizeof(kCheckpointMagic));
+}
+
+Status CheckpointWriter::WriteFramed(uint32_t tag, uint32_t version,
+                                     const std::string& payload) {
+  if (!out_.ok()) {
+    return Status::IOError("cannot write checkpoint: " + out_.path());
+  }
+  out_.Scalar<uint32_t>(tag);
+  out_.Scalar<uint32_t>(version);
+  out_.Scalar<uint64_t>(payload.size());
+  if (!payload.empty()) out_.Raw(payload.data(), payload.size());
+  out_.Scalar<uint64_t>(ChunkChecksum(tag, version, payload));
+  return Status::OK();
+}
+
+Status CheckpointWriter::WriteChunk(uint32_t tag, uint32_t version,
+                                    const ChunkWriter& chunk) {
+  if (finished_) {
+    return Status::FailedPrecondition("WriteChunk after Finish: " +
+                                      out_.path());
+  }
+  if (tag == kChunkEndTag) {
+    return Status::InvalidArgument("chunk tag 0 is reserved for the end "
+                                   "marker");
+  }
+  return WriteFramed(tag, version, chunk.payload());
+}
+
+Status CheckpointWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice: " + out_.path());
+  }
+  finished_ = true;
+  LT_RETURN_IF_ERROR(WriteFramed(kChunkEndTag, 0, std::string()));
+  return out_.Flush();
+}
+
+CheckpointReader::CheckpointReader(const std::string& path) : in_(path) {
+  if (!in_.ok()) {
+    status_ = Status::IOError("cannot open checkpoint: " + path);
+    return;
+  }
+  char magic[8];
+  status_ = in_.Raw(magic, sizeof(magic));
+  if (status_.ok() &&
+      std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    status_ = Status::IOError("not a longtail checkpoint file: " + path);
+  }
+}
+
+Result<bool> CheckpointReader::Next(ChunkReader* chunk) {
+  LT_RETURN_IF_ERROR(status_);
+  if (done_) return false;
+  uint32_t tag = 0;
+  uint32_t version = 0;
+  uint64_t len = 0;
+  // A clean EOF here is still an error: only the end-marker chunk may
+  // terminate the stream, so a missing header means truncation.
+  LT_RETURN_IF_ERROR(in_.Scalar(&tag));
+  LT_RETURN_IF_ERROR(in_.Scalar(&version));
+  LT_RETURN_IF_ERROR(in_.Scalar(&len));
+  // Validate the declared payload length (+ its 8-byte checksum) against
+  // the bytes actually left in the file before allocating anything.
+  const uint64_t remaining = in_.Remaining();
+  if (len > remaining || remaining - len < sizeof(uint64_t)) {
+    return Status::IOError("implausible chunk length in " + in_.path());
+  }
+  chunk->tag_ = tag;
+  chunk->version_ = version;
+  chunk->path_ = in_.path();
+  chunk->pos_ = 0;
+  chunk->payload_.resize(len);
+  if (len > 0) {
+    LT_RETURN_IF_ERROR(in_.Raw(chunk->payload_.data(), len));
+  }
+  uint64_t stored = 0;
+  LT_RETURN_IF_ERROR(in_.Scalar(&stored));
+  if (stored != ChunkChecksum(tag, version, chunk->payload_)) {
+    return Status::IOError("chunk checksum mismatch (corrupt file): " +
+                           in_.path());
+  }
+  if (tag == kChunkEndTag) {
+    if (len != 0) {
+      return Status::IOError("malformed end marker in " + in_.path());
+    }
+    // Unlike the monolithic formats, the container is strict about its
+    // tail: bytes after the end marker mean a concatenated or partially
+    // overwritten file, not a valid checkpoint.
+    if (in_.Remaining() != 0) {
+      return Status::IOError("trailing bytes after end marker in " +
+                             in_.path());
+    }
+    done_ = true;
+    return false;
+  }
+  return true;
+}
+
+void WriteDenseMatrix(const DenseMatrix& m, ChunkWriter* w) {
+  w->Scalar<uint64_t>(m.rows());
+  w->Scalar<uint64_t>(m.cols());
+  w->Vector(m.data());
+}
+
+Status ReadDenseMatrix(ChunkReader* r, DenseMatrix* m) {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  LT_RETURN_IF_ERROR(r->Scalar(&rows));
+  LT_RETURN_IF_ERROR(r->Scalar(&cols));
+  if (rows > kMaxSerializedArrayElements ||
+      cols > kMaxSerializedArrayElements ||
+      (cols > 0 && rows > kMaxSerializedArrayElements / cols)) {
+    return Status::IOError("implausible matrix shape in checkpoint chunk");
+  }
+  // Read straight into the matrix's own storage: large factor/topic
+  // tables would otherwise pay a second full-size allocation on the
+  // cold-start path this format exists to speed up.
+  DenseMatrix out(rows, cols);
+  LT_RETURN_IF_ERROR(r->Vector(&out.data(), rows * cols));
+  if (out.data().size() != rows * cols) {
+    return Status::IOError("matrix element count does not match its shape");
+  }
+  *m = std::move(out);
+  return Status::OK();
+}
+
+void WriteLdaModelChunk(const LdaModel& model, ChunkWriter* w) {
+  WriteDenseMatrix(model.theta(), w);
+  WriteDenseMatrix(model.phi(), w);
+}
+
+Result<LdaModel> ReadLdaModelChunk(ChunkReader* r) {
+  DenseMatrix theta;
+  DenseMatrix phi;
+  LT_RETURN_IF_ERROR(ReadDenseMatrix(r, &theta));
+  LT_RETURN_IF_ERROR(ReadDenseMatrix(r, &phi));
+  return LdaModel::FromParameters(std::move(theta), std::move(phi));
+}
+
+// ------------------------------------------------------------ monolithic
+
 Status SaveDatasetBinary(const Dataset& data, const std::string& path) {
-  Writer w(path);
+  BinaryWriter w(path);
   if (!w.ok()) return Status::IOError("cannot open for writing: " + path);
   w.Raw(kDatasetMagic, sizeof(kDatasetMagic));
   w.Scalar<int32_t>(data.num_users());
@@ -172,7 +194,7 @@ Status SaveDatasetBinary(const Dataset& data, const std::string& path) {
 }
 
 Result<Dataset> LoadDatasetBinary(const std::string& path) {
-  Reader r(path);
+  BinaryReader r(path);
   if (!r.ok()) return Status::IOError("cannot open: " + path);
   char magic[8];
   LT_RETURN_IF_ERROR(r.Raw(magic, sizeof(magic)));
@@ -192,7 +214,8 @@ Result<Dataset> LoadDatasetBinary(const std::string& path) {
       static_cast<uint64_t>(num_users) * static_cast<uint64_t>(num_items);
   constexpr uint64_t kRatingRecordBytes =
       sizeof(int32_t) + sizeof(int32_t) + sizeof(float);
-  if (num_ratings > max_plausible || num_ratings > kMaxArrayElements ||
+  if (num_ratings > max_plausible ||
+      num_ratings > kMaxSerializedArrayElements ||
       num_ratings * kRatingRecordBytes > r.Remaining()) {
     return Status::IOError("implausible rating count in " + path);
   }
@@ -236,7 +259,7 @@ Result<Dataset> LoadDatasetBinary(const std::string& path) {
 }
 
 Status SaveLdaModel(const LdaModel& model, const std::string& path) {
-  Writer w(path);
+  BinaryWriter w(path);
   if (!w.ok()) return Status::IOError("cannot open for writing: " + path);
   w.Raw(kLdaMagic, sizeof(kLdaMagic));
   w.Scalar<uint64_t>(model.theta().rows());
@@ -248,7 +271,7 @@ Status SaveLdaModel(const LdaModel& model, const std::string& path) {
 }
 
 Result<LdaModel> LoadLdaModel(const std::string& path) {
-  Reader r(path);
+  BinaryReader r(path);
   if (!r.ok()) return Status::IOError("cannot open: " + path);
   char magic[8];
   LT_RETURN_IF_ERROR(r.Raw(magic, sizeof(magic)));
@@ -262,12 +285,14 @@ Result<LdaModel> LoadLdaModel(const std::string& path) {
   LT_RETURN_IF_ERROR(r.Scalar(&num_items));
   LT_RETURN_IF_ERROR(r.Scalar(&num_topics));
   if (num_topics < 1 || num_users == 0 || num_items == 0 ||
-      num_users > kMaxArrayElements || num_items > kMaxArrayElements ||
+      num_users > kMaxSerializedArrayElements ||
+      num_items > kMaxSerializedArrayElements ||
       static_cast<uint64_t>(num_topics) > 1000000ULL) {
     return Status::IOError("invalid LDA model dimensions in " + path);
   }
   const uint64_t k = static_cast<uint64_t>(num_topics);
-  if (num_users * k > kMaxArrayElements || k * num_items > kMaxArrayElements) {
+  if (num_users * k > kMaxSerializedArrayElements ||
+      k * num_items > kMaxSerializedArrayElements) {
     return Status::IOError("implausible LDA model size in " + path);
   }
   std::vector<double> theta_data;

@@ -1,21 +1,353 @@
 // Binary persistence for datasets and trained models.
 //
-// Recommenders train offline (LDA Gibbs, SVD) and serve online; these
-// helpers let a pipeline persist the expensive artifacts between the two
-// phases. The format is versioned and checksummed: a magic tag + version,
-// little-endian scalar/array sections, and a FNV-1a checksum trailer, so
-// truncated or corrupted files are rejected with a clean Status instead of
-// propagating garbage into a serving process.
+// Two layers live here:
+//
+//  * The monolithic dataset / LDA-model formats (SaveDatasetBinary etc.):
+//    a magic tag + version, little-endian scalar/array sections, and one
+//    FNV-1a checksum trailer over the whole file.
+//
+//  * The chunked checkpoint container used by model checkpoints
+//    (Recommender::SaveModel / LoadModel, serving/model_registry.h):
+//    a magic tag followed by self-describing chunks
+//
+//        chunk := tag(u32) | version(u32) | payload_len(u64)
+//               | payload bytes | fnv64(tag‖version‖len‖payload)
+//
+//    terminated by an end-marker chunk (tag 0, empty payload). Each chunk
+//    carries its own checksum, so a loader can *skip* chunks whose tag it
+//    does not know — forward compatibility: old binaries load new
+//    checkpoints, ignoring chunk kinds added later — while any corruption
+//    (bit flip, truncation, hostile length) is still rejected cleanly.
+//
+// Both layers share the hardened BinaryReader: every length field is
+// validated against the bytes actually remaining in the file *before* any
+// allocation, so a corrupted or hostile header yields a clean Status
+// instead of a multi-gigabyte resize.
 #ifndef LONGTAIL_DATA_SERIALIZATION_H_
 #define LONGTAIL_DATA_SERIALIZATION_H_
 
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "topics/lda.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace longtail {
+
+/// Hard ceiling on any deserialized array (10^9 elements ≈ 8 GB of
+/// doubles): protects against hostile/corrupt headers requesting absurd
+/// allocations, which would otherwise throw length_error out of resize().
+inline constexpr uint64_t kMaxSerializedArrayElements = 1000000000ULL;
+
+/// Streaming FNV-1a over every byte fed to it.
+class FnvChecksum {
+ public:
+  void Update(const void* data, size_t n) {
+    hash_ = FnvHashBytes(data, n, hash_);
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kFnvOffsetBasis;
+};
+
+/// Little-endian scalar/array file writer with a running FNV-1a checksum.
+/// The monolithic formats end with Finish() (checksum trailer); the chunked
+/// container checksums per chunk instead and ends with Flush().
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+  void Raw(const void* data, size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    checksum_.Update(data, n);
+  }
+  template <typename T>
+  void Scalar(T v) {
+    Raw(&v, sizeof(T));
+  }
+  template <typename T>
+  void Vector(const std::vector<T>& v) {
+    Scalar<uint64_t>(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+  void String(const std::string& s) {
+    Scalar<uint64_t>(s.size());
+    if (!s.empty()) Raw(s.data(), s.size());
+  }
+  /// Appends the whole-file checksum trailer and flushes.
+  Status Finish() {
+    const uint64_t sum = checksum_.value();
+    out_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    return Flush();
+  }
+  /// Flushes without a trailer (chunked container: checksums are per chunk).
+  Status Flush() {
+    out_.flush();
+    if (!out_) return Status::IOError("write failed: " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  FnvChecksum checksum_;
+};
+
+/// Hardened little-endian file reader: length fields are validated against
+/// Remaining() before any allocation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary), path_(path) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      const auto end = in_.tellg();
+      file_size_ = end >= 0 ? static_cast<uint64_t>(end) : 0;
+      in_.seekg(0, std::ios::beg);
+    }
+  }
+
+  bool ok() const { return static_cast<bool>(in_); }
+  const std::string& path() const { return path_; }
+
+  /// Bytes between the read cursor and end of file. Length fields are
+  /// validated against this before any allocation, so a corrupted (e.g.
+  /// bit-flipped) length yields a clean error instead of a multi-gigabyte
+  /// resize that the checksum would only catch after the fact.
+  uint64_t Remaining() {
+    const auto pos = in_.tellg();
+    if (pos < 0 || static_cast<uint64_t>(pos) > file_size_) return 0;
+    return file_size_ - static_cast<uint64_t>(pos);
+  }
+
+  Status Raw(void* data, size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(in_.gcount()) != n) {
+      return Status::IOError("truncated file: " + path_);
+    }
+    checksum_.Update(data, n);
+    return Status::OK();
+  }
+  template <typename T>
+  Status Scalar(T* v) {
+    return Raw(v, sizeof(T));
+  }
+  template <typename T>
+  Status Vector(std::vector<T>* v, uint64_t max_elements) {
+    uint64_t n = 0;
+    LT_RETURN_IF_ERROR(Scalar(&n));
+    if (n > max_elements || n > kMaxSerializedArrayElements ||
+        n * sizeof(T) > Remaining()) {
+      return Status::IOError("implausible array length in " + path_);
+    }
+    v->resize(n);
+    if (n > 0) return Raw(v->data(), n * sizeof(T));
+    return Status::OK();
+  }
+  Status String(std::string* s, uint64_t max_len = 1 << 20) {
+    uint64_t n = 0;
+    LT_RETURN_IF_ERROR(Scalar(&n));
+    if (n > max_len || n > Remaining()) {
+      return Status::IOError("implausible string length in " + path_);
+    }
+    s->resize(n);
+    if (n > 0) return Raw(s->data(), n);
+    return Status::OK();
+  }
+  /// Verifies the whole-file checksum trailer of the monolithic formats.
+  Status VerifyChecksum() {
+    const uint64_t expected = checksum_.value();
+    uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (static_cast<size_t>(in_.gcount()) != sizeof(stored)) {
+      return Status::IOError("missing checksum trailer: " + path_);
+    }
+    if (stored != expected) {
+      return Status::IOError("checksum mismatch (corrupt file): " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  uint64_t file_size_ = 0;
+  FnvChecksum checksum_;
+};
+
+// ---------------------------------------------------------------------------
+// Chunked checkpoint container.
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of checkpoint container files. The trailing digits version
+/// the *container layout* only; chunk payloads carry their own versions.
+inline constexpr char kCheckpointMagic[8] = {'L', 'T', 'C', 'P',
+                                             '0', '0', '0', '1'};
+
+/// Tag reserved for the container's end-of-file marker chunk.
+inline constexpr uint32_t kChunkEndTag = 0;
+
+/// In-memory payload builder for one chunk: the same little-endian
+/// scalar/vector/string encoding as BinaryWriter, appended to a buffer that
+/// CheckpointWriter frames and checksums.
+class ChunkWriter {
+ public:
+  void Raw(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  template <typename T>
+  void Scalar(T v) {
+    Raw(&v, sizeof(T));
+  }
+  template <typename T>
+  void Vector(const std::vector<T>& v) {
+    Scalar<uint64_t>(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+  void String(const std::string& s) {
+    Scalar<uint64_t>(s.size());
+    if (!s.empty()) Raw(s.data(), s.size());
+  }
+
+  const std::string& payload() const { return buf_; }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounded cursor over one loaded chunk's payload. All reads are validated
+/// against the chunk's own length; the payload was checksum-verified before
+/// this object is handed out.
+class ChunkReader {
+ public:
+  uint32_t tag() const { return tag_; }
+  uint32_t version() const { return version_; }
+  uint64_t Remaining() const { return payload_.size() - pos_; }
+
+  Status Raw(void* data, size_t n) {
+    if (n > Remaining()) {
+      return Status::IOError("truncated chunk payload in " + path_);
+    }
+    std::memcpy(data, payload_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  template <typename T>
+  Status Scalar(T* v) {
+    return Raw(v, sizeof(T));
+  }
+  template <typename T>
+  Status Vector(std::vector<T>* v, uint64_t max_elements) {
+    uint64_t n = 0;
+    LT_RETURN_IF_ERROR(Scalar(&n));
+    if (n > max_elements || n > kMaxSerializedArrayElements ||
+        n * sizeof(T) > Remaining()) {
+      return Status::IOError("implausible array length in chunk of " + path_);
+    }
+    v->resize(n);
+    if (n > 0) return Raw(v->data(), n * sizeof(T));
+    return Status::OK();
+  }
+  Status String(std::string* s, uint64_t max_len = 1 << 20) {
+    uint64_t n = 0;
+    LT_RETURN_IF_ERROR(Scalar(&n));
+    if (n > max_len || n > Remaining()) {
+      return Status::IOError("implausible string length in chunk of " +
+                             path_);
+    }
+    s->resize(n);
+    if (n > 0) return Raw(s->data(), n);
+    return Status::OK();
+  }
+
+ private:
+  friend class CheckpointReader;
+  uint32_t tag_ = 0;
+  uint32_t version_ = 0;
+  std::string payload_;
+  size_t pos_ = 0;
+  std::string path_;
+};
+
+/// Appends framed, checksummed chunks to a container file. Usage:
+///   CheckpointWriter w(path);            // writes the magic
+///   ChunkWriter c; c.Scalar(...); ...
+///   w.WriteChunk(tag, version, c);       // any number of chunks
+///   w.Finish();                          // end marker + flush
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(const std::string& path);
+
+  bool ok() const { return out_.ok(); }
+  const std::string& path() const { return out_.path(); }
+
+  /// Frames and appends one chunk. `tag` must not be kChunkEndTag.
+  Status WriteChunk(uint32_t tag, uint32_t version, const ChunkWriter& chunk);
+
+  /// Writes the end-marker chunk and flushes. Must be called exactly once.
+  Status Finish();
+
+ private:
+  Status WriteFramed(uint32_t tag, uint32_t version,
+                     const std::string& payload);
+
+  BinaryWriter out_;
+  bool finished_ = false;
+};
+
+/// Sequential chunk iterator over a container file. The magic is verified
+/// at construction (see status()); each Next() validates the chunk length
+/// against the bytes remaining in the file before allocating, loads the
+/// payload, and verifies the per-chunk checksum.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::string& path);
+
+  /// Open/magic failure, if any; Next() also returns it.
+  const Status& status() const { return status_; }
+  const std::string& path() const { return in_.path(); }
+
+  /// Advances to the next chunk: true = `*chunk` holds a verified chunk,
+  /// false = the end marker was reached (repeated calls keep returning
+  /// false). A file that ends without an end marker is truncated → error.
+  Result<bool> Next(ChunkReader* chunk);
+
+ private:
+  BinaryReader in_;
+  Status status_;
+  bool done_ = false;
+};
+
+// ---- shared chunk-payload helpers ----
+
+/// Appends a DenseMatrix (rows, cols, row-major data) to a chunk payload.
+void WriteDenseMatrix(const DenseMatrix& m, ChunkWriter* w);
+
+/// Reads a matrix written by WriteDenseMatrix, validating the declared
+/// shape against the stored element count before allocation.
+Status ReadDenseMatrix(ChunkReader* r, DenseMatrix* m);
+
+/// Appends a trained LDA model (θ then φ) to a chunk payload — the single
+/// encoding behind kChunkLdaModel, shared by AC2 and the LDA baseline so
+/// their checkpoints stay mutually byte-compatible.
+void WriteLdaModelChunk(const LdaModel& model, ChunkWriter* w);
+
+/// Reads a model written by WriteLdaModelChunk.
+Result<LdaModel> ReadLdaModelChunk(ChunkReader* r);
+
+// ---- monolithic formats (datasets, standalone LDA models) ----
 
 /// Writes the full dataset (ratings + metadata) to `path`.
 Status SaveDatasetBinary(const Dataset& data, const std::string& path);

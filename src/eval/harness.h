@@ -26,25 +26,46 @@ struct SuiteOptions {
   PageRankOptions ppr;
   /// Adds MostPopular and ItemKNN beyond the paper's seven.
   bool include_extra_baselines = false;
+  /// Fit-or-load: when non-empty, BuildAndFitSuite restores any algorithm
+  /// with a loadable checkpoint at `<checkpoint_dir>/<name>.ckpt` instead
+  /// of fitting it, and writes a checkpoint back after every fresh Fit —
+  /// so the second run of the same pipeline cold-starts from disk. A
+  /// checkpoint that fails to load (missing, corrupt, fitted on another
+  /// dataset) silently falls back to Fit. The directory must exist.
+  ///
+  /// A loaded checkpoint restores the *saved* configuration — walk/solver
+  /// parameters, factors, topics — which is what bit-identical serving
+  /// requires; the walk/lda/svd/ppr fields above are NOT re-applied to a
+  /// loaded model. Hyperparameter sweeps must therefore use one directory
+  /// per configuration (or clear it), otherwise every run after the first
+  /// silently re-serves the first run's models.
+  std::string checkpoint_dir;
 };
 
 /// A fitted suite, in the paper's reporting order.
 struct AlgorithmSuite {
   std::vector<std::unique_ptr<Recommender>> algorithms;
-  /// Wall-clock Fit() seconds per algorithm, keyed by reporting name
-  /// (offline cost; feeds the machine-readable bench reports).
+  /// Wall-clock seconds to readiness per algorithm, keyed by reporting
+  /// name: Fit() time, or checkpoint load time for algorithms restored
+  /// from `SuiteOptions::checkpoint_dir`.
   std::vector<std::pair<std::string, double>> fit_seconds;
+  /// Names restored from a checkpoint instead of fitted.
+  std::vector<std::string> loaded_from_checkpoint;
 
   /// Convenience lookup by reporting name; nullptr if absent.
   const Recommender* Find(const std::string& name) const;
   /// Fit() seconds for a reporting name; 0 if unknown.
   double FitSeconds(const std::string& name) const;
+  /// True if the named algorithm was restored from a checkpoint.
+  bool WasLoadedFromCheckpoint(const std::string& name) const;
 };
 
 /// Builds AC2, AC1, AT, HT, DPPR, PureSVD, LDA (plus extras when enabled)
-/// and fits each on `train`. The LDA baseline reuses the model AC2 trained,
-/// mirroring the paper's setup where AC2's topics and the LDA recommender
-/// come from the same inference.
+/// and fits each on `train` — or restores it from
+/// `SuiteOptions::checkpoint_dir` when a matching checkpoint exists. The
+/// LDA baseline reuses the model AC2 trained, mirroring the paper's setup
+/// where AC2's topics and the LDA recommender come from the same
+/// inference.
 Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
                                         const SuiteOptions& options);
 

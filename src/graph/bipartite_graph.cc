@@ -1,5 +1,8 @@
 #include "graph/bipartite_graph.h"
 
+#include <cmath>
+
+#include "data/serialization.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -111,6 +114,72 @@ void BipartiteGraph::FinishAssign() {
     weighted_degree_[v] = d;
     total_weight_ += d;
   }
+}
+
+void BipartiteGraph::SaveTo(ChunkWriter* w) const {
+  w->Scalar<int32_t>(num_users_);
+  w->Scalar<int32_t>(num_items_);
+  w->Scalar<int64_t>(num_edges_);
+  w->Vector(ptr_);
+  w->Vector(adj_);
+  w->Vector(weights_);
+}
+
+Result<BipartiteGraph> BipartiteGraph::LoadFrom(ChunkReader* r) {
+  BipartiteGraph g;
+  LT_RETURN_IF_ERROR(r->Scalar(&g.num_users_));
+  LT_RETURN_IF_ERROR(r->Scalar(&g.num_items_));
+  LT_RETURN_IF_ERROR(r->Scalar(&g.num_edges_));
+  if (g.num_users_ < 0 || g.num_items_ < 0 || g.num_edges_ < 0) {
+    return Status::IOError("negative graph dimensions in checkpoint");
+  }
+  const int64_t n = g.num_nodes();
+  LT_RETURN_IF_ERROR(r->Vector(&g.ptr_, static_cast<uint64_t>(n) + 1));
+  LT_RETURN_IF_ERROR(r->Vector(&g.adj_, kMaxSerializedArrayElements));
+  LT_RETURN_IF_ERROR(r->Vector(&g.weights_, kMaxSerializedArrayElements));
+  // Structural invariants: Neighbors()/Weights() hand out spans straight
+  // into these arrays, so everything a query dereferences is validated
+  // here, once, at load time.
+  if (g.ptr_.size() != static_cast<size_t>(n) + 1 || g.ptr_[0] != 0) {
+    return Status::IOError("malformed graph CSR pointers in checkpoint");
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    if (g.ptr_[v + 1] < g.ptr_[v]) {
+      return Status::IOError("non-monotone graph CSR pointers in checkpoint");
+    }
+  }
+  const int64_t entries = g.ptr_[n];
+  // Divide instead of multiplying: 2 * num_edges_ would be signed-overflow
+  // UB for a hostile (but correctly checksummed) num_edges value.
+  if (g.adj_.size() != static_cast<size_t>(entries) ||
+      g.weights_.size() != static_cast<size_t>(entries) ||
+      entries % 2 != 0 || entries / 2 != g.num_edges_) {
+    return Status::IOError("graph adjacency size mismatch in checkpoint");
+  }
+  for (const NodeId nbr : g.adj_) {
+    if (nbr < 0 || nbr >= n) {
+      return Status::IOError("graph adjacency entry out of range in "
+                             "checkpoint");
+    }
+  }
+  // Weights feed transition probabilities (w / weighted degree): a NaN,
+  // infinite or negative weight in a checksummed-but-hostile file would
+  // make every query serve garbage under Status::OK, so reject it here.
+  for (const double w : g.weights_) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::IOError("invalid graph edge weight in checkpoint");
+    }
+  }
+  g.weighted_degree_.assign(n, 0.0);
+  g.total_weight_ = 0.0;
+  for (int64_t v = 0; v < n; ++v) {
+    double d = 0.0;
+    for (int64_t k = g.ptr_[v]; k < g.ptr_[v + 1]; ++k) d += g.weights_[k];
+    g.weighted_degree_[v] = d;
+    g.total_weight_ += d;
+  }
+  g.ComputeFingerprint();
+  return g;
 }
 
 BipartiteGraph BipartiteGraph::FromAdjacency(

@@ -11,8 +11,12 @@
 
 #include "core/types.h"
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace longtail {
+
+class ChunkReader;
+class ChunkWriter;
 
 /// Immutable undirected bipartite graph with weighted adjacency.
 class BipartiteGraph {
@@ -74,6 +78,18 @@ class BipartiteGraph {
   /// A copy with the transient BeginAssign/AssignEdge scratch released —
   /// what long-lived holders (e.g. SubgraphCache payloads) should store.
   BipartiteGraph CompactCopy() const;
+
+  /// Serializes the CSR content (dimensions + ptr/adj/weights) into a
+  /// checkpoint chunk payload. Derived quantities — weighted degrees,
+  /// total weight, the content fingerprint — are recomputed on load, so a
+  /// loaded graph is indistinguishable from one built by FromDataset on
+  /// the same ratings (same fingerprint → SubgraphCache entries stay
+  /// shareable across a save/load restart).
+  void SaveTo(ChunkWriter* w) const;
+
+  /// Reads a graph written by SaveTo, validating every structural
+  /// invariant (monotone CSR pointers, in-range adjacency) before use.
+  static Result<BipartiteGraph> LoadFrom(ChunkReader* r);
 
   /// Content hash over dimensions, adjacency and weights, computed by
   /// FromDataset/FromAdjacency. Two graphs built from the same ratings have

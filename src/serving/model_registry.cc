@@ -1,0 +1,211 @@
+#include "serving/model_registry.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "baselines/item_knn.h"
+#include "baselines/katz.h"
+#include "baselines/lda_recommender.h"
+#include "baselines/pagerank.h"
+#include "baselines/popularity.h"
+#include "baselines/pure_svd.h"
+#include "core/absorbing_cost.h"
+#include "core/absorbing_time.h"
+#include "core/hitting_time.h"
+#include "data/serialization.h"
+
+namespace longtail {
+
+namespace {
+
+/// Parsed kChunkModelHeader payload.
+struct CheckpointHeader {
+  std::string algorithm;
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  int64_t num_ratings = 0;
+};
+
+/// Reads and validates the header chunk, which must be the first chunk of
+/// every checkpoint file.
+Result<CheckpointHeader> ReadHeader(CheckpointReader* reader) {
+  ChunkReader chunk;
+  LT_ASSIGN_OR_RETURN(const bool more, reader->Next(&chunk));
+  if (!more || chunk.tag() != kChunkModelHeader) {
+    return Status::IOError("checkpoint does not start with a model header: " +
+                           reader->path());
+  }
+  if (chunk.version() > kCheckpointChunkVersion) {
+    return Status::IOError("unsupported model header version in " +
+                           reader->path());
+  }
+  CheckpointHeader header;
+  LT_RETURN_IF_ERROR(chunk.String(&header.algorithm, /*max_len=*/1 << 10));
+  LT_RETURN_IF_ERROR(chunk.Scalar(&header.num_users));
+  LT_RETURN_IF_ERROR(chunk.Scalar(&header.num_items));
+  LT_RETURN_IF_ERROR(chunk.Scalar(&header.num_ratings));
+  if (header.algorithm.empty()) {
+    return Status::IOError("empty algorithm name in checkpoint header: " +
+                           reader->path());
+  }
+  return header;
+}
+
+/// Shared tail of the load paths: validates a parsed header against the
+/// target recommender + dataset, then hands the rest of the stream to
+/// LoadModel.
+Status ValidateHeaderAndLoad(CheckpointReader& reader,
+                             const CheckpointHeader& header,
+                             const Dataset& data, Recommender* rec) {
+  if (header.algorithm != rec->name()) {
+    return Status::InvalidArgument(
+        "checkpoint holds a \"" + header.algorithm + "\" model, not \"" +
+        rec->name() + "\": " + reader.path());
+  }
+  if (header.num_users != data.num_users() ||
+      header.num_items != data.num_items() ||
+      header.num_ratings != data.num_ratings()) {
+    return Status::InvalidArgument(
+        "checkpoint was fitted on a dataset of different shape: " +
+        reader.path());
+  }
+  return rec->LoadModel(reader, data);
+}
+
+}  // namespace
+
+ModelRegistry& ModelRegistry::Global() {
+  static ModelRegistry* registry = [] {
+    auto* r = new ModelRegistry();
+    r->Register("HT", [] {
+      return std::make_unique<HittingTimeRecommender>();
+    });
+    r->Register("AT", [] {
+      return std::make_unique<AbsorbingTimeRecommender>();
+    });
+    r->Register("AC1", [] {
+      return std::make_unique<AbsorbingCostRecommender>(
+          EntropySource::kItemBased);
+    });
+    r->Register("AC2", [] {
+      return std::make_unique<AbsorbingCostRecommender>(
+          EntropySource::kTopicBased);
+    });
+    r->Register("PPR", [] {
+      return std::make_unique<PageRankRecommender>(/*discounted=*/false);
+    });
+    r->Register("DPPR", [] {
+      return std::make_unique<PageRankRecommender>(/*discounted=*/true);
+    });
+    r->Register("PureSVD", [] {
+      return std::make_unique<PureSvdRecommender>();
+    });
+    r->Register("LDA", [] { return std::make_unique<LdaRecommender>(); });
+    r->Register("ItemKNN", [] {
+      return std::make_unique<ItemKnnRecommender>();
+    });
+    r->Register("Katz", [] { return std::make_unique<KatzRecommender>(); });
+    r->Register("MostPopular", [] {
+      return std::make_unique<PopularityRecommender>();
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+void ModelRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Recommender>> ModelRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return Status::NotFound("no recommender registered under \"" + name +
+                              "\"");
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<Recommender> rec = factory();
+  if (rec == nullptr) {
+    return Status::Internal("factory for \"" + name + "\" returned null");
+  }
+  return rec;
+}
+
+std::vector<std::string> ModelRegistry::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iterates sorted.
+}
+
+Status SaveModelCheckpoint(const Recommender& rec, const std::string& path) {
+  const Dataset* data = rec.dataset();
+  if (data == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint an unfitted recommender (" + rec.name() + ")");
+  }
+  // Write-to-temp + rename: a crash or disk-full mid-save must never
+  // clobber an existing good checkpoint at `path` with a truncated file.
+  const std::string tmp_path = path + ".tmp";
+  Status written = [&]() -> Status {
+    CheckpointWriter writer(tmp_path);
+    if (!writer.ok()) {
+      return Status::IOError("cannot open for writing: " + tmp_path);
+    }
+    ChunkWriter header;
+    header.String(rec.name());
+    header.Scalar<int32_t>(data->num_users());
+    header.Scalar<int32_t>(data->num_items());
+    header.Scalar<int64_t>(data->num_ratings());
+    LT_RETURN_IF_ERROR(writer.WriteChunk(kChunkModelHeader,
+                                         kCheckpointChunkVersion, header));
+    LT_RETURN_IF_ERROR(rec.SaveModel(writer));
+    return writer.Finish();
+  }();
+  if (!written.ok()) {
+    std::remove(tmp_path.c_str());
+    return written;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadModelCheckpointInto(const std::string& path, const Dataset& data,
+                               Recommender* rec) {
+  CheckpointReader reader(path);
+  LT_RETURN_IF_ERROR(reader.status());
+  LT_ASSIGN_OR_RETURN(const CheckpointHeader header, ReadHeader(&reader));
+  return ValidateHeaderAndLoad(reader, header, data, rec);
+}
+
+Result<std::unique_ptr<Recommender>> LoadModelCheckpoint(
+    const std::string& path, const Dataset& data) {
+  // One open, one header parse: the header names the algorithm and the
+  // same reader then continues into the model chunks.
+  CheckpointReader reader(path);
+  LT_RETURN_IF_ERROR(reader.status());
+  LT_ASSIGN_OR_RETURN(const CheckpointHeader header, ReadHeader(&reader));
+  LT_ASSIGN_OR_RETURN(std::unique_ptr<Recommender> rec,
+                      ModelRegistry::Global().Create(header.algorithm));
+  LT_RETURN_IF_ERROR(ValidateHeaderAndLoad(reader, header, data, rec.get()));
+  return rec;
+}
+
+Result<std::string> ReadCheckpointAlgorithm(const std::string& path) {
+  CheckpointReader reader(path);
+  LT_RETURN_IF_ERROR(reader.status());
+  LT_ASSIGN_OR_RETURN(const CheckpointHeader header, ReadHeader(&reader));
+  return header.algorithm;
+}
+
+}  // namespace longtail

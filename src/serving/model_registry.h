@@ -1,0 +1,84 @@
+// Registry-driven model checkpointing: reconstructing a fitted recommender
+// by name from a checkpoint file, without refitting.
+//
+// Fitting is the dominant offline cost (paper Table 5: LDA Gibbs and the
+// SVD factorization dwarf any single query), yet a serving process dies
+// with its fitted models. The checkpoint entry points here give a server a
+// cold-start path measured in file IO instead of training time:
+//
+//   // offline, once:
+//   SaveModelCheckpoint(*fitted, "ac2.ckpt");
+//   // after any restart:
+//   auto rec = LoadModelCheckpoint("ac2.ckpt", train);   // no Fit
+//
+// A checkpoint file is the chunked container of data/serialization.h: the
+// magic, a header chunk (algorithm name + fitted dataset shape), the
+// model's own chunks (Recommender::SaveModel), and the end marker.
+// LoadModelCheckpoint reads the header, asks ModelRegistry::Global() to
+// construct the named algorithm, and hands the remaining chunks to
+// Recommender::LoadModel — the loaded instance answers every query
+// bit-identically to the one that was saved (tests/checkpoint_test.cc).
+#ifndef LONGTAIL_SERVING_MODEL_REGISTRY_H_
+#define LONGTAIL_SERVING_MODEL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+
+namespace longtail {
+
+/// Maps algorithm names (the exact strings Recommender::name() reports) to
+/// factories producing unfitted instances ready for LoadModel. Thread-safe.
+class ModelRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Recommender>()>;
+
+  /// The process-wide registry, pre-populated with the eleven built-in
+  /// algorithms: HT, AT, AC1, AC2, DPPR, PPR, PureSVD, LDA, ItemKNN, Katz
+  /// and MostPopular.
+  static ModelRegistry& Global();
+
+  /// Registers (or replaces) the factory for `name`.
+  void Register(const std::string& name, Factory factory);
+
+  /// Constructs an unfitted instance of the named algorithm.
+  Result<std::unique_ptr<Recommender>> Create(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> RegisteredNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Writes `rec`'s fitted model to `path` as a checkpoint file (container
+/// magic, header chunk, model chunks, end marker). Fails if the
+/// recommender is unfitted or does not implement SaveModel.
+Status SaveModelCheckpoint(const Recommender& rec, const std::string& path);
+
+/// Restores a checkpoint into `rec`, which must be unfitted and report the
+/// same name() the checkpoint header records. `data` must have the exact
+/// shape (users/items/ratings) of the dataset the model was fitted on and
+/// must outlive the recommender.
+Status LoadModelCheckpointInto(const std::string& path, const Dataset& data,
+                               Recommender* rec);
+
+/// Cold-start serving: reads the header, constructs the named algorithm
+/// through ModelRegistry::Global(), and loads the model into it — Fit
+/// never runs.
+Result<std::unique_ptr<Recommender>> LoadModelCheckpoint(
+    const std::string& path, const Dataset& data);
+
+/// Reads just the algorithm name from a checkpoint header (inspection /
+/// routing without loading the model).
+Result<std::string> ReadCheckpointAlgorithm(const std::string& path);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_SERVING_MODEL_REGISTRY_H_

@@ -1,0 +1,366 @@
+// Model checkpointing contract, for every one of the eleven recommenders:
+// Load(Save(fitted)) into a *fresh, default-constructed* object — obtained
+// from the ModelRegistry by name, so non-default constructor options must
+// ride in the checkpoint — yields bit-identical RecommendTopK / ScoreItems
+// / QueryBatch output versus the fitted instance, at 1 and 8 threads.
+// Plus the registry API itself and the load-time failure modes (wrong
+// algorithm, wrong dataset shape, double-load, fit-after-load).
+#include "serving/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/item_knn.h"
+#include "baselines/katz.h"
+#include "baselines/lda_recommender.h"
+#include "baselines/pagerank.h"
+#include "baselines/popularity.h"
+#include "baselines/pure_svd.h"
+#include "core/absorbing_cost.h"
+#include "core/absorbing_time.h"
+#include "core/hitting_time.h"
+#include "data/generator.h"
+#include "data/serialization.h"
+
+namespace longtail {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Non-default options everywhere: the registry reconstructs each
+/// algorithm with *default* constructor arguments, so any parity below
+/// proves the checkpoint carries the configuration, not just the tables.
+GraphWalkOptions TestWalk() {
+  GraphWalkOptions walk;
+  walk.iterations = 7;
+  walk.max_subgraph_items = 60;
+  return walk;
+}
+
+LdaOptions TestLda() {
+  LdaOptions lda;
+  lda.num_topics = 5;
+  lda.iterations = 15;
+  lda.seed = 99;
+  return lda;
+}
+
+struct AlgoCase {
+  const char* name;
+  std::function<std::unique_ptr<Recommender>()> make;
+};
+
+const std::vector<AlgoCase>& AllAlgorithms() {
+  static const std::vector<AlgoCase>* cases = new std::vector<AlgoCase>{
+      {"HT",
+       [] { return std::make_unique<HittingTimeRecommender>(TestWalk()); }},
+      {"AT",
+       [] { return std::make_unique<AbsorbingTimeRecommender>(TestWalk()); }},
+      {"AC1",
+       [] {
+         AbsorbingCostOptions options;
+         options.walk = TestWalk();
+         return std::make_unique<AbsorbingCostRecommender>(
+             EntropySource::kItemBased, options);
+       }},
+      {"AC2",
+       [] {
+         AbsorbingCostOptions options;
+         options.walk = TestWalk();
+         options.lda = TestLda();
+         return std::make_unique<AbsorbingCostRecommender>(
+             EntropySource::kTopicBased, options);
+       }},
+      {"PPR",
+       [] {
+         PageRankOptions options;
+         options.damping = 0.4;
+         options.max_iterations = 60;
+         return std::make_unique<PageRankRecommender>(/*discounted=*/false,
+                                                      options);
+       }},
+      {"DPPR",
+       [] {
+         PageRankOptions options;
+         options.damping = 0.6;
+         return std::make_unique<PageRankRecommender>(/*discounted=*/true,
+                                                      options);
+       }},
+      {"PureSVD",
+       [] {
+         PureSvdOptions options;
+         options.num_factors = 8;
+         return std::make_unique<PureSvdRecommender>(options);
+       }},
+      {"LDA", [] { return std::make_unique<LdaRecommender>(TestLda()); }},
+      {"ItemKNN",
+       [] {
+         ItemKnnOptions options;
+         options.num_neighbors = 4;
+         return std::make_unique<ItemKnnRecommender>(options);
+       }},
+      {"Katz",
+       [] {
+         KatzOptions options;
+         options.beta = 0.02;
+         options.max_path_length = 4;
+         return std::make_unique<KatzRecommender>(options);
+       }},
+      {"MostPopular", [] { return std::make_unique<PopularityRecommender>(); }},
+  };
+  return *cases;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.name = "checkpoint";
+    spec.num_users = 120;
+    spec.num_items = 90;
+    spec.mean_user_degree = 10;
+    spec.min_user_degree = 3;
+    spec.num_genres = 5;
+    spec.seed = 77;
+    auto generated = GenerateSyntheticData(spec);
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    data_ = new Dataset(std::move(generated->dataset));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  /// A batch exercising both query halves for every user: top-k list plus
+  /// scores for a fixed candidate slate.
+  static std::vector<UserQuery> MakeQueries(
+      const std::vector<ItemId>& candidates) {
+    std::vector<UserQuery> queries(data_->num_users());
+    for (UserId u = 0; u < data_->num_users(); ++u) {
+      queries[u].user = u;
+      queries[u].top_k = 10;
+      queries[u].score_items = candidates;
+    }
+    return queries;
+  }
+
+  static void ExpectBitIdentical(const std::vector<UserQueryResult>& want,
+                                 const std::vector<UserQueryResult>& got,
+                                 const std::string& label) {
+    ASSERT_EQ(want.size(), got.size()) << label;
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i].status.ok(), got[i].status.ok())
+          << label << " user " << i << ": " << want[i].status.ToString()
+          << " vs " << got[i].status.ToString();
+      ASSERT_EQ(want[i].top_k.size(), got[i].top_k.size())
+          << label << " user " << i;
+      for (size_t k = 0; k < want[i].top_k.size(); ++k) {
+        EXPECT_EQ(want[i].top_k[k].item, got[i].top_k[k].item)
+            << label << " user " << i << " rank " << k;
+        // Bitwise: == on doubles, no tolerance.
+        EXPECT_EQ(want[i].top_k[k].score, got[i].top_k[k].score)
+            << label << " user " << i << " rank " << k;
+      }
+      ASSERT_EQ(want[i].scores.size(), got[i].scores.size())
+          << label << " user " << i;
+      for (size_t k = 0; k < want[i].scores.size(); ++k) {
+        EXPECT_EQ(want[i].scores[k], got[i].scores[k])
+            << label << " user " << i << " candidate " << k;
+      }
+    }
+  }
+
+  static Dataset* data_;
+};
+
+Dataset* CheckpointTest::data_ = nullptr;
+
+TEST_F(CheckpointTest, EveryRecommenderSurvivesSaveLoadBitIdentically) {
+  const std::vector<ItemId> candidates = {0,  1,  5,  12, 23, 34,
+                                          45, 56, 67, 78, 89};
+  const std::vector<UserQuery> queries = MakeQueries(candidates);
+  for (const AlgoCase& algo : AllAlgorithms()) {
+    SCOPED_TRACE(algo.name);
+    std::unique_ptr<Recommender> fitted = algo.make();
+    ASSERT_EQ(fitted->name(), algo.name);
+    ASSERT_TRUE(fitted->Fit(*data_).ok());
+
+    const std::string path = TempPath(std::string(algo.name) + ".ckpt");
+    ASSERT_TRUE(SaveModelCheckpoint(*fitted, path).ok());
+
+    // Registry cold start: fresh object, default options, no Fit.
+    auto loaded = LoadModelCheckpoint(path, *data_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->name(), algo.name);
+    EXPECT_EQ((*loaded)->dataset(), data_);
+
+    BatchOptions sequential;
+    sequential.num_threads = 1;
+    const auto want = fitted->QueryBatch(queries, sequential);
+    for (size_t threads : {1u, 8u}) {
+      BatchOptions options;
+      options.num_threads = threads;
+      const auto got = (*loaded)->QueryBatch(queries, options);
+      ExpectBitIdentical(
+          want, got,
+          std::string(algo.name) + "@" + std::to_string(threads) + "t");
+    }
+
+    // Single-user paths agree too.
+    const auto want_top = fitted->RecommendTopK(0, 5);
+    const auto got_top = (*loaded)->RecommendTopK(0, 5);
+    ASSERT_EQ(want_top.ok(), got_top.ok());
+    if (want_top.ok()) {
+      ASSERT_EQ(want_top->size(), got_top->size());
+      for (size_t k = 0; k < want_top->size(); ++k) {
+        EXPECT_EQ((*want_top)[k].item, (*got_top)[k].item);
+        EXPECT_EQ((*want_top)[k].score, (*got_top)[k].score);
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(CheckpointTest, RegistryKnowsAllElevenBuiltins) {
+  const std::vector<std::string> names =
+      ModelRegistry::Global().RegisteredNames();
+  for (const char* want :
+       {"HT", "AT", "AC1", "AC2", "PPR", "DPPR", "PureSVD", "LDA", "ItemKNN",
+        "Katz", "MostPopular"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << want;
+    auto rec = ModelRegistry::Global().Create(want);
+    ASSERT_TRUE(rec.ok()) << want;
+    EXPECT_EQ((*rec)->name(), want);
+    EXPECT_EQ((*rec)->dataset(), nullptr);
+  }
+  EXPECT_GE(names.size(), 11u);
+}
+
+TEST_F(CheckpointTest, UnknownAlgorithmIsRejected) {
+  EXPECT_FALSE(ModelRegistry::Global().Create("NoSuchAlgorithm").ok());
+}
+
+TEST_F(CheckpointTest, HeaderNameAndShapeAreEnforced) {
+  HittingTimeRecommender ht(TestWalk());
+  ASSERT_TRUE(ht.Fit(*data_).ok());
+  const std::string path = TempPath("header_checks.ckpt");
+  ASSERT_TRUE(SaveModelCheckpoint(ht, path).ok());
+
+  EXPECT_EQ(ReadCheckpointAlgorithm(path).value_or(""), "HT");
+
+  // Loading an HT checkpoint into an AT instance must fail on the header.
+  AbsorbingTimeRecommender at;
+  EXPECT_FALSE(LoadModelCheckpointInto(path, *data_, &at).ok());
+
+  // A dataset of a different shape must be rejected before any chunk
+  // parsing trusts it.
+  SyntheticSpec other;
+  other.num_users = 30;
+  other.num_items = 20;
+  other.mean_user_degree = 5;
+  other.min_user_degree = 2;
+  other.seed = 5;
+  auto small = GenerateSyntheticData(other);
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(LoadModelCheckpoint(path, small->dataset).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LifecycleGuards) {
+  KatzRecommender fitted;
+  ASSERT_TRUE(fitted.Fit(*data_).ok());
+  const std::string path = TempPath("lifecycle.ckpt");
+  ASSERT_TRUE(SaveModelCheckpoint(fitted, path).ok());
+
+  // LoadModel on an already-fitted instance fails.
+  EXPECT_FALSE(LoadModelCheckpointInto(path, *data_, &fitted).ok());
+
+  // Fit after a successful load fails (the model is already bound).
+  auto loaded = LoadModelCheckpoint(path, *data_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE((*loaded)->Fit(*data_).ok());
+
+  // Saving an unfitted recommender fails.
+  KatzRecommender unfitted;
+  EXPECT_FALSE(
+      SaveModelCheckpoint(unfitted, TempPath("unfitted.ckpt")).ok());
+  std::remove(path.c_str());
+}
+
+// A load that fails *after* its chunks parsed (subclass validation: here
+// an AC1 checkpoint missing its entropy chunk) must leave the object
+// unfitted with the caller's options intact, so the harness's fallback
+// Fit() still works — a half-restored load must never poison the refit.
+TEST_F(CheckpointTest, FailedLoadLeavesObjectFittable) {
+  // Hand-build an "AC1" checkpoint holding only the shared graph-walker
+  // chunks (what an interrupted save could leave): HT's SaveModel writes
+  // exactly those two.
+  HittingTimeRecommender ht(TestWalk());
+  ASSERT_TRUE(ht.Fit(*data_).ok());
+  const std::string path = TempPath("incomplete_ac1.ckpt");
+  {
+    CheckpointWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    ChunkWriter header;
+    header.String("AC1");
+    header.Scalar<int32_t>(data_->num_users());
+    header.Scalar<int32_t>(data_->num_items());
+    header.Scalar<int64_t>(data_->num_ratings());
+    ASSERT_TRUE(writer
+                    .WriteChunk(kChunkModelHeader, kCheckpointChunkVersion,
+                                header)
+                    .ok());
+    ASSERT_TRUE(ht.SaveModel(writer).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  AbsorbingCostOptions options;
+  options.walk.iterations = 33;  // Distinct from TestWalk()'s 7.
+  AbsorbingCostRecommender ac1(EntropySource::kItemBased, options);
+  EXPECT_FALSE(LoadModelCheckpointInto(path, *data_, &ac1).ok());
+  EXPECT_EQ(ac1.dataset(), nullptr);
+  // The fallback refit works and trains under the caller's options, not
+  // the checkpoint's.
+  ASSERT_TRUE(ac1.Fit(*data_).ok());
+  EXPECT_EQ(ac1.options().iterations, 33);
+  std::remove(path.c_str());
+}
+
+// The AC2 checkpoint carries the LDA tables; the restored model must hand
+// them onward exactly as the fitted one does (the harness adopts AC2's
+// model for the LDA baseline).
+TEST_F(CheckpointTest, Ac2CheckpointCarriesItsLdaModel) {
+  AbsorbingCostOptions options;
+  options.walk = TestWalk();
+  options.lda = TestLda();
+  AbsorbingCostRecommender ac2(EntropySource::kTopicBased, options);
+  ASSERT_TRUE(ac2.Fit(*data_).ok());
+  const std::string path = TempPath("ac2_lda.ckpt");
+  ASSERT_TRUE(SaveModelCheckpoint(ac2, path).ok());
+
+  auto loaded = LoadModelCheckpoint(path, *data_);
+  ASSERT_TRUE(loaded.ok());
+  auto* loaded_ac2 = dynamic_cast<AbsorbingCostRecommender*>(loaded->get());
+  ASSERT_NE(loaded_ac2, nullptr);
+  ASSERT_TRUE(loaded_ac2->lda_model().has_value());
+  EXPECT_EQ(loaded_ac2->lda_model()->theta().data(),
+            ac2.lda_model()->theta().data());
+  EXPECT_EQ(loaded_ac2->lda_model()->phi().data(),
+            ac2.lda_model()->phi().data());
+  EXPECT_EQ(loaded_ac2->user_entropy(), ac2.user_entropy());
+  EXPECT_EQ(loaded_ac2->resolved_user_jump_cost(),
+            ac2.resolved_user_jump_cost());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace longtail

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/absorbing_cost.h"
@@ -24,6 +25,7 @@
 #include "data/split.h"
 #include "eval/metrics.h"
 #include "graph/subgraph_cache.h"
+#include "serving/model_registry.h"
 
 namespace longtail {
 namespace {
@@ -158,6 +160,48 @@ TEST_F(GoldenRegressionTest, MetricsMatchCommittedGoldens) {
     EXPECT_NEAR(curve->At(10), golden.recall_at_10, kTol) << golden.name;
     EXPECT_NEAR(diversity, golden.diversity, kTol) << golden.name;
     EXPECT_NEAR(coverage, golden.tail_coverage, kTol) << golden.name;
+  }
+}
+
+// The goldens must also hold through a checkpoint round-trip: fit → save →
+// registry cold-start → evaluate, pinning the loaded models to the same
+// committed constants. Catches checkpoint drift — any chunk field that
+// fails to round-trip (an option, a graph weight, an entropy) shifts a
+// ranking somewhere in 80 users × 10 slots and lands outside kTol.
+TEST_F(GoldenRegressionTest, GoldensSurviveCheckpointRoundTrip) {
+  for (const GoldenRow& golden : kGolden) {
+    std::unique_ptr<Recommender> fitted = Build(golden.name);
+    ASSERT_TRUE(fitted->Fit(split_->train).ok()) << golden.name;
+    const std::string path = ::testing::TempDir() + "/golden_" +
+                             golden.name + ".ckpt";
+    ASSERT_TRUE(SaveModelCheckpoint(*fitted, path).ok()) << golden.name;
+    fitted.reset();  // Only the checkpoint survives the "restart".
+
+    auto rec = LoadModelCheckpoint(path, split_->train);
+    ASSERT_TRUE(rec.ok()) << golden.name << ": " << rec.status().ToString();
+    std::remove(path.c_str());
+
+    RecallProtocolOptions recall_options;
+    recall_options.num_decoys = 150;
+    recall_options.max_n = 10;
+    recall_options.num_threads = 1;
+    auto curve =
+        EvaluateRecall(**rec, split_->train, split_->test, recall_options);
+    ASSERT_TRUE(curve.ok()) << golden.name;
+
+    TopNListOptions list_options;
+    list_options.k = 10;
+    list_options.num_threads = 1;
+    auto lists = ComputeTopNLists(**rec, *users_, list_options);
+    ASSERT_TRUE(lists.ok()) << golden.name;
+
+    EXPECT_NEAR(curve->At(5), golden.recall_at_5, kTol) << golden.name;
+    EXPECT_NEAR(curve->At(10), golden.recall_at_10, kTol) << golden.name;
+    EXPECT_NEAR(DiversityOfLists(split_->train, *lists, 10),
+                golden.diversity, kTol)
+        << golden.name;
+    EXPECT_NEAR(TailCoverage(*lists), golden.tail_coverage, kTol)
+        << golden.name;
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "data/generator.h"
 #include "data/split.h"
 
@@ -102,6 +104,46 @@ TEST_F(HarnessTest, ExtraBaselinesOptIn) {
   EXPECT_NE(suite->Find("MostPopular"), nullptr);
   EXPECT_NE(suite->Find("ItemKNN"), nullptr);
   EXPECT_NE(suite->Find("Katz"), nullptr);
+}
+
+TEST_F(HarnessTest, FitOrLoadRoundTripsThroughCheckpointDir) {
+  const std::string dir = ::testing::TempDir() + "/harness_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SuiteOptions options = FastSuiteOptions();
+  options.checkpoint_dir = dir;
+
+  // First run fits everything (no checkpoints yet) and writes them back.
+  auto first = BuildAndFitSuite(corpus_->dataset, options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->loaded_from_checkpoint.empty());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/AC2.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/LDA.ckpt"));
+
+  // Second run cold-starts from the directory and serves identical
+  // recommendations. Every algorithm loads except the LDA baseline, which
+  // by design always adopts AC2's (here: loaded) model instead of reading
+  // its own checkpoint — so its output is identical all the same.
+  auto second = BuildAndFitSuite(corpus_->dataset, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->loaded_from_checkpoint.size(),
+            second->algorithms.size() - 1);
+  for (const auto& alg : second->algorithms) {
+    EXPECT_EQ(second->WasLoadedFromCheckpoint(alg->name()),
+              alg->name() != "LDA")
+        << alg->name();
+    const auto want = first->Find(alg->name())->RecommendTopK(1, 5);
+    const auto got = alg->RecommendTopK(1, 5);
+    ASSERT_EQ(want.ok(), got.ok()) << alg->name();
+    if (!want.ok()) continue;
+    ASSERT_EQ(want->size(), got->size()) << alg->name();
+    for (size_t k = 0; k < want->size(); ++k) {
+      EXPECT_EQ((*want)[k].item, (*got)[k].item) << alg->name();
+      EXPECT_EQ((*want)[k].score, (*got)[k].score) << alg->name();
+    }
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(HarnessTest, LdaBaselineSharesAc2Model) {

@@ -6,6 +6,13 @@
 // flipped anywhere (covers the checksum trailer and every length field),
 // wrong magic/version tags, and hostile hand-crafted headers whose length
 // fields would request multi-gigabyte allocations.
+//
+// The same battery runs against the chunked checkpoint container (model
+// checkpoints): per-chunk checksums must catch every flip, chunk lengths
+// must be validated against the file before allocating, a missing end
+// marker must read as truncation — and a well-formed chunk with an
+// *unknown* tag must be skipped, loading successfully (the container's
+// forward-compatibility contract).
 #include "data/serialization.h"
 
 #include <gtest/gtest.h>
@@ -13,10 +20,15 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/hitting_time.h"
+#include "serving/model_registry.h"
 #include "test_util.h"
+#include "util/hash.h"
 
 namespace longtail {
 namespace {
@@ -67,19 +79,40 @@ class SerializationFuzzTest : public ::testing::Test {
   void SetUp() override {
     dataset_path_ = TempPath("fuzz_dataset.bin");
     model_path_ = TempPath("fuzz_model.bin");
-    const Dataset data = MakeRichDataset();
-    ASSERT_TRUE(SaveDatasetBinary(data, dataset_path_).ok());
+    checkpoint_path_ = TempPath("fuzz_checkpoint.ckpt");
+    dataset_ = MakeRichDataset();
+    ASSERT_TRUE(SaveDatasetBinary(*dataset_, dataset_path_).ok());
     ASSERT_TRUE(SaveLdaModel(MakeSmallModel(), model_path_).ok());
+    // A graph-walker checkpoint exercises the richest chunk set: header,
+    // walk options, and the CSR bipartite-graph chunk with its structural
+    // validation.
+    ht_ = std::make_unique<HittingTimeRecommender>();
+    ASSERT_TRUE(ht_->Fit(*dataset_).ok());
+    ASSERT_TRUE(SaveModelCheckpoint(*ht_, checkpoint_path_).ok());
     dataset_bytes_ = ReadFileBytes(dataset_path_);
     model_bytes_ = ReadFileBytes(model_path_);
+    checkpoint_bytes_ = ReadFileBytes(checkpoint_path_);
     ASSERT_GT(dataset_bytes_.size(), 16u);
     ASSERT_GT(model_bytes_.size(), 16u);
+    ASSERT_GT(checkpoint_bytes_.size(), 48u);
+  }
+
+  /// Loads a checkpoint byte string through the registry cold-start path.
+  Result<std::unique_ptr<Recommender>> LoadCheckpointBytes(
+      const std::vector<char>& bytes) {
+    const std::string path = TempPath("mutated_checkpoint.ckpt");
+    WriteFileBytes(path, bytes);
+    return LoadModelCheckpoint(path, *dataset_);
   }
 
   std::string dataset_path_;
   std::string model_path_;
+  std::string checkpoint_path_;
+  std::optional<Dataset> dataset_;
+  std::unique_ptr<HittingTimeRecommender> ht_;
   std::vector<char> dataset_bytes_;
   std::vector<char> model_bytes_;
+  std::vector<char> checkpoint_bytes_;
 };
 
 TEST_F(SerializationFuzzTest, RoundTripBaselineStillLoads) {
@@ -234,6 +267,167 @@ TEST_F(SerializationFuzzTest, InsertedBytesAreRejected) {
   mutated.insert(mutated.begin() + 12, 4, '\x7f');
   WriteFileBytes(path, mutated);
   EXPECT_FALSE(LoadDatasetBinary(path).ok());
+}
+
+// ------------------------------------------------------------------------
+// Chunked checkpoint container (model checkpoints).
+// ------------------------------------------------------------------------
+
+TEST_F(SerializationFuzzTest, CheckpointRoundTripBaselineStillLoads) {
+  auto loaded = LoadModelCheckpoint(checkpoint_path_, *dataset_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), "HT");
+}
+
+// A file ending anywhere before the end-marker chunk — mid-magic,
+// mid-chunk-header, mid-payload, mid-checksum — is truncation and must be
+// rejected; only the end marker may terminate the stream.
+TEST_F(SerializationFuzzTest, CheckpointTruncatedAtEveryByteFailsCleanly) {
+  for (size_t len = 0; len < checkpoint_bytes_.size(); ++len) {
+    auto result = LoadCheckpointBytes(std::vector<char>(
+        checkpoint_bytes_.begin(), checkpoint_bytes_.begin() + len));
+    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+// Every byte of the container is covered by either the magic comparison
+// or a per-chunk FNV-1a checksum (which spans the chunk's tag, version,
+// length *and* payload), so any single-bit flip must be rejected.
+TEST_F(SerializationFuzzTest, SingleBitFlipsAcrossCheckpointAreRejected) {
+  for (size_t byte = 0; byte < checkpoint_bytes_.size(); ++byte) {
+    const int bit = static_cast<int>(byte % 8);
+    std::vector<char> mutated = checkpoint_bytes_;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+    auto result = LoadCheckpointBytes(mutated);
+    EXPECT_FALSE(result.ok()) << "byte " << byte << " bit " << bit
+                              << " loaded";
+  }
+}
+
+// Hostile chunk lengths: the loader must refuse before attempting the
+// implied allocation. Both the container framing (chunk length vs bytes
+// remaining in the file) and the in-chunk array/string guards are probed.
+TEST_F(SerializationFuzzTest,
+       HostileCheckpointChunkLengthsRejectedBeforeAllocation) {
+  // Container level: a chunk header claiming an exabyte payload.
+  {
+    std::vector<char> bytes(checkpoint_bytes_.begin(),
+                            checkpoint_bytes_.begin() + 8);
+    const uint32_t tag = 1, version = 1;
+    const uint64_t huge = 1ULL << 60;
+    const char* p = reinterpret_cast<const char*>(&tag);
+    bytes.insert(bytes.end(), p, p + 4);
+    p = reinterpret_cast<const char*>(&version);
+    bytes.insert(bytes.end(), p, p + 4);
+    p = reinterpret_cast<const char*>(&huge);
+    bytes.insert(bytes.end(), p, p + 8);
+    EXPECT_FALSE(LoadCheckpointBytes(bytes).ok());
+  }
+  // Chunk level: a correctly framed and checksummed header chunk whose
+  // payload declares a terabyte-long algorithm-name string.
+  {
+    const uint32_t tag = 1, version = 1;
+    std::string payload;
+    const uint64_t name_len = 1ULL << 40;
+    payload.append(reinterpret_cast<const char*>(&name_len), 8);
+    payload.append("x");  // Far fewer bytes than declared.
+    const uint64_t len = payload.size();
+    uint64_t sum = FnvHashBytes(&tag, 4);
+    sum = FnvHashBytes(&version, 4, sum);
+    sum = FnvHashBytes(&len, 8, sum);
+    sum = FnvHashBytes(payload.data(), payload.size(), sum);
+    std::vector<char> bytes(checkpoint_bytes_.begin(),
+                            checkpoint_bytes_.begin() + 8);
+    const char* p = reinterpret_cast<const char*>(&tag);
+    bytes.insert(bytes.end(), p, p + 4);
+    p = reinterpret_cast<const char*>(&version);
+    bytes.insert(bytes.end(), p, p + 4);
+    p = reinterpret_cast<const char*>(&len);
+    bytes.insert(bytes.end(), p, p + 8);
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    p = reinterpret_cast<const char*>(&sum);
+    bytes.insert(bytes.end(), p, p + 8);
+    EXPECT_FALSE(LoadCheckpointBytes(bytes).ok());
+  }
+}
+
+// Forward compatibility: a well-formed chunk with an unknown tag — as a
+// future format revision would emit — must be *skipped*, and the model
+// must still load and serve identically.
+TEST_F(SerializationFuzzTest, UnknownChunkTagsAreSkippedNotFatal) {
+  // Frame an unknown chunk by hand, checksummed exactly like the writer.
+  const uint32_t tag = 0x7e57;  // No loader knows this tag.
+  const uint32_t version = 9;
+  const std::string payload = "opaque-future-extension-data";
+  const uint64_t len = payload.size();
+  uint64_t sum = FnvHashBytes(&tag, 4);
+  sum = FnvHashBytes(&version, 4, sum);
+  sum = FnvHashBytes(&len, 8, sum);
+  sum = FnvHashBytes(payload.data(), payload.size(), sum);
+  std::vector<char> chunk;
+  const char* p = reinterpret_cast<const char*>(&tag);
+  chunk.insert(chunk.end(), p, p + 4);
+  p = reinterpret_cast<const char*>(&version);
+  chunk.insert(chunk.end(), p, p + 4);
+  p = reinterpret_cast<const char*>(&len);
+  chunk.insert(chunk.end(), p, p + 8);
+  chunk.insert(chunk.end(), payload.begin(), payload.end());
+  p = reinterpret_cast<const char*>(&sum);
+  chunk.insert(chunk.end(), p, p + 8);
+
+  // Splice it in right after the header chunk (whose end we locate from
+  // its length field at magic + tag + version).
+  uint64_t header_len = 0;
+  std::memcpy(&header_len, checkpoint_bytes_.data() + 8 + 4 + 4, 8);
+  const size_t insert_at = 8 + 4 + 4 + 8 + header_len + 8;
+  ASSERT_LT(insert_at, checkpoint_bytes_.size());
+  std::vector<char> mutated = checkpoint_bytes_;
+  mutated.insert(mutated.begin() + insert_at, chunk.begin(), chunk.end());
+
+  auto loaded = LoadCheckpointBytes(mutated);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), "HT");
+  // The skipped chunk changed nothing: same recommendations as the
+  // fitted original.
+  const auto want = ht_->RecommendTopK(0, 5);
+  const auto got = (*loaded)->RecommendTopK(0, 5);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(want->size(), got->size());
+  for (size_t k = 0; k < want->size(); ++k) {
+    EXPECT_EQ((*want)[k].item, (*got)[k].item);
+    EXPECT_EQ((*want)[k].score, (*got)[k].score);
+  }
+}
+
+// The container is strict about its tail (unlike the monolithic formats,
+// which tolerate appended garbage): bytes after the end marker mean a
+// concatenated or partially overwritten file and must be rejected.
+TEST_F(SerializationFuzzTest, TrailingBytesAfterEndMarkerAreRejected) {
+  std::vector<char> mutated = checkpoint_bytes_;
+  mutated.push_back('\x7f');
+  EXPECT_FALSE(LoadCheckpointBytes(mutated).ok());
+  // Two whole checkpoints concatenated must not silently load the first.
+  std::vector<char> doubled = checkpoint_bytes_;
+  doubled.insert(doubled.end(), checkpoint_bytes_.begin(),
+                 checkpoint_bytes_.end());
+  EXPECT_FALSE(LoadCheckpointBytes(doubled).ok());
+}
+
+TEST_F(SerializationFuzzTest, CheckpointWrongMagicAndMissingFilesRejected) {
+  // A dataset file is not a checkpoint and vice versa.
+  EXPECT_FALSE(LoadModelCheckpoint(dataset_path_, *dataset_).ok());
+  EXPECT_FALSE(LoadDatasetBinary(checkpoint_path_).ok());
+  // Empty and missing files.
+  const std::string path = TempPath("empty.ckpt");
+  WriteFileBytes(path, {});
+  EXPECT_FALSE(LoadModelCheckpoint(path, *dataset_).ok());
+  EXPECT_FALSE(
+      LoadModelCheckpoint(TempPath("no_such.ckpt"), *dataset_).ok());
+  // Bumped container version in the magic.
+  std::vector<char> mutated = checkpoint_bytes_;
+  mutated[7] = '2';  // "LTCP0001" → "LTCP0002"
+  EXPECT_FALSE(LoadCheckpointBytes(mutated).ok());
 }
 
 }  // namespace
