@@ -21,7 +21,10 @@
 
 #include "core/absorbing_cost.h"
 #include "core/hitting_time.h"
+#include "graph/markov.h"
+#include "graph/subgraph.h"
 #include "graph/subgraph_cache.h"
+#include "graph/walk_kernel.h"
 #include "serving/model_registry.h"
 
 namespace longtail {
@@ -76,10 +79,194 @@ double WindowHitRate(const SubgraphCacheStats& before,
   return total > 0 ? static_cast<double>(hits) / total : 0.0;
 }
 
+/// Old-vs-new timing of the truncated absorbing sweep on one subgraph
+/// size. Three timed configurations, each end-to-end per query (the kernel
+/// ones include the per-query BuildTransitions + compile, as in
+/// production):
+///  * reference — the retained pre-kernel scalar loop;
+///  * kernel full sweep — both sides updated every iteration (the generic
+///    AbsorbingValueTruncated contract);
+///  * kernel ranking sweep — the production path (item-side output only,
+///    one side per step, half the edge work).
+/// "rows" are node-rows swept by the full-DP contract (nodes × τ), so the
+/// rates are directly comparable across the three configurations.
+struct KernelTimings {
+  std::string name;       // subgraph configuration (µ cap)
+  int32_t nodes = 0;
+  int64_t edges = 0;
+  int iterations = 0;
+  double reference_ns_per_iteration = 0.0;
+  double kernel_full_ns_per_iteration = 0.0;
+  double kernel_ranking_ns_per_iteration = 0.0;
+  double reference_rows_per_second = 0.0;
+  double kernel_rows_per_second = 0.0;
+  /// Production headline: reference loop vs the ranking sweep that now
+  /// serves every truncated-walk query.
+  double speedup = 0.0;
+  /// Like-for-like full-DP comparison (both sides, every iteration).
+  double full_sweep_speedup = 0.0;
+};
+
+/// Times reference vs kernel sweeps on the bench subgraph sizes: the
+/// µ-pruned extraction the serving section uses, a 4µ mid-size, and the
+/// uncapped reachable component the default table-5 suite walks.
+/// Configurations are interleaved round-robin and the minimum per
+/// configuration is kept, which strips scheduler noise on shared 1-core
+/// CI runners.
+std::vector<KernelTimings> RunKernelBench(const Dataset& d, int tau) {
+  const BipartiteGraph graph = BipartiteGraph::FromDataset(d, true);
+  // The busiest user seeds the largest (most representative) subgraphs.
+  UserId probe = 0;
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    if (d.UserDegree(u) > d.UserDegree(probe)) probe = u;
+  }
+  std::vector<NodeId> seeds{graph.UserNode(probe)};
+  for (ItemId item : d.UserItems(probe)) seeds.push_back(graph.ItemNode(item));
+
+  const int32_t pruned_mu = std::max<int32_t>(
+      60, static_cast<int32_t>(0.067 * d.num_items()));
+  const struct {
+    const char* name;
+    int32_t mu;
+  } sizes[] = {
+      {"mu_pruned", pruned_mu},
+      {"mu_4x", 4 * pruned_mu},
+      {"uncapped", 0},
+  };
+
+  std::printf("\n# walk kernel (truncated sweep, tau = %d, single thread)\n\n",
+              tau);
+  std::printf("%12s %8s %10s %12s %12s %12s %9s %9s\n", "subgraph", "nodes",
+              "edges", "ref ns/iter", "full ns/iter", "rank ns/iter",
+              "full x", "rank x");
+  std::vector<KernelTimings> rows;
+  for (const auto& size : sizes) {
+    SubgraphOptions sub_options;
+    sub_options.max_items = size.mu;
+    const Subgraph sub = ExtractSubgraph(graph, seeds, sub_options);
+    const int32_t n = sub.graph.num_nodes();
+    if (n == 0) continue;
+    // AT-style query: the probe user's rated items absorb, unit cost.
+    std::vector<bool> absorbing(n, false);
+    for (ItemId item : d.UserItems(probe)) {
+      const NodeId local = sub.LocalItemNode(item);
+      if (local >= 0) absorbing[local] = true;
+    }
+    const std::vector<double> costs(n, 1.0);
+    std::vector<double> value, scratch;
+    WalkKernel kernel;
+
+    // Calibrate repetitions off one reference run, targeting ~60 ms per
+    // timed window.
+    WallTimer calibrate;
+    AbsorbingValueTruncatedReference(sub.graph, absorbing, costs, tau,
+                                     &value, &scratch);
+    const double once = calibrate.ElapsedSeconds();
+    const int reps =
+        std::max(2, static_cast<int>(0.06 / std::max(1e-6, once)));
+
+    constexpr int kRounds = 7;
+    double ref_seconds = 1e99;
+    double full_seconds = 1e99;
+    double ranking_seconds = 1e99;
+    double checksum_ref = 0.0, checksum_full = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+      {
+        WallTimer t;
+        for (int r = 0; r < reps; ++r) {
+          AbsorbingValueTruncatedReference(sub.graph, absorbing, costs, tau,
+                                           &value, &scratch);
+        }
+        ref_seconds = std::min(ref_seconds, t.ElapsedSeconds());
+        checksum_ref = 0.0;
+        for (double v : value) checksum_ref += v;
+      }
+      {
+        WallTimer t;
+        for (int r = 0; r < reps; ++r) {
+          AbsorbingValueTruncated(sub.graph, absorbing, costs, tau, &kernel,
+                                  &value, &scratch);
+        }
+        full_seconds = std::min(full_seconds, t.ElapsedSeconds());
+        checksum_full = 0.0;
+        for (double v : value) checksum_full += v;
+      }
+      {
+        WallTimer t;
+        for (int r = 0; r < reps; ++r) {
+          kernel.BuildTransitions(sub.graph,
+                                  WalkKernel::Normalization::kRowStochastic);
+          kernel.CompileAbsorbingSweep(absorbing, costs);
+          kernel.SweepTruncatedItemValues(tau, &value);
+        }
+        ranking_seconds = std::min(ranking_seconds, t.ElapsedSeconds());
+      }
+    }
+    // Parity is enforced by tests; the checksum just keeps the compiler
+    // honest about running both loops.
+    LT_CHECK(std::abs(checksum_ref - checksum_full) <=
+             1e-6 * std::max(1.0, std::abs(checksum_ref)));
+
+    KernelTimings row;
+    row.name = size.name;
+    row.nodes = n;
+    row.edges = sub.graph.num_edges();
+    row.iterations = tau;
+    const double sweeps = static_cast<double>(reps) * tau;
+    row.reference_ns_per_iteration = 1e9 * ref_seconds / sweeps;
+    row.kernel_full_ns_per_iteration = 1e9 * full_seconds / sweeps;
+    row.kernel_ranking_ns_per_iteration = 1e9 * ranking_seconds / sweeps;
+    row.reference_rows_per_second = n * sweeps / ref_seconds;
+    row.kernel_rows_per_second = n * sweeps / ranking_seconds;
+    row.speedup =
+        ranking_seconds > 0.0 ? ref_seconds / ranking_seconds : 0.0;
+    row.full_sweep_speedup =
+        full_seconds > 0.0 ? ref_seconds / full_seconds : 0.0;
+    std::printf("%12s %8d %10lld %12.0f %12.0f %12.0f %8.2fx %8.2fx\n",
+                row.name.c_str(), row.nodes,
+                static_cast<long long>(row.edges),
+                row.reference_ns_per_iteration,
+                row.kernel_full_ns_per_iteration,
+                row.kernel_ranking_ns_per_iteration, row.full_sweep_speedup,
+                row.speedup);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// Emits the "kernel" object (shared by the full run and --kernel_only
+/// smoke mode). `trailing_comma` because the section sits mid-object in
+/// the full BENCH_table5.json.
+void WriteKernelJsonSection(std::FILE* f,
+                            const std::vector<KernelTimings>& rows,
+                            bool trailing_comma) {
+  std::fprintf(f, "  \"kernel\": {\n    \"sweeps\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const KernelTimings& r = rows[i];
+    std::fprintf(
+        f,
+        "      {\"name\": \"%s\", \"nodes\": %d, \"edges\": %lld, "
+        "\"iterations\": %d, \"reference_ns_per_iteration\": %.1f, "
+        "\"kernel_full_ns_per_iteration\": %.1f, "
+        "\"kernel_ranking_ns_per_iteration\": %.1f, "
+        "\"reference_rows_per_second\": %.0f, "
+        "\"kernel_rows_per_second\": %.0f, "
+        "\"full_sweep_speedup\": %.2f, \"speedup\": %.2f}%s\n",
+        r.name.c_str(), r.nodes, static_cast<long long>(r.edges),
+        r.iterations, r.reference_ns_per_iteration,
+        r.kernel_full_ns_per_iteration, r.kernel_ranking_ns_per_iteration,
+        r.reference_rows_per_second, r.kernel_rows_per_second,
+        r.full_sweep_speedup, r.speedup,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }%s\n", trailing_comma ? "," : "");
+}
+
 void WriteJson(const char* path, const Dataset& d,
                const std::vector<AlgorithmTimings>& rows,
                const std::vector<ServingTimings>& serving,
                const std::vector<CheckpointTimings>& checkpoints,
+               const std::vector<KernelTimings>& kernel,
                const SubgraphCacheStats& cache_stats, size_t threads) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -147,6 +334,9 @@ void WriteJson(const char* path, const Dataset& d,
       cache_stats.entries,
       static_cast<double>(cache_stats.resident_bytes) / (1024.0 * 1024.0));
   std::fprintf(f, "  },\n");
+  // Walk kernel: single-thread sweep throughput, old-vs-new (see
+  // docs/KERNELS.md for how to read this).
+  WriteKernelJsonSection(f, kernel, /*trailing_comma=*/true);
   // Checkpoint subsystem: persistence latency per algorithm and the
   // cold-start speedup a restart gets by loading instead of refitting.
   std::fprintf(f, "  \"checkpoint\": [\n");
@@ -166,6 +356,31 @@ void WriteJson(const char* path, const Dataset& d,
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("# wrote %s\n", path);
+}
+
+/// --kernel_only: corpus + the walk-kernel microbench, nothing else. CI's
+/// docs job runs this as a smoke test so the "kernel" JSON section is
+/// exercised (and stays parseable) on every PR without fitting the suite.
+void RunKernelOnly(const bench::BenchFlags& flags) {
+  const SyntheticData corpus = bench::MakeDoubanCorpus(flags);
+  bench::PrintCorpusHeader("Douban-like", corpus.dataset);
+  const std::vector<KernelTimings> kernel =
+      RunKernelBench(corpus.dataset, flags.tau);
+  std::FILE* f = std::fopen("BENCH_table5.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open BENCH_table5.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"table5_efficiency (kernel smoke)\",\n");
+  std::fprintf(f,
+               "  \"corpus\": {\"users\": %d, \"items\": %d, "
+               "\"ratings\": %lld},\n",
+               corpus.dataset.num_users(), corpus.dataset.num_items(),
+               static_cast<long long>(corpus.dataset.num_ratings()));
+  WriteKernelJsonSection(f, kernel, /*trailing_comma=*/false);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_table5.json (kernel section only)\n");
 }
 
 void Run(const bench::BenchFlags& flags) {
@@ -367,6 +582,12 @@ void Run(const bench::BenchFlags& flags) {
     checkpoints.push_back(c);
   }
 
+  // Walk kernel: the single-thread sweep-throughput trajectory — on the
+  // 1-core CI substrate this is the only axis where batch-engine progress
+  // is measurable at all.
+  const std::vector<KernelTimings> kernel =
+      RunKernelBench(corpus.dataset, flags.tau);
+
   std::printf(
       "\nExpected shape: pruned AC2 approaches the model-based methods and\n"
       "beats DPPR (global power iteration per query, no pruning); the\n"
@@ -382,7 +603,7 @@ void Run(const bench::BenchFlags& flags) {
       "offline cost.\n");
 
   WriteJson("BENCH_table5.json", corpus.dataset, rows, serving, checkpoints,
-            cache_stats, batch_threads);
+            kernel, cache_stats, batch_threads);
 }
 
 }  // namespace
@@ -391,8 +612,24 @@ void Run(const bench::BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace longtail;
   using namespace longtail::bench;
-  BenchFlags flags = ParseFlagsOrDie(argc, argv);
+  BenchFlags flags;
+  bool kernel_only = false;
+  FlagParser parser;
+  flags.Register(&parser);
+  parser.AddBool("kernel_only", &kernel_only,
+                 "run only the walk-kernel microbench (CI smoke mode)");
+  const Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    if (status.code() != StatusCode::kFailedPrecondition) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+    return status.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
   std::printf("== Table 5: comparison on online time cost ==\n\n");
-  Run(flags);
+  if (kernel_only) {
+    RunKernelOnly(flags);
+  } else {
+    Run(flags);
+  }
   return 0;
 }

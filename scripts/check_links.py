@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fails on broken relative links in README.md and docs/*.md.
+
+Checks every markdown link whose target is a relative path:
+  * the target file must exist (relative to the linking file);
+  * when the link carries a #fragment into a markdown file, a matching
+    heading must exist (GitHub-style slugs).
+External links (http/https/mailto) are ignored — no network, no external
+services, so the check is deterministic and CI-safe.
+
+Usage: python3 scripts/check_links.py [repo_root]
+Exit status: 0 = all links resolve, 1 = at least one broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_file: Path) -> set[str]:
+    content = md_file.read_text(encoding="utf-8")
+    return {github_slug(h) for h in HEADING_RE.findall(content)}
+
+
+def check_file(md_file: Path, root: Path) -> list[str]:
+    errors = []
+    content = md_file.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor
+            if fragment and github_slug(fragment) not in anchors_of(md_file):
+                errors.append(f"{md_file.relative_to(root)}: broken anchor "
+                              f"'#{fragment}'")
+            continue
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_file.relative_to(root)}: broken link "
+                          f"'{target}' (no such file)")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in anchors_of(resolved):
+                errors.append(f"{md_file.relative_to(root)}: broken anchor "
+                              f"'{target}'")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    errors = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            errors.append(f"expected file missing: {md.relative_to(root)}")
+            continue
+        checked += 1
+        errors.extend(check_file(md, root))
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    print(f"checked {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

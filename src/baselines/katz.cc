@@ -17,6 +17,7 @@ Status KatzRecommender::Fit(const Dataset& data) {
   }
   data_ = &data;
   graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
+  kernel_.BuildTransitions(graph_, WalkKernel::Normalization::kRaw);
   return Status::OK();
 }
 
@@ -91,6 +92,7 @@ Status KatzRecommender::LoadModel(CheckpointReader& reader,
   }
   options_ = loaded_options;
   graph_ = std::move(loaded_graph);
+  kernel_.BuildTransitions(graph_, WalkKernel::Normalization::kRaw);
   data_ = &data;
   return Status::OK();
 }
@@ -104,16 +106,10 @@ Result<std::vector<double>> KatzRecommender::ComputeKatzVector(
   std::vector<double> accum(n, 0.0);
   frontier[graph_.UserNode(user)] = 1.0;
   for (int step = 0; step < options_.max_path_length; ++step) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (int32_t v = 0; v < n; ++v) {
-      const double mass = frontier[v];
-      if (mass == 0.0) continue;
-      const auto nbrs = graph_.Neighbors(v);
-      const auto wts = graph_.Weights(v);
-      for (size_t k = 0; k < nbrs.size(); ++k) {
-        next[nbrs[k]] += options_.beta * mass * wts[k];
-      }
-    }
+    // next = β A · frontier in one kernel Apply: a sparse push while the
+    // frontier is small, a blocked gather over the raw (symmetric)
+    // adjacency once activation has spread.
+    kernel_.Apply(options_.beta, frontier.data(), 0.0, nullptr, next.data());
     for (int32_t v = 0; v < n; ++v) accum[v] += next[v];
     frontier.swap(next);
   }

@@ -12,6 +12,7 @@
 
 #include "core/recommender.h"
 #include "graph/bipartite_graph.h"
+#include "graph/walk_kernel.h"
 
 namespace longtail {
 
@@ -48,6 +49,11 @@ class KatzRecommender : public Recommender {
  private:
   KatzOptions options_;
   BipartiteGraph graph_;
+  /// Raw-weight walk kernel over `graph_`, built once at Fit/LoadModel:
+  /// each spreading-activation step x ← βAx is one kernel Apply (blocked
+  /// gather over the symmetric adjacency). Holds a pointer into `graph_`,
+  /// which makes the class intentionally non-copyable.
+  WalkKernel kernel_;
 };
 
 }  // namespace longtail

@@ -15,6 +15,8 @@ Status PageRankRecommender::Fit(const Dataset& data) {
   }
   data_ = &data;
   graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
+  kernel_.BuildTransitions(graph_,
+                           WalkKernel::Normalization::kColumnStochastic);
   return Status::OK();
 }
 
@@ -104,6 +106,8 @@ Status PageRankRecommender::LoadModel(CheckpointReader& reader,
   }
   options_ = loaded_options;
   graph_ = std::move(loaded_graph);
+  kernel_.BuildTransitions(graph_,
+                           WalkKernel::Normalization::kColumnStochastic);
   data_ = &data;
   return Status::OK();
 }
@@ -129,18 +133,11 @@ Result<std::vector<double>> PageRankRecommender::ComputePpr(
   std::vector<double> pi = restart;
   std::vector<double> next(n, 0.0);
   for (int it = 0; it < options_.max_iterations; ++it) {
-    // next = (1-λ) restart + λ Pᵀ π, accumulated edge-by-edge.
-    for (int32_t v = 0; v < n; ++v) next[v] = (1.0 - lambda) * restart[v];
-    for (int32_t v = 0; v < n; ++v) {
-      const double d = graph_.WeightedDegree(v);
-      if (d <= 0.0 || pi[v] == 0.0) continue;
-      const double out = lambda * pi[v] / d;
-      const auto nbrs = graph_.Neighbors(v);
-      const auto wts = graph_.Weights(v);
-      for (size_t k = 0; k < nbrs.size(); ++k) {
-        next[nbrs[k]] += out * wts[k];
-      }
-    }
+    // next = (1-λ) restart + λ Pᵀ π in one kernel Apply: a sparse push
+    // while π is concentrated (early iterations), a blocked gather over
+    // the column-stochastic transition CSR once it has spread.
+    kernel_.Apply(lambda, pi.data(), 1.0 - lambda, restart.data(),
+                  next.data());
     double delta = 0.0;
     for (int32_t v = 0; v < n; ++v) delta += std::abs(next[v] - pi[v]);
     pi.swap(next);

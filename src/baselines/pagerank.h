@@ -13,6 +13,7 @@
 
 #include "core/recommender.h"
 #include "graph/bipartite_graph.h"
+#include "graph/walk_kernel.h"
 
 namespace longtail {
 
@@ -57,6 +58,12 @@ class PageRankRecommender : public Recommender {
   bool discounted_;
   PageRankOptions options_;
   BipartiteGraph graph_;
+  /// Column-stochastic walk kernel over `graph_`, built once at
+  /// Fit/LoadModel: each power iteration is one kernel Apply
+  /// (π ← (1-λ)e + λPᵀπ as a blocked gather) instead of the old
+  /// edge-by-edge scatter. Holds a pointer into `graph_`, which is why the
+  /// kernel (and hence this class) is intentionally non-copyable.
+  WalkKernel kernel_;
 };
 
 }  // namespace longtail

@@ -199,9 +199,14 @@ Status GraphRecommenderBase::ComputeWalk(UserId user, WalkWorkspace* ws,
                                                options_.solver, &ws->values,
                                                &ws->solver));
   } else {
-    AbsorbingValueTruncated(sub.graph, ws->absorbing, ws->node_costs,
-                            options_.iterations, &ws->values,
-                            &ws->dp_scratch);
+    // Ranking sweep: TopKFromWalk/ScoresFromWalk consume item-side values
+    // only, so the kernel runs the alternating half of the DP those values
+    // depend on (bit-identical item values, half the edge work). User rows
+    // of ws->values hold intermediates and must not be read.
+    ws->kernel.BuildTransitions(sub.graph,
+                                WalkKernel::Normalization::kRowStochastic);
+    ws->kernel.CompileAbsorbingSweep(ws->absorbing, ws->node_costs);
+    ws->kernel.SweepTruncatedItemValues(options_.iterations, &ws->values);
   }
   return Status::OK();
 }

@@ -1,8 +1,10 @@
 // Shared machinery for the paper's graph recommenders (HT, AT, AC1, AC2).
 //
 // Query flow (Algorithm 1): seed nodes → BFS subgraph capped at µ item
-// nodes → truncated DP for τ iterations (or an exact linear solve when
-// configured) → rank items by smallest time/cost.
+// nodes → truncated DP for τ iterations on the workspace's WalkKernel
+// (the item-side ranking sweep; an exact linear solve when configured)
+// → rank items by smallest time/cost. See docs/ARCHITECTURE.md for the
+// full serving pipeline and docs/KERNELS.md for the kernel.
 //
 // All query state lives in a WalkWorkspace, so the per-query walk performs
 // no global-sized heap allocation in the steady state. Every thread —
@@ -45,9 +47,22 @@ struct GraphWalkOptions {
 /// across queries.
 class GraphRecommenderBase : public Recommender {
  public:
+  /// Builds the bipartite rating graph from `data` (edge weight = rating
+  /// when options().weighted_edges) and runs FitImpl. Must be called
+  /// exactly once; `data` must outlive the recommender.
   Status Fit(const Dataset& data) override;
+
+  /// Runs one walk for `user` and returns up to `k` unrated items ranked
+  /// by smallest time/cost (ScoredItem::score is the negated walk value,
+  /// so larger = better as everywhere else). Items outside the extracted
+  /// subgraph or unreachable from the absorbing set are never returned.
+  /// FailedPrecondition for unfitted models and cold-start users.
   Result<std::vector<ScoredItem>> RecommendTopK(UserId user,
                                                 int k) const override;
+
+  /// Scores an explicit candidate list from one walk; aligned with
+  /// `items`. Candidates outside the subgraph (or unreachable) get
+  /// kUnreachableScore; out-of-range ids fail with OutOfRange.
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
@@ -68,7 +83,10 @@ class GraphRecommenderBase : public Recommender {
   /// fitted original without refitting.
   Status LoadModel(CheckpointReader& reader, const Dataset& data) override;
 
+  /// The walk configuration this recommender was constructed (or
+  /// checkpoint-restored) with.
   const GraphWalkOptions& options() const { return options_; }
+  /// The fitted global rating graph; valid only after Fit/LoadModel.
   const BipartiteGraph& graph() const { return graph_; }
 
  protected:
@@ -83,12 +101,17 @@ class GraphRecommenderBase : public Recommender {
   virtual Status SeedNodes(UserId user, std::vector<NodeId>* seeds) const = 0;
 
   /// Writes local absorbing flags on the extracted subgraph into
-  /// `*absorbing` (resized to the subgraph's node count).
+  /// `*absorbing` (resized to the subgraph's node count, indexed by local
+  /// node id). The walk pins absorbing nodes at value exactly 0; rankings
+  /// order the remaining items by how fast the walk reaches this set.
   virtual void AbsorbingFlags(const Subgraph& sub, UserId user,
                               std::vector<bool>* absorbing) const = 0;
 
-  /// Writes local per-node immediate costs into `*costs`; default unit
-  /// cost (absorbing *time*).
+  /// Writes local per-node immediate costs into `*costs` (resized to the
+  /// subgraph's node count): the cost a walker pays per step leaving each
+  /// node. Default unit cost — values become expected steps (absorbing
+  /// *time*); AC1/AC2 override with the Eq. 9 entropy costs (absorbing
+  /// *cost*). Entries for absorbing nodes are ignored.
   virtual void NodeCosts(const Subgraph& sub,
                          std::vector<double>* costs) const;
 
@@ -112,8 +135,13 @@ class GraphRecommenderBase : public Recommender {
  private:
   /// Runs Algorithm 1 for one user: subgraph into ws->sub() (adopted from
   /// `cache` on a hit, extracted — and inserted — on a miss; nullptr
-  /// disables caching), per-local-node values into ws->values
-  /// (+inf = unreachable).
+  /// disables caching), walk values into ws->values. On the default
+  /// truncated path only the item rows (local ids >= sub().users.size())
+  /// are valid — the kernel's ranking sweep leaves user rows as
+  /// intermediates — and all values are finite; the exact path fills
+  /// every row and marks unreachable nodes +inf. TopKFromWalk /
+  /// ScoresFromWalk read item rows only and treat non-finite as
+  /// unreachable, which is correct for both.
   Status ComputeWalk(UserId user, WalkWorkspace* ws,
                      SubgraphCache* cache) const;
   /// Serves one batched query from a single walk.

@@ -62,6 +62,14 @@ class BipartiteGraph {
     return {adj_.data() + ptr_[n],
             static_cast<size_t>(ptr_[n + 1] - ptr_[n])};
   }
+  /// Raw CSR arrays for kernel code that iterates all rows at once (the
+  /// walk kernel builds its normalized transition array parallel to these).
+  /// `RowPointers()` has num_nodes()+1 entries; row n's adjacency occupies
+  /// `[RowPointers()[n], RowPointers()[n+1])` of `FlatNeighbors()` /
+  /// `FlatWeights()`. Views stay valid until the next BeginAssign/move.
+  std::span<const int64_t> RowPointers() const { return ptr_; }
+  std::span<const NodeId> FlatNeighbors() const { return adj_; }
+  std::span<const double> FlatWeights() const { return weights_; }
   std::span<const double> Weights(NodeId n) const {
     return {weights_.data() + ptr_[n],
             static_cast<size_t>(ptr_[n + 1] - ptr_[n])};

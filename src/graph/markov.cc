@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "graph/walk_kernel.h"
 #include "util/logging.h"
 
 namespace longtail {
@@ -39,11 +40,12 @@ void ReachableFromAbsorbing(const BipartiteGraph& g,
 
 }  // namespace
 
-void AbsorbingValueTruncated(const BipartiteGraph& g,
-                             const std::vector<bool>& absorbing,
-                             const std::vector<double>& node_cost,
-                             int iterations, std::vector<double>* value_out,
-                             std::vector<double>* scratch) {
+void AbsorbingValueTruncatedReference(const BipartiteGraph& g,
+                                      const std::vector<bool>& absorbing,
+                                      const std::vector<double>& node_cost,
+                                      int iterations,
+                                      std::vector<double>* value_out,
+                                      std::vector<double>* scratch) {
   const int32_t n = g.num_nodes();
   LT_CHECK_EQ(static_cast<size_t>(n), absorbing.size());
   LT_CHECK_EQ(static_cast<size_t>(n), node_cost.size());
@@ -73,6 +75,27 @@ void AbsorbingValueTruncated(const BipartiteGraph& g,
     }
     value.swap(next);
   }
+}
+
+void AbsorbingValueTruncated(const BipartiteGraph& g,
+                             const std::vector<bool>& absorbing,
+                             const std::vector<double>& node_cost,
+                             int iterations, WalkKernel* kernel,
+                             std::vector<double>* value,
+                             std::vector<double>* scratch) {
+  kernel->BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+  kernel->CompileAbsorbingSweep(absorbing, node_cost);
+  kernel->SweepTruncated(iterations, value, scratch);
+}
+
+void AbsorbingValueTruncated(const BipartiteGraph& g,
+                             const std::vector<bool>& absorbing,
+                             const std::vector<double>& node_cost,
+                             int iterations, std::vector<double>* value_out,
+                             std::vector<double>* scratch) {
+  WalkKernel kernel;
+  AbsorbingValueTruncated(g, absorbing, node_cost, iterations, &kernel,
+                          value_out, scratch);
 }
 
 std::vector<double> AbsorbingValueTruncated(const BipartiteGraph& g,

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "graph/walk_kernel.h"
 #include "linalg/solvers.h"
 
 namespace longtail {
@@ -37,7 +38,11 @@ struct Subgraph {
   /// local item id → global ItemId.
   std::vector<ItemId> items;
 
-  /// Local node id of a global user/item; -1 if not in the subgraph.
+  /// Local *node* id (not local user/item index) of a global user/item:
+  /// users map to [0, users.size()), items to [users.size(),
+  /// num_nodes()). Returns -1 when the global id is absent from the
+  /// subgraph or out of range; never aborts. O(1) either way (owned
+  /// tables or the backing workspace's epoch-stamped tables).
   NodeId LocalUserNode(UserId global_user) const;
   NodeId LocalItemNode(ItemId global_item) const;
 
@@ -90,7 +95,9 @@ class WalkWorkspace {
   /// rebuild. The copies reuse this workspace's buffer capacity.
   void AdoptSubgraph(const BipartiteGraph& g, const Subgraph& src);
 
-  /// Local node id of a global node in the current subgraph; -1 if absent.
+  /// Local node id of a global node in the current subgraph; -1 if absent
+  /// or out of range. Valid only for the most recent extraction/adoption
+  /// (earlier queries' mappings are invalidated by the epoch stamp).
   NodeId LocalNode(NodeId global_node) const {
     if (global_node < 0 ||
         static_cast<size_t>(global_node) >= stamp_.size() ||
@@ -117,6 +124,11 @@ class WalkWorkspace {
   std::vector<double> values;
   std::vector<double> dp_scratch;
   SolverScratch solver;
+  /// The walk kernel serving this workspace's truncated sweeps: its
+  /// normalized transition CSR is rebuilt per extracted/adopted subgraph
+  /// and reused across the query's τ sweep iterations, with capacity kept
+  /// across queries like every other buffer here.
+  WalkKernel kernel;
 
  private:
   friend Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
@@ -141,10 +153,13 @@ class WalkWorkspace {
   Subgraph sub_;
 };
 
-/// Extracts the BFS-induced subgraph around `seed_nodes` (global node ids).
-/// Seeds are always included. Expansion is level-by-level; the level that
-/// crosses the µ cap is truncated mid-level in insertion order, which keeps
-/// the item count within [µ, µ + level width).
+/// Extracts the BFS-induced subgraph around `seed_nodes` (global node
+/// ids; every entry must be in [0, g.num_nodes()), checked). Seeds are
+/// always included; an empty seed set yields an empty subgraph. Expansion
+/// is level-by-level; the level that crosses the µ cap is truncated
+/// mid-level in insertion order, which keeps the item count within
+/// [µ, µ + level width). Every non-seed node enters via an edge, so the
+/// induced graph has no isolated non-seed nodes.
 Subgraph ExtractSubgraph(const BipartiteGraph& g,
                          const std::vector<NodeId>& seed_nodes,
                          const SubgraphOptions& options = {});

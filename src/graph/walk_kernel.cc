@@ -1,0 +1,284 @@
+#include "graph/walk_kernel.h"
+
+#include <algorithm>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "util/logging.h"
+
+namespace longtail {
+
+namespace {
+
+// Rows are processed in blocks of this many nodes so each strip of the
+// coefficient vectors (add/scale/self) and the output buffer stays resident
+// in L2 while its gathers run: 4 doubles per row ≈ 32 B, so a 4096-row
+// block touches ~128 KiB of dense state — half a typical 256 KiB L2 —
+// leaving the rest for the gathered value vector. Re-tuning guidance lives
+// in docs/KERNELS.md.
+constexpr int32_t kRowBlock = 4096;
+
+// The hot gather: Σ_k prob[k]·x[col[k]] over one CSR row, 4-way unrolled
+// into independent accumulators so the loads pipeline. The AVX2 path
+// (vgatherdpd on the int32 column indices) accumulates lane i exactly like
+// scalar accumulator a_i and reduces with the same (a0+a1)+(a2+a3) tree,
+// so both paths round identically (assuming the scalar loop is not
+// FMA-contracted — the default build has no FMA ISA, and contraction only
+// exists where AVX2/FMA is enabled, where the intrinsic path runs instead).
+inline double RowGather(const double* prob, const NodeId* col, int64_t begin,
+                        int64_t end, const double* x) {
+  int64_t k = begin;
+  double sum;
+#if defined(__AVX2__)
+  __m256d acc = _mm256_setzero_pd();
+  // All-lanes mask + zeroed source: same vgatherdpd as the unmasked
+  // intrinsic, but avoids its _mm256_undefined_pd() source, which GCC 12
+  // flags with a spurious -Wmaybe-uninitialized.
+  const __m256d gather_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  for (; k + 4 <= end; k += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + k));
+    const __m256d xv = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x, idx,
+                                                gather_mask, /*scale=*/8);
+    const __m256d pv = _mm256_loadu_pd(prob + k);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(pv, xv));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+#else
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (; k + 4 <= end; k += 4) {
+    a0 += prob[k] * x[col[k]];
+    a1 += prob[k + 1] * x[col[k + 1]];
+    a2 += prob[k + 2] * x[col[k + 2]];
+    a3 += prob[k + 3] * x[col[k + 3]];
+  }
+  sum = (a0 + a1) + (a2 + a3);
+#endif
+  for (; k < end; ++k) sum += prob[k] * x[col[k]];
+  return sum;
+}
+
+}  // namespace
+
+void WalkKernel::BuildTransitions(const BipartiteGraph& g,
+                                  Normalization norm) {
+  graph_ = &g;
+  norm_ = norm;
+  num_nodes_ = g.num_nodes();
+  const auto ptr = g.RowPointers();
+  const auto col = g.FlatNeighbors();
+  const auto w = g.FlatWeights();
+  prob_.resize(w.size());
+  switch (norm) {
+    case Normalization::kRowStochastic: {
+      // One divide per row, then a multiply per edge: ~2x cheaper to build
+      // than per-edge division, at the cost of one extra rounding (covered
+      // by the kernel's documented ~1e-13 parity tolerance).
+      for (int32_t v = 0; v < num_nodes_; ++v) {
+        const double d = g.WeightedDegree(v);
+        // d <= 0 is a degenerate row (possible only with non-positive
+        // weights): CompileAbsorbingSweep treats it as isolated, so its
+        // transition values are never consumed; zero them for
+        // definiteness.
+        const double inv = d > 0.0 ? 1.0 / d : 0.0;
+        for (int64_t k = ptr[v]; k < ptr[v + 1]; ++k) prob_[k] = w[k] * inv;
+      }
+      break;
+    }
+    case Normalization::kColumnStochastic: {
+      for (size_t k = 0; k < w.size(); ++k) {
+        const double d = g.WeightedDegree(col[k]);
+        prob_[k] = d > 0.0 ? w[k] / d : 0.0;
+      }
+      break;
+    }
+    case Normalization::kRaw: {
+      std::copy(w.begin(), w.end(), prob_.begin());
+      break;
+    }
+  }
+}
+
+void WalkKernel::CompileAbsorbingSweep(const std::vector<bool>& absorbing,
+                                       const std::vector<double>& node_cost) {
+  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
+  LT_CHECK(norm_ == Normalization::kRowStochastic)
+      << "absorbing sweeps need row-stochastic transitions";
+  const int32_t n = num_nodes_;
+  LT_CHECK_EQ(static_cast<size_t>(n), absorbing.size());
+  LT_CHECK_EQ(static_cast<size_t>(n), node_cost.size());
+  add_.resize(n);
+  scale_.resize(n);
+  self_.resize(n);
+  const BipartiteGraph& g = *graph_;
+  for (int32_t v = 0; v < n; ++v) {
+    if (absorbing[v]) {
+      add_[v] = 0.0;
+      scale_[v] = 0.0;
+      self_[v] = 0.0;
+    } else if (g.WeightedDegree(v) <= 0.0) {
+      // Isolated transient node: never absorbed, accumulates cost forever.
+      add_[v] = node_cost[v];
+      scale_[v] = 0.0;
+      self_[v] = 1.0;
+    } else {
+      add_[v] = node_cost[v];
+      scale_[v] = 1.0;
+      self_[v] = 0.0;
+    }
+  }
+}
+
+void WalkKernel::SweepTruncated(int iterations, std::vector<double>* value,
+                                std::vector<double>* scratch) const {
+  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
+  const int32_t n = num_nodes_;
+  LT_CHECK_EQ(static_cast<size_t>(n), add_.size())
+      << "CompileAbsorbingSweep must run first";
+  value->assign(n, 0.0);
+  scratch->assign(n, 0.0);
+  if (n == 0) return;
+  const int64_t* ptr = graph_->RowPointers().data();
+  const NodeId* col = graph_->FlatNeighbors().data();
+  const double* prob = prob_.data();
+  const double* add = add_.data();
+  const double* scale = scale_.data();
+  const double* self = self_.data();
+  double* cur = value->data();
+  double* nxt = scratch->data();
+  for (int t = 0; t < iterations; ++t) {
+    for (int32_t b = 0; b < n; b += kRowBlock) {
+      const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
+      for (int32_t v = b; v < b_end; ++v) {
+        const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], cur);
+        nxt[v] = (add[v] + scale[v] * acc) + self[v] * cur[v];
+      }
+    }
+    double* tmp = cur;
+    cur = nxt;
+    nxt = tmp;
+  }
+  if (cur != value->data()) value->swap(*scratch);
+}
+
+void WalkKernel::SweepTruncatedItemValues(int iterations,
+                                          std::vector<double>* value) const {
+  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
+  const int32_t n = num_nodes_;
+  LT_CHECK_EQ(static_cast<size_t>(n), add_.size())
+      << "CompileAbsorbingSweep must run first";
+  value->assign(n, 0.0);
+  if (n == 0 || iterations <= 0) return;
+  const int64_t* ptr = graph_->RowPointers().data();
+  const NodeId* col = graph_->FlatNeighbors().data();
+  const double* prob = prob_.data();
+  const double* add = add_.data();
+  const double* scale = scale_.data();
+  const double* self = self_.data();
+  const int32_t num_users = graph_->num_users();
+  double* x = value->data();
+  // Step t updates the side whose value the chain labels "iteration t":
+  // items when (τ - t) is even, users otherwise, ending on items at t = τ.
+  // In-place is safe because a side's gathers read only the *other* side.
+  for (int t = 1; t <= iterations; ++t) {
+    const bool item_side = ((iterations - t) & 1) == 0;
+    const int32_t lo = item_side ? num_users : 0;
+    const int32_t hi = item_side ? n : num_users;
+    if (t == 1) {
+      // The chain's first step advances its side by a single DP iteration.
+      for (int32_t b = lo; b < hi; b += kRowBlock) {
+        const int32_t b_end = b + kRowBlock < hi ? b + kRowBlock : hi;
+        for (int32_t v = b; v < b_end; ++v) {
+          const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], x);
+          x[v] = (add[v] + scale[v] * acc) + self[v] * x[v];
+        }
+      }
+    } else {
+      // Every later step advances its side by two DP iterations. Ordinary
+      // rows never reference the skipped intermediate, but isolated rows
+      // (self = 1) accumulate cost on both: the trailing self·add term
+      // applies the second addition in the same order the full sweep
+      // would, keeping them bit-identical to it.
+      for (int32_t b = lo; b < hi; b += kRowBlock) {
+        const int32_t b_end = b + kRowBlock < hi ? b + kRowBlock : hi;
+        for (int32_t v = b; v < b_end; ++v) {
+          const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], x);
+          x[v] = ((add[v] + scale[v] * acc) + self[v] * x[v]) +
+                 self[v] * add[v];
+        }
+      }
+    }
+  }
+}
+
+void WalkKernel::Apply(double alpha, const double* x, double beta,
+                       const double* restart, double* y) const {
+  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
+  const int32_t n = num_nodes_;
+  const int64_t* ptr = graph_->RowPointers().data();
+  const NodeId* col = graph_->FlatNeighbors().data();
+  const double* prob = prob_.data();
+  // Sparse-input fast path: a dense pull always walks every adjacency
+  // entry, which would make the first Katz steps / PPR iterations (a
+  // frontier of one user node) cost O(total edges) where the pre-kernel
+  // scatter cost O(frontier edges). When the nonzero rows of x carry
+  // under half the entries, push from just those rows instead. The push
+  // re-derives the per-row normalization from the raw weights (the
+  // stored prob array is column-normalized for pulls), so push and pull
+  // agree to rounding, and the branch is a pure function of x.
+  if (norm_ != Normalization::kRowStochastic && n > 0) {
+    const int64_t total_entries = ptr[n];
+    int64_t nonzero_entries = 0;
+    for (int32_t v = 0; v < n; ++v) {
+      if (x[v] != 0.0) nonzero_entries += ptr[v + 1] - ptr[v];
+    }
+    if (nonzero_entries * 2 < total_entries) {
+      if (restart != nullptr) {
+        for (int32_t v = 0; v < n; ++v) y[v] = beta * restart[v];
+      } else {
+        for (int32_t v = 0; v < n; ++v) y[v] = 0.0;
+      }
+      const double* w = graph_->FlatWeights().data();
+      for (int32_t v = 0; v < n; ++v) {
+        const double mass = x[v];
+        if (mass == 0.0) continue;
+        double out;
+        if (norm_ == Normalization::kColumnStochastic) {
+          // Symmetric graph: pushing x[v]·w/d(v) along row v produces
+          // exactly the pull's Σ_u (w_vu/d_u)·x[u] terms.
+          const double d = graph_->WeightedDegree(v);
+          if (d <= 0.0) continue;
+          out = alpha * mass / d;
+        } else {  // kRaw
+          out = alpha * mass;
+        }
+        for (int64_t k = ptr[v]; k < ptr[v + 1]; ++k) {
+          y[col[k]] += out * w[k];
+        }
+      }
+      return;
+    }
+  }
+  if (restart != nullptr) {
+    for (int32_t b = 0; b < n; b += kRowBlock) {
+      const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
+      for (int32_t v = b; v < b_end; ++v) {
+        const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], x);
+        y[v] = alpha * acc + beta * restart[v];
+      }
+    }
+  } else {
+    for (int32_t b = 0; b < n; b += kRowBlock) {
+      const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
+      for (int32_t v = b; v < b_end; ++v) {
+        y[v] = alpha * RowGather(prob, col, ptr[v], ptr[v + 1], x);
+      }
+    }
+  }
+}
+
+}  // namespace longtail

@@ -1,0 +1,161 @@
+// The unified walk kernel: one tuned inner loop for every truncated
+// random-walk sweep in the system.
+//
+// Before this subsystem existed, five call sites — the truncated DP behind
+// HT/AT/AC1/AC2 (markov.cc via graph_recommender_base.cc) and the PPR/Katz
+// power iterations (baselines/pagerank.cc, baselines/katz.cc) — each kept a
+// bespoke loop over BipartiteGraph adjacency, re-deriving transition
+// probabilities (a weighted-degree load plus a divide per row) and
+// re-branching on absorbing/isolated nodes every iteration. WalkKernel
+// retires those loops:
+//
+//  * BuildTransitions compiles the graph into a *normalized transition
+//    CSR*: a contiguous value array parallel to the graph's adjacency with
+//    edge weights pre-divided by weighted degree (row- or
+//    column-stochastic) or copied raw (Katz). Built once per extracted
+//    subgraph (or once per fitted global graph) and reused across every
+//    sweep iteration.
+//  * CompileAbsorbingSweep folds per-query absorbing flags, isolated
+//    nodes, and per-node costs into three dense coefficient vectors so the
+//    sweep's inner loop is branch-free:
+//        next[v] = add[v] + scale[v]·⟨prob_row(v), value⟩ + self[v]·value[v]
+//    (absorbing: add=scale=self=0 pins the value at exactly 0; isolated
+//    transient: scale=0, self=1 accumulates cost forever; ordinary rows:
+//    scale=1, self=0).
+//  * SweepTruncated / Apply run the sweep as a blocked, 4-way-unrolled
+//    gather over the transition CSR; with AVX2 enabled at compile time the
+//    gather uses hardware gathers (vgatherdpd) behind a fallback that is
+//    bit-identical to the unrolled scalar path (same per-lane accumulation
+//    order and reduction tree). See docs/KERNELS.md for the layout, the
+//    blocking/unroll parameters and how to re-tune them.
+//
+// Numerical contract: results agree with the retained reference loop
+// (AbsorbingValueTruncatedReference in markov.h) to relative tolerance
+// ~1e-13 per iteration — pre-normalization changes (Σ w·v)/d into
+// Σ (w/d)·v and the unroll changes the summation tree, so bit-identity
+// with the *old* loop is impossible; what the system guarantees instead is
+// that every production path (single-user, batch at any thread count,
+// cache-hit, checkpoint-restored) runs the same kernel and is therefore
+// bit-identical across those paths. tests/walk_kernel_test.cc enforces
+// both properties.
+#ifndef LONGTAIL_GRAPH_WALK_KERNEL_H_
+#define LONGTAIL_GRAPH_WALK_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace longtail {
+
+/// Per-graph normalized transition CSR plus per-query sweep coefficients.
+/// One kernel lives in each WalkWorkspace (rebuilt per extracted subgraph)
+/// and inside each PPR/Katz recommender (built once at Fit/LoadModel).
+/// Buffers are sized lazily and keep their capacity, so steady-state reuse
+/// performs no heap allocation. Not thread-safe: one kernel per worker.
+class WalkKernel {
+ public:
+  /// How BuildTransitions derives the contiguous transition-value array
+  /// from the graph's edge weights.
+  enum class Normalization {
+    /// prob[k] = w[k] / weighted_degree(row): row-stochastic. The DP
+    /// gather ⟨prob_row(v), value⟩ is then exactly Σ_j p_vj·value[j] of
+    /// Eq. 1 — what the truncated absorbing-value sweeps consume.
+    kRowStochastic,
+    /// prob[k] = w[k] / weighted_degree(col[k]): column-stochastic. On a
+    /// symmetric graph, gathering row v yields (Pᵀx)[v] — the push step of
+    /// the PPR power iteration expressed as a pull, which vectorizes.
+    kColumnStochastic,
+    /// prob[k] = w[k] unchanged: raw adjacency gathers (Katz's β-damped
+    /// path counting).
+    kRaw,
+  };
+
+  WalkKernel() = default;
+  WalkKernel(const WalkKernel&) = delete;
+  WalkKernel& operator=(const WalkKernel&) = delete;
+
+  /// Builds (or rebuilds) the normalized transition CSR for `g`. O(edges),
+  /// one division per edge; call once per extracted subgraph / fitted
+  /// graph, then reuse across any number of sweeps. The kernel keeps a
+  /// pointer to `g` and reads its CSR arrays during sweeps, so `g` must
+  /// outlive the kernel's use and must not be rebuilt in between.
+  /// Rows with weighted degree <= 0 get all-zero transition values (they
+  /// are compiled as isolated by CompileAbsorbingSweep).
+  void BuildTransitions(const BipartiteGraph& g, Normalization norm);
+
+  /// True once BuildTransitions has run; sweeps LT_CHECK this.
+  bool has_transitions() const { return graph_ != nullptr; }
+  /// The graph the transitions were built from (nullptr before any build).
+  const BipartiteGraph* graph() const { return graph_; }
+  Normalization normalization() const { return norm_; }
+
+  /// Compiles one query's absorbing flags and per-node immediate costs
+  /// into the branch-free coefficient vectors. Requires kRowStochastic
+  /// transitions for the current graph. `absorbing` and `node_cost` are
+  /// local (subgraph) node-indexed, sizes == graph()->num_nodes();
+  /// `node_cost[v]` is the cost paid per step leaving v (1.0 for absorbing
+  /// *time*, the Eq. 9 entropy costs for absorbing *cost*). Absorbing
+  /// nodes are pinned at exactly 0 regardless of cost. O(nodes).
+  void CompileAbsorbingSweep(const std::vector<bool>& absorbing,
+                             const std::vector<double>& node_cost);
+
+  /// Runs `iterations` truncated-DP sweeps (Algorithm 1 step 4) from
+  /// V_0 ≡ 0 using the compiled coefficients; the result lands in
+  /// `*value` (resized to num_nodes) and `*scratch` holds the double
+  /// buffer. Semantics match AbsorbingValueTruncatedReference: absorbing
+  /// nodes stay exactly 0, isolated transient nodes grow by their cost
+  /// each sweep, everything else contracts toward the absorbing fixed
+  /// point. `iterations <= 0` leaves `*value` all zero.
+  void SweepTruncated(int iterations, std::vector<double>* value,
+                      std::vector<double>* scratch) const;
+
+  /// Ranking flavour of SweepTruncated, exploiting bipartiteness: user
+  /// rows gather only item values and vice versa, and the recommenders
+  /// rank *items* only, so the final item values depend on a single
+  /// alternating chain item_τ ← user_{τ-1} ← item_{τ-2} ← … ← V_0 ≡ 0.
+  /// This sweep updates exactly one side per step — half the edge work of
+  /// the full DP, in place in `*value` with no double buffer. On return,
+  /// item rows of `*value` (local ids >= num_users) are BIT-IDENTICAL to
+  /// SweepTruncated's; user rows hold their last intermediate update
+  /// (iteration τ-1) and must not be consumed. Requires a genuinely
+  /// bipartite graph (every edge user↔item, which BipartiteGraph
+  /// construction guarantees) and compiled kRowStochastic coefficients.
+  void SweepTruncatedItemValues(int iterations,
+                                std::vector<double>* value) const;
+
+  /// One power-iteration step over the transition CSR:
+  ///     y[v] = alpha·⟨prob_row(v), x⟩ + beta·restart[v]
+  /// (`restart == nullptr` drops the second term). With kColumnStochastic
+  /// transitions this is y = alpha·Pᵀx + beta·r — the PPR update; with
+  /// kRaw it is y = alpha·A·x — the Katz frontier push. `x` and `y` must
+  /// have num_nodes elements and must not alias.
+  ///
+  /// Sparse inputs stay cheap: when the rows with x != 0 carry less than
+  /// half the graph's adjacency entries (the early Katz frontier, the
+  /// first PPR iterations), the step runs as a push over those rows only
+  /// — on a symmetric graph the push along row u with weight w/d(u)
+  /// produces the same terms as the column-stochastic pull — instead of
+  /// gathering all edges. The two execution paths agree to the kernel's
+  /// ~1e-13 parity tolerance (not bit-identically), and the choice is a
+  /// deterministic function of x, so repeated runs are reproducible.
+  /// kRowStochastic transitions always take the dense pull (no Apply
+  /// caller uses them).
+  void Apply(double alpha, const double* x, double beta,
+             const double* restart, double* y) const;
+
+ private:
+  const BipartiteGraph* graph_ = nullptr;
+  Normalization norm_ = Normalization::kRowStochastic;
+  int32_t num_nodes_ = 0;
+  /// Normalized transition values, parallel to graph()->FlatNeighbors().
+  std::vector<double> prob_;
+  /// Per-row sweep coefficients compiled by CompileAbsorbingSweep.
+  std::vector<double> add_;    // constant term (0 for absorbing rows)
+  std::vector<double> scale_;  // 1 ordinary row, 0 absorbing/isolated
+  std::vector<double> self_;   // 1 isolated transient row, else 0
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_GRAPH_WALK_KERNEL_H_

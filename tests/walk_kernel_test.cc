@@ -1,0 +1,394 @@
+// Walk-kernel / legacy parity: the blocked, pre-normalized WalkKernel
+// sweeps must agree with the retained reference loop
+// (AbsorbingValueTruncatedReference) on random bipartite graphs — including
+// isolated nodes, all-absorbing and empty-absorbing sets, and empty
+// subgraphs — and the kernel-served recommenders must stay bit-identical
+// between the sequential and batch paths at 1 and 8 threads.
+//
+// Tolerance contract (documented in docs/KERNELS.md): the kernel
+// pre-divides weights by degree and re-associates the row sum, so ordinary
+// transient rows agree with the reference to ~1e-13 relative per
+// iteration; absorbing rows are exactly 0 and isolated transient rows are
+// bit-identical (same two-operand additions) on both paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/absorbing_cost.h"
+#include "core/absorbing_time.h"
+#include "core/hitting_time.h"
+#include "data/generator.h"
+#include "graph/markov.h"
+#include "graph/subgraph.h"
+#include "graph/walk_kernel.h"
+
+namespace longtail {
+namespace {
+
+/// Random bipartite graph with `edge_prob` density; users/items past the
+/// `connected_*` counts are left isolated on purpose.
+BipartiteGraph RandomGraph(int32_t num_users, int32_t num_items,
+                           double edge_prob, uint64_t seed,
+                           int32_t isolated_users = 0,
+                           int32_t isolated_items = 0) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> rating(1, 5);
+  const int32_t connected_users = num_users - isolated_users;
+  const int32_t connected_items = num_items - isolated_items;
+  std::vector<std::vector<std::pair<NodeId, double>>> adj(num_users +
+                                                          num_items);
+  for (int32_t u = 0; u < connected_users; ++u) {
+    for (int32_t i = 0; i < connected_items; ++i) {
+      if (coin(rng) >= edge_prob) continue;
+      const double w = static_cast<double>(rating(rng));
+      adj[u].push_back({num_users + i, w});
+      adj[num_users + i].push_back({u, w});
+    }
+  }
+  return BipartiteGraph::FromAdjacency(num_users, num_items, adj);
+}
+
+std::vector<bool> RandomAbsorbing(int32_t n, double prob, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<bool> absorbing(n, false);
+  for (int32_t v = 0; v < n; ++v) absorbing[v] = coin(rng) < prob;
+  return absorbing;
+}
+
+std::vector<double> RandomCosts(int32_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> cost(0.0, 3.0);
+  std::vector<double> costs(n);
+  for (int32_t v = 0; v < n; ++v) costs[v] = cost(rng);
+  return costs;
+}
+
+void ExpectSweepParity(const BipartiteGraph& g,
+                       const std::vector<bool>& absorbing,
+                       const std::vector<double>& costs, int iterations,
+                       const std::string& label) {
+  std::vector<double> ref, ref_scratch, ker, ker_scratch;
+  AbsorbingValueTruncatedReference(g, absorbing, costs, iterations, &ref,
+                                   &ref_scratch);
+  AbsorbingValueTruncated(g, absorbing, costs, iterations, &ker,
+                          &ker_scratch);
+  ASSERT_EQ(ref.size(), ker.size()) << label;
+  for (size_t v = 0; v < ref.size(); ++v) {
+    const double tol =
+        1e-12 * std::max({1.0, std::abs(ref[v]), std::abs(ker[v])});
+    EXPECT_NEAR(ref[v], ker[v], tol) << label << " node " << v;
+    if (absorbing[v]) {
+      // Absorbing rows are pinned at exactly zero on both paths.
+      EXPECT_EQ(0.0, ker[v]) << label << " node " << v;
+    } else if (g.WeightedDegree(v) <= 0.0) {
+      // Isolated transient rows perform the same two-operand additions on
+      // both paths, so they must match bit for bit.
+      EXPECT_EQ(ref[v], ker[v]) << label << " node " << v;
+    }
+  }
+}
+
+TEST(WalkKernelTest, MatchesReferenceOnRandomGraphs) {
+  struct Config {
+    int32_t users, items, isolated_users, isolated_items;
+    double density, absorbing_prob;
+  };
+  const Config configs[] = {
+      {40, 30, 0, 0, 0.15, 0.2},
+      {80, 120, 5, 9, 0.05, 0.1},   // sparse, with isolated nodes
+      {17, 11, 3, 2, 0.60, 0.5},    // dense, heavy absorbing set
+      {64, 64, 0, 0, 0.02, 0.05},   // nearly disconnected
+      {1, 1, 0, 0, 1.0, 0.5},       // minimal
+  };
+  uint64_t seed = 1000;
+  for (const Config& c : configs) {
+    const BipartiteGraph g = RandomGraph(c.users, c.items, c.density, ++seed,
+                                         c.isolated_users, c.isolated_items);
+    const int32_t n = g.num_nodes();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto absorbing = RandomAbsorbing(n, c.absorbing_prob, ++seed);
+      const std::string label = "graph " + std::to_string(c.users) + "x" +
+                                std::to_string(c.items) + " rep " +
+                                std::to_string(rep);
+      ExpectSweepParity(g, absorbing, std::vector<double>(n, 1.0), 15,
+                        label + " unit-cost");
+      ExpectSweepParity(g, absorbing, RandomCosts(n, ++seed), 15,
+                        label + " random-cost");
+    }
+  }
+}
+
+TEST(WalkKernelTest, AllAbsorbingIsExactlyZero) {
+  const BipartiteGraph g = RandomGraph(20, 25, 0.2, 7);
+  const std::vector<bool> absorbing(g.num_nodes(), true);
+  std::vector<double> value, scratch;
+  AbsorbingValueTruncated(g, absorbing,
+                          std::vector<double>(g.num_nodes(), 1.0), 15,
+                          &value, &scratch);
+  for (double v : value) EXPECT_EQ(0.0, v);
+}
+
+TEST(WalkKernelTest, EmptyAbsorbingSetMatchesReference) {
+  // No absorbing nodes: every value grows toward τ·cost. The kernel must
+  // track the reference (and neither may blow up or NaN).
+  const BipartiteGraph g = RandomGraph(30, 20, 0.2, 11, 2, 3);
+  const int32_t n = g.num_nodes();
+  ExpectSweepParity(g, std::vector<bool>(n, false), RandomCosts(n, 12), 25,
+                    "empty absorbing set");
+}
+
+TEST(WalkKernelTest, ZeroIterationsLeavesZeros) {
+  const BipartiteGraph g = RandomGraph(10, 10, 0.3, 21);
+  std::vector<double> value, scratch;
+  AbsorbingValueTruncated(g, RandomAbsorbing(g.num_nodes(), 0.3, 22),
+                          std::vector<double>(g.num_nodes(), 1.0), 0, &value,
+                          &scratch);
+  ASSERT_EQ(static_cast<size_t>(g.num_nodes()), value.size());
+  for (double v : value) EXPECT_EQ(0.0, v);
+}
+
+TEST(WalkKernelTest, EmptySeedSubgraphAndEmptyGraph) {
+  // Empty seed set → empty subgraph → the kernel must handle n == 0.
+  const BipartiteGraph g = RandomGraph(12, 8, 0.3, 31);
+  WalkWorkspace ws;
+  const Subgraph& sub = ExtractSubgraphInto(g, {}, SubgraphOptions{}, &ws);
+  EXPECT_EQ(0, sub.graph.num_nodes());
+  std::vector<double> value, scratch;
+  AbsorbingValueTruncated(sub.graph, {}, {}, 15, &ws.kernel, &value,
+                          &scratch);
+  EXPECT_TRUE(value.empty());
+  // Default-constructed (empty) graph through the allocating flavour.
+  const std::vector<double> empty =
+      AbsorbingValueTruncated(BipartiteGraph(), {}, {}, 15);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(WalkKernelTest, RebuildAcrossQueriesMatchesFreshKernel) {
+  // One long-lived kernel (the WalkWorkspace situation) recompiled for a
+  // sequence of different graphs and absorbing sets must match a fresh
+  // kernel on every query, bit for bit.
+  WalkKernel reused;
+  uint64_t seed = 500;
+  for (int query = 0; query < 5; ++query) {
+    const BipartiteGraph g =
+        RandomGraph(20 + 7 * query, 30 - 3 * query, 0.2, ++seed, query, 1);
+    const int32_t n = g.num_nodes();
+    const auto absorbing = RandomAbsorbing(n, 0.25, ++seed);
+    const auto costs = RandomCosts(n, ++seed);
+    std::vector<double> fresh, fresh_scratch, reused_value, reused_scratch;
+    AbsorbingValueTruncated(g, absorbing, costs, 10, &fresh, &fresh_scratch);
+    AbsorbingValueTruncated(g, absorbing, costs, 10, &reused, &reused_value,
+                            &reused_scratch);
+    ASSERT_EQ(fresh.size(), reused_value.size());
+    for (size_t v = 0; v < fresh.size(); ++v) {
+      EXPECT_EQ(fresh[v], reused_value[v]) << "query " << query;
+    }
+  }
+}
+
+TEST(WalkKernelTest, ItemValuesSweepMatchesFullSweepBitwise) {
+  // The production ranking sweep computes only the alternating chain the
+  // item-side values depend on; those values must be BIT-identical to the
+  // full double-buffered sweep, including isolated items (which take two
+  // chained cost additions per step) — at both even and odd τ.
+  uint64_t seed = 9000;
+  for (int iterations : {0, 1, 2, 7, 15, 16}) {
+    const BipartiteGraph g = RandomGraph(40, 35, 0.12, ++seed, 4, 5);
+    const int32_t n = g.num_nodes();
+    const auto absorbing = RandomAbsorbing(n, 0.15, ++seed);
+    const auto costs = RandomCosts(n, ++seed);
+    WalkKernel kernel;
+    kernel.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+    kernel.CompileAbsorbingSweep(absorbing, costs);
+    std::vector<double> full, scratch, ranking;
+    kernel.SweepTruncated(iterations, &full, &scratch);
+    kernel.SweepTruncatedItemValues(iterations, &ranking);
+    ASSERT_EQ(full.size(), ranking.size());
+    for (int32_t v = g.num_users(); v < n; ++v) {
+      EXPECT_EQ(full[v], ranking[v])
+          << "item node " << v << " tau " << iterations;
+    }
+  }
+}
+
+TEST(WalkKernelTest, ApplyColumnStochasticMatchesPprScatter) {
+  const BipartiteGraph g = RandomGraph(25, 35, 0.15, 77, 2, 2);
+  const int32_t n = g.num_nodes();
+  std::mt19937_64 rng(78);
+  std::uniform_real_distribution<double> mass(0.0, 1.0);
+  std::vector<double> x(n), restart(n);
+  for (int32_t v = 0; v < n; ++v) {
+    x[v] = mass(rng);
+    restart[v] = mass(rng);
+  }
+  const double lambda = 0.5;
+  // Reference: the pre-kernel edge-by-edge scatter of (1-λ)r + λPᵀx.
+  std::vector<double> expected(n);
+  for (int32_t v = 0; v < n; ++v) expected[v] = (1.0 - lambda) * restart[v];
+  for (int32_t v = 0; v < n; ++v) {
+    const double d = g.WeightedDegree(v);
+    if (d <= 0.0) continue;
+    const double out = lambda * x[v] / d;
+    const auto nbrs = g.Neighbors(v);
+    const auto wts = g.Weights(v);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      expected[nbrs[k]] += out * wts[k];
+    }
+  }
+  WalkKernel kernel;
+  kernel.BuildTransitions(g, WalkKernel::Normalization::kColumnStochastic);
+  std::vector<double> actual(n);
+  kernel.Apply(lambda, x.data(), 1.0 - lambda, restart.data(), actual.data());
+  for (int32_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(expected[v], actual[v],
+                1e-12 * std::max(1.0, std::abs(expected[v])))
+        << "node " << v;
+  }
+}
+
+TEST(WalkKernelTest, ApplyRawMatchesKatzScatter) {
+  const BipartiteGraph g = RandomGraph(30, 20, 0.2, 91);
+  const int32_t n = g.num_nodes();
+  std::mt19937_64 rng(92);
+  std::uniform_real_distribution<double> mass(0.0, 1.0);
+  std::vector<double> x(n);
+  for (int32_t v = 0; v < n; ++v) x[v] = mass(rng) < 0.5 ? 0.0 : mass(rng);
+  const double beta = 0.01;
+  std::vector<double> expected(n, 0.0);
+  for (int32_t v = 0; v < n; ++v) {
+    if (x[v] == 0.0) continue;
+    const auto nbrs = g.Neighbors(v);
+    const auto wts = g.Weights(v);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      expected[nbrs[k]] += beta * x[v] * wts[k];
+    }
+  }
+  WalkKernel kernel;
+  kernel.BuildTransitions(g, WalkKernel::Normalization::kRaw);
+  std::vector<double> actual(n);
+  kernel.Apply(beta, x.data(), 0.0, nullptr, actual.data());
+  for (int32_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(expected[v], actual[v],
+                1e-12 * std::max(1.0, std::abs(expected[v])))
+        << "node " << v;
+    if (expected[v] == 0.0) {
+      // Nodes no mass can reach must stay exactly zero (katz_test relies
+      // on exact zeros to mark unreachable items).
+      EXPECT_EQ(0.0, actual[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(WalkKernelTest, ApplySparseFrontierTakesPushAndMatchesScatter) {
+  // A single-nonzero input (the first Katz/PPR step) must route through
+  // the sparse push path and still match the reference scatter for both
+  // Apply normalizations.
+  const BipartiteGraph g = RandomGraph(40, 30, 0.15, 131);
+  const int32_t n = g.num_nodes();
+  std::vector<double> x(n, 0.0), restart(n, 0.0);
+  const NodeId source = g.UserNode(7);
+  x[source] = 1.0;
+  for (int32_t v = 0; v < n; ++v) restart[v] = 0.01 * (v + 1);
+  {
+    std::vector<double> expected(n);
+    const double lambda = 0.5;
+    for (int32_t v = 0; v < n; ++v) expected[v] = (1.0 - lambda) * restart[v];
+    const double d = g.WeightedDegree(source);
+    ASSERT_GT(d, 0.0);
+    const auto nbrs = g.Neighbors(source);
+    const auto wts = g.Weights(source);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      expected[nbrs[k]] += lambda / d * wts[k];
+    }
+    WalkKernel kernel;
+    kernel.BuildTransitions(g, WalkKernel::Normalization::kColumnStochastic);
+    std::vector<double> actual(n);
+    kernel.Apply(lambda, x.data(), 1.0 - lambda, restart.data(),
+                 actual.data());
+    for (int32_t v = 0; v < n; ++v) {
+      EXPECT_NEAR(expected[v], actual[v],
+                  1e-12 * std::max(1.0, std::abs(expected[v])))
+          << "node " << v;
+    }
+  }
+  {
+    const double beta = 0.01;
+    std::vector<double> expected(n, 0.0);
+    const auto nbrs = g.Neighbors(source);
+    const auto wts = g.Weights(source);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      expected[nbrs[k]] += beta * wts[k];
+    }
+    WalkKernel kernel;
+    kernel.BuildTransitions(g, WalkKernel::Normalization::kRaw);
+    std::vector<double> actual(n);
+    kernel.Apply(beta, x.data(), 0.0, nullptr, actual.data());
+    for (int32_t v = 0; v < n; ++v) {
+      EXPECT_NEAR(expected[v], actual[v],
+                  1e-12 * std::max(1.0, std::abs(expected[v])))
+          << "node " << v;
+      if (expected[v] == 0.0) EXPECT_EQ(0.0, actual[v]) << "node " << v;
+    }
+  }
+}
+
+// The kernel serves every production path; sequential and batch results
+// must therefore stay bit-identical at any thread count.
+TEST(WalkKernelTest, RecommenderBatchParityAtOneAndEightThreads) {
+  SyntheticSpec spec;
+  spec.num_users = 90;
+  spec.num_items = 70;
+  spec.mean_user_degree = 9;
+  spec.min_user_degree = 3;
+  spec.num_genres = 5;
+  spec.seed = 777;
+  auto data = GenerateSyntheticData(spec);
+  ASSERT_TRUE(data.ok());
+  const Dataset& train = data->dataset;
+
+  std::vector<std::unique_ptr<Recommender>> suite;
+  suite.push_back(std::make_unique<HittingTimeRecommender>());
+  suite.push_back(std::make_unique<AbsorbingTimeRecommender>());
+  AbsorbingCostOptions ac;
+  suite.push_back(std::make_unique<AbsorbingCostRecommender>(
+      EntropySource::kItemBased, ac));
+  for (auto& rec : suite) ASSERT_TRUE(rec->Fit(train).ok()) << rec->name();
+
+  std::vector<UserId> users;
+  for (UserId u = 0; u < 40; ++u) users.push_back(u);
+  for (const auto& rec : suite) {
+    std::vector<std::vector<ScoredItem>> sequential;
+    for (UserId u : users) {
+      auto top = rec->RecommendTopK(u, 10);
+      ASSERT_TRUE(top.ok()) << rec->name() << " user " << u;
+      sequential.push_back(std::move(top).value());
+    }
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      BatchOptions options;
+      options.num_threads = threads;
+      const auto batch = rec->RecommendBatch(users, 10, options);
+      ASSERT_EQ(users.size(), batch.size());
+      for (size_t i = 0; i < users.size(); ++i) {
+        ASSERT_TRUE(batch[i].ok()) << rec->name();
+        const auto& expected = sequential[i];
+        const auto& actual = *batch[i];
+        ASSERT_EQ(expected.size(), actual.size())
+            << rec->name() << " @" << threads << "t user " << users[i];
+        for (size_t k = 0; k < expected.size(); ++k) {
+          EXPECT_EQ(expected[k].item, actual[k].item)
+              << rec->name() << " @" << threads << "t user " << users[i];
+          EXPECT_EQ(expected[k].score, actual[k].score)
+              << rec->name() << " @" << threads << "t user " << users[i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace longtail
