@@ -177,18 +177,12 @@ Status GraphRecommenderBase::ComputeWalk(UserId user, WalkWorkspace* ws,
   // Subgraph extraction is a pure function of (graph, seeds, µ), so a
   // cached extraction — possibly inserted by a sibling recommender fitted
   // on the same dataset — is adopted verbatim; the walk below is
-  // bit-identical either way.
-  bool adopted = false;
-  uint64_t key = 0;
+  // bit-identical either way. The cache's single-flight front door also
+  // coalesces concurrent identical misses into one extraction.
   if (cache != nullptr) {
-    key = SubgraphCache::Key(graph_.fingerprint(), ws->seeds, sub_options);
-    adopted = cache->Lookup(key, graph_, ws->seeds, sub_options, ws);
-  }
-  if (!adopted) {
+    cache->GetOrExtract(graph_, ws->seeds, sub_options, ws);
+  } else {
     ExtractSubgraphInto(graph_, ws->seeds, sub_options, ws);
-    if (cache != nullptr) {
-      cache->Insert(key, graph_.fingerprint(), ws->seeds, sub_options, *ws);
-    }
   }
   const Subgraph& sub = ws->sub();
   AbsorbingFlags(sub, user, &ws->absorbing);

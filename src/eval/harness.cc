@@ -7,6 +7,7 @@
 #include "core/absorbing_time.h"
 #include "core/hitting_time.h"
 #include "serving/model_registry.h"
+#include "serving/serving_engine.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -130,15 +131,27 @@ Result<AlgorithmSuite> BuildAndFitSuite(const Dataset& train,
   return suite;
 }
 
+Status RegisterSuite(const AlgorithmSuite& suite, ServingEngine* engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  for (const auto& alg : suite.algorithms) {
+    LT_RETURN_IF_ERROR(engine->AddModel(alg.get()));
+  }
+  return Status::OK();
+}
+
 Result<TopNReport> EvaluateTopN(const Recommender& rec, const Dataset& train,
                                 const std::vector<UserId>& users, int k,
                                 const CategoryOntology* ontology,
                                 size_t num_threads,
-                                SubgraphCache* subgraph_cache) {
+                                SubgraphCache* subgraph_cache,
+                                ServingEngine* engine) {
   TopNListOptions list_options;
   list_options.k = k;
   list_options.num_threads = num_threads;
   list_options.subgraph_cache = subgraph_cache;
+  list_options.engine = engine;
   LT_ASSIGN_OR_RETURN(TopNLists lists, ComputeTopNLists(rec, users,
                                                         list_options));
   TopNReport report;

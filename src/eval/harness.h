@@ -17,6 +17,8 @@
 
 namespace longtail {
 
+class ServingEngine;
+
 /// Shared configuration for the full algorithm suite.
 struct SuiteOptions {
   GraphWalkOptions walk;
@@ -81,11 +83,20 @@ struct TopNReport {
 /// Evaluates one recommender's top-k lists on all §5.2.2-style metrics.
 /// `subgraph_cache` (optional) is handed to the batch engine; sharing one
 /// cache across the suite lets AT/AC1/AC2 reuse each other's extractions.
+/// `engine` (optional) serves the lists through a ServingEngine instead of
+/// a direct batch — the rec must be registered in it under its name(); see
+/// TopNListOptions::engine.
 Result<TopNReport> EvaluateTopN(const Recommender& rec, const Dataset& train,
                                 const std::vector<UserId>& users, int k,
                                 const CategoryOntology* ontology,
                                 size_t num_threads = 0,
-                                SubgraphCache* subgraph_cache = nullptr);
+                                SubgraphCache* subgraph_cache = nullptr,
+                                ServingEngine* engine = nullptr);
+
+/// Registers every fitted suite algorithm into `engine` (borrowed — the
+/// suite must outlive the engine), keyed by reporting name. The standard
+/// bridge from BuildAndFitSuite to an online ServingEngine.
+Status RegisterSuite(const AlgorithmSuite& suite, ServingEngine* engine);
 
 }  // namespace longtail
 

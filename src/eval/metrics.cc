@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "serving/serving_engine.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/serving_pool.h"
@@ -159,6 +160,33 @@ Result<TopNLists> ComputeTopNLists(const Recommender& rec,
   }
   TopNLists out;
   out.lists.assign(users.size(), {});
+  if (options.engine != nullptr) {
+    // Engine path: the same queries flow through admission control and
+    // the micro-batcher; per-query results are bit-identical to the
+    // direct batch below.
+    const std::string model = rec.name();
+    if (!options.engine->HasModel(model)) {
+      return Status::InvalidArgument("model '" + model +
+                                     "' is not registered in the engine");
+    }
+    std::vector<ServeRequest> requests(users.size());
+    for (size_t idx = 0; idx < users.size(); ++idx) {
+      requests[idx].user = users[idx];
+      requests[idx].top_k = options.k;
+    }
+    WallTimer timer;
+    std::vector<UserQueryResult> responses =
+        options.engine->QueryAll(model, requests);
+    out.seconds_per_user = timer.ElapsedSeconds() / users.size();
+    for (size_t idx = 0; idx < responses.size(); ++idx) {
+      // Failed users (cold start) keep an empty list, as on the direct
+      // path.
+      if (responses[idx].status.ok()) {
+        out.lists[idx] = std::move(responses[idx].top_k);
+      }
+    }
+    return out;
+  }
   BatchOptions batch_options;
   batch_options.num_threads = options.num_threads;
   batch_options.subgraph_cache = options.subgraph_cache;

@@ -19,6 +19,8 @@
 
 namespace longtail {
 
+class ServingEngine;
+
 // ---------------------------------------------------------------- Recall@N
 
 struct RecallProtocolOptions {
@@ -67,6 +69,13 @@ struct TopNListOptions {
   size_t num_threads = 0;
   /// Optional shared subgraph cache handed to the batch engine.
   SubgraphCache* subgraph_cache = nullptr;
+  /// When set, lists are served through this ServingEngine (QueryAll
+  /// against the model registered under the recommender's name() —
+  /// admission control, micro-batching and the engine's own
+  /// cache/pool/thread configuration apply; `num_threads` and
+  /// `subgraph_cache` above are ignored). Results are bit-identical to
+  /// the direct path (tests/serving_engine_test.cc).
+  ServingEngine* engine = nullptr;
 };
 
 /// Top-k lists for each user (empty list if the recommender failed for that

@@ -1,6 +1,7 @@
 #include "graph/subgraph_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/hash.h"
 
@@ -64,6 +65,18 @@ bool SubgraphCache::Matches(const Entry& e, uint64_t fingerprint,
          std::equal(e.seeds.begin(), e.seeds.end(), seeds.begin());
 }
 
+std::shared_ptr<const Subgraph> SubgraphCache::DetachPayload(
+    const WalkWorkspace& ws) {
+  // Reverse-lookup tables stay empty: cached subgraphs are only ever read
+  // back through AdoptSubgraph, which rebuilds the workspace's stamped
+  // tables.
+  auto sub = std::make_shared<Subgraph>();
+  sub->graph = ws.sub().graph.CompactCopy();
+  sub->users = ws.sub().users;
+  sub->items = ws.sub().items;
+  return sub;
+}
+
 bool SubgraphCache::Lookup(uint64_t key, const BipartiteGraph& g,
                            std::span<const NodeId> seeds,
                            const SubgraphOptions& options,
@@ -75,11 +88,11 @@ bool SubgraphCache::Lookup(uint64_t key, const BipartiteGraph& g,
     auto it = shard.index.find(key);
     if (it == shard.index.end() ||
         !Matches(*it->second, g.fingerprint(), seeds, options.max_items)) {
-      ++shard.misses;
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    ++shard.hits;
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
     sub = it->second->sub;
   }
   // The workspace copy happens outside the lock: the shared_ptr keeps the
@@ -88,18 +101,131 @@ bool SubgraphCache::Lookup(uint64_t key, const BipartiteGraph& g,
   return true;
 }
 
-void SubgraphCache::Insert(uint64_t key, uint64_t graph_fingerprint,
-                           std::span<const NodeId> seeds,
-                           const SubgraphOptions& options,
-                           const WalkWorkspace& ws) {
-  // Detach a self-contained copy before taking the lock. Reverse-lookup
-  // tables stay empty: cached subgraphs are only ever read back through
-  // AdoptSubgraph, which rebuilds the workspace's stamped tables.
-  auto sub = std::make_shared<Subgraph>();
-  sub->graph = ws.sub().graph.CompactCopy();
-  sub->users = ws.sub().users;
-  sub->items = ws.sub().items;
+void SubgraphCache::GetOrExtract(const BipartiteGraph& g,
+                                 const std::vector<NodeId>& seeds,
+                                 const SubgraphOptions& options,
+                                 WalkWorkspace* ws) {
+  const uint64_t key = Key(g.fingerprint(), seeds, options);
+  const uint64_t fingerprint = g.fingerprint();
+  Shard& shard = ShardFor(key);
+  // Abandonment (leader exits without publishing) sends waiters back here;
+  // it cannot happen on the current extraction path, but the loop keeps the
+  // contract airtight if extraction ever grows an early return.
+  for (;;) {
+    std::shared_ptr<const Subgraph> cached;
+    std::shared_ptr<FlightTicket> ticket;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it != shard.index.end() &&
+          Matches(*it->second, fingerprint, seeds, options.max_items)) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        cached = it->second->sub;
+      } else {
+        auto fit = shard.inflight.find(key);
+        if (fit != shard.inflight.end() &&
+            fit->second->fingerprint == fingerprint &&
+            fit->second->max_items == options.max_items &&
+            fit->second->seeds.size() == seeds.size() &&
+            std::equal(fit->second->seeds.begin(), fit->second->seeds.end(),
+                       seeds.begin())) {
+          // Identical extraction already running: coalesce behind it.
+          ticket = fit->second;
+          shard.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
+        } else if (fit != shard.inflight.end()) {
+          // 64-bit key collision with a *different* in-flight identity:
+          // bypass coalescing (waiting would adopt the wrong subgraph).
+          shard.misses.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ticket = std::make_shared<FlightTicket>();
+          ticket->fingerprint = fingerprint;
+          ticket->max_items = options.max_items;
+          ticket->seeds = seeds;
+          shard.inflight[key] = ticket;
+          shard.misses.fetch_add(1, std::memory_order_relaxed);
+          leader = true;
+        }
+      }
+    }
+    if (cached != nullptr) {
+      ws->AdoptSubgraph(g, *cached);
+      return;
+    }
+    if (ticket == nullptr) {
+      // Collision bypass: extract privately; latest-wins insert below.
+      ExtractSubgraphInto(g, seeds, options, ws);
+      InsertPayload(key, fingerprint, seeds, options, DetachPayload(*ws));
+      return;
+    }
+    if (leader) {
+      if (leader_extract_hook_) leader_extract_hook_();
+      ExtractSubgraphInto(g, seeds, options, ws);
+      std::shared_ptr<const Subgraph> payload = DetachPayload(*ws);
+      {
+        // LRU first, ticket erase second: a thread arriving in between
+        // hits the fresh entry instead of opening a duplicate flight.
+        std::lock_guard<std::mutex> lock(shard.mu);
+        InsertPayloadLocked(&shard, key, fingerprint, seeds, options,
+                            payload);
+        auto fit = shard.inflight.find(key);
+        if (fit != shard.inflight.end() && fit->second == ticket) {
+          shard.inflight.erase(fit);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(ticket->mu);
+        ticket->sub = std::move(payload);
+        ticket->done = true;
+      }
+      ticket->cv.notify_all();
+      return;
+    }
+    // Waiter: block until the leader publishes, then adopt its payload.
+    std::shared_ptr<const Subgraph> published;
+    {
+      std::unique_lock<std::mutex> lock(ticket->mu);
+      ticket->cv.wait(lock, [&] { return ticket->done; });
+      published = ticket->sub;
+    }
+    if (published != nullptr) {
+      ws->AdoptSubgraph(g, *published);
+      return;
+    }
+    // Leader abandoned: retry from the top (hit, new flight, or lead).
+  }
+}
 
+void SubgraphCache::InsertPayload(uint64_t key, uint64_t graph_fingerprint,
+                                  std::span<const NodeId> seeds,
+                                  const SubgraphOptions& options,
+                                  std::shared_ptr<const Subgraph> sub) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertPayloadLocked(&shard, key, graph_fingerprint, seeds, options,
+                      std::move(sub));
+}
+
+void SubgraphCache::InsertPayloadLocked(Shard* shard, uint64_t key,
+                                        uint64_t graph_fingerprint,
+                                        std::span<const NodeId> seeds,
+                                        const SubgraphOptions& options,
+                                        std::shared_ptr<const Subgraph> sub) {
+  auto it = shard->index.find(key);
+  if (it != shard->index.end()) {
+    if (Matches(*it->second, graph_fingerprint, seeds, options.max_items)) {
+      // Another worker inserted the same extraction first; its payload is
+      // identical, so keep it and just refresh recency.
+      shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+      return;
+    }
+    // 64-bit key collision between different identities: latest wins.
+    shard->bytes -= it->second->bytes;
+    shard->lru.erase(it->second);
+    shard->index.erase(it);
+    shard->evictions.fetch_add(1, std::memory_order_relaxed);
+  }
   Entry entry;
   entry.key = key;
   entry.fingerprint = graph_fingerprint;
@@ -107,28 +233,19 @@ void SubgraphCache::Insert(uint64_t key, uint64_t graph_fingerprint,
   entry.seeds.assign(seeds.begin(), seeds.end());
   entry.bytes = PayloadBytes(*sub, seeds.size());
   entry.sub = std::move(sub);
+  shard->bytes += entry.bytes;
+  shard->lru.push_front(std::move(entry));
+  shard->index[key] = shard->lru.begin();
+  shard->inserts.fetch_add(1, std::memory_order_relaxed);
+  EvictOverflow(shard);
+}
 
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    if (Matches(*it->second, graph_fingerprint, seeds, options.max_items)) {
-      // Another worker inserted the same extraction first; its payload is
-      // identical, so keep it and just refresh recency.
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      return;
-    }
-    // 64-bit key collision between different identities: latest wins.
-    shard.bytes -= it->second->bytes;
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-    ++shard.evictions;
-  }
-  shard.bytes += entry.bytes;
-  shard.lru.push_front(std::move(entry));
-  shard.index[key] = shard.lru.begin();
-  ++shard.inserts;
-  EvictOverflow(&shard);
+void SubgraphCache::Insert(uint64_t key, uint64_t graph_fingerprint,
+                           std::span<const NodeId> seeds,
+                           const SubgraphOptions& options,
+                           const WalkWorkspace& ws) {
+  // Detach a self-contained copy before taking the lock.
+  InsertPayload(key, graph_fingerprint, seeds, options, DetachPayload(ws));
 }
 
 void SubgraphCache::EvictOverflow(Shard* shard) {
@@ -139,18 +256,20 @@ void SubgraphCache::EvictOverflow(Shard* shard) {
     shard->bytes -= victim.bytes;
     shard->index.erase(victim.key);
     shard->lru.pop_back();
-    ++shard->evictions;
+    shard->evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 SubgraphCacheStats SubgraphCache::Stats() const {
   SubgraphCacheStats stats;
   for (const auto& shard : shards_) {
+    stats.hits += shard->hits.load(std::memory_order_relaxed);
+    stats.misses += shard->misses.load(std::memory_order_relaxed);
+    stats.inserts += shard->inserts.load(std::memory_order_relaxed);
+    stats.evictions += shard->evictions.load(std::memory_order_relaxed);
+    stats.coalesced_waits +=
+        shard->coalesced_waits.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard->mu);
-    stats.hits += shard->hits;
-    stats.misses += shard->misses;
-    stats.inserts += shard->inserts;
-    stats.evictions += shard->evictions;
     stats.entries += shard->lru.size();
     stats.resident_bytes += shard->bytes;
   }
@@ -163,7 +282,11 @@ void SubgraphCache::Clear() {
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
-    shard->hits = shard->misses = shard->inserts = shard->evictions = 0;
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+    shard->inserts.store(0, std::memory_order_relaxed);
+    shard->evictions.store(0, std::memory_order_relaxed);
+    shard->coalesced_waits.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -1,4 +1,5 @@
-// Sharded, thread-safe LRU cache of extracted walk subgraphs.
+// Sharded, thread-safe LRU cache of extracted walk subgraphs, with
+// single-flight coalescing of concurrent identical misses.
 //
 // The paper's graph recommenders (HT, AT, AC1, AC2) extract a µ-capped BFS
 // subgraph per query. Queries with the same seed set — the same user asked
@@ -10,17 +11,31 @@
 // degree-count + CSR-scatter rebuild. Results are bit-identical either way
 // (enforced by tests/subgraph_cache_test.cc).
 //
+// Single flight: GetOrExtract is the serving path's front door. The first
+// thread to miss a key becomes the *leader* — it registers an in-flight
+// ticket, extracts, publishes, and inserts. Threads that miss the same key
+// while the ticket is open block on it and adopt the leader's published
+// payload instead of racing a duplicate extraction: N identical concurrent
+// cold queries perform exactly one extraction (the ROADMAP admission-control
+// item; proven by tests/subgraph_cache_test.cc and the engine tests).
+//
 // Concurrency: the key space is split across power-of-two shards, each a
-// mutex-protected LRU list + index. Payloads are immutable and shared_ptr
-// owned, so a reader copying an entry into its workspace never races an
-// eviction — the shard lock covers only list/index surgery and pointer
-// grabs. Collision safety does not rest on the 64-bit key: entries store
-// the full identity (fingerprint, seeds, µ) and a lookup that hashes alike
-// but differs in identity is a miss.
+// mutex-protected LRU list + index + in-flight table. Payloads are
+// immutable and shared_ptr owned, so a reader copying an entry into its
+// workspace never races an eviction — the shard lock covers only
+// list/index/ticket surgery and pointer grabs; waiters block on the
+// ticket's own condition variable, never on the shard. Stats counters are
+// atomics, so Stats() snapshots do not serialize the serving path.
+// Collision safety does not rest on the 64-bit key: entries and tickets
+// store the full identity (fingerprint, seeds, µ) and a lookup that hashes
+// alike but differs in identity is a miss.
 #ifndef LONGTAIL_GRAPH_SUBGRAPH_CACHE_H_
 #define LONGTAIL_GRAPH_SUBGRAPH_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -49,12 +64,25 @@ struct SubgraphCacheStats {
   uint64_t misses = 0;
   uint64_t inserts = 0;
   uint64_t evictions = 0;
+  /// Requests that found an identical extraction already in flight and
+  /// adopted the leader's result instead of extracting (single-flight
+  /// coalescing). Counted when the waiter starts waiting; every coalesced
+  /// wait is one duplicate extraction avoided.
+  uint64_t coalesced_waits = 0;
   size_t entries = 0;
   size_t resident_bytes = 0;
 
+  /// hits / (hits + misses): coalesced waits are neither (they are
+  /// de-duplicated misses) and are reported via CoalescedRate().
   double HitRate() const {
     const uint64_t total = hits + misses;
     return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+  /// Fraction of cold lookups (misses + coalesced waits) that were
+  /// absorbed by an in-flight extraction instead of extracting again.
+  double CoalescedRate() const {
+    const uint64_t cold = misses + coalesced_waits;
+    return cold > 0 ? static_cast<double>(coalesced_waits) / cold : 0.0;
   }
 };
 
@@ -71,10 +99,22 @@ class SubgraphCache {
                       std::span<const NodeId> seeds,
                       const SubgraphOptions& options);
 
+  /// The serving path's front door: ends with the subgraph induced by
+  /// (`g`, `seeds`, `options`) installed in `*ws`, bit-identical to a
+  /// direct ExtractSubgraphInto. Hit → adopt the cached payload. Miss with
+  /// no identical extraction in flight → this caller extracts (leader),
+  /// publishes, and inserts. Miss while an identical extraction is in
+  /// flight → block until the leader publishes and adopt its payload
+  /// (counted as a coalesced wait). Safe for any number of concurrent
+  /// callers; distinct keys never wait on each other.
+  void GetOrExtract(const BipartiteGraph& g, const std::vector<NodeId>& seeds,
+                    const SubgraphOptions& options, WalkWorkspace* ws);
+
   /// On hit, installs the cached subgraph into `*ws` (AdoptSubgraph against
   /// `g`) and refreshes the entry's recency. `g`, `seeds` and `options`
   /// must be the inputs `key` was computed from; they double as the
-  /// collision check.
+  /// collision check. Does not consult the in-flight table — use
+  /// GetOrExtract for coalescing.
   bool Lookup(uint64_t key, const BipartiteGraph& g,
               std::span<const NodeId> seeds, const SubgraphOptions& options,
               WalkWorkspace* ws);
@@ -88,13 +128,23 @@ class SubgraphCache {
               const WalkWorkspace& ws);
 
   /// Aggregated over shards; counters are cumulative since construction or
-  /// the last Clear().
+  /// the last Clear(). Counter reads are atomic and do not block lookups;
+  /// entries/resident_bytes take each shard lock briefly.
   SubgraphCacheStats Stats() const;
 
-  /// Drops every entry and zeroes the counters.
+  /// Drops every entry and zeroes the counters. In-flight extractions are
+  /// unaffected (their tickets complete and insert normally).
   void Clear();
 
   size_t num_shards() const { return shards_.size(); }
+
+  /// Test-only: invoked by a GetOrExtract *leader* after its in-flight
+  /// ticket is registered and before extraction begins. Lets tests hold
+  /// the leader open until a chosen number of waiters have coalesced
+  /// behind it. Not for production use; calls must not re-enter the cache.
+  void SetLeaderExtractHookForTesting(std::function<void()> hook) {
+    leader_extract_hook_ = std::move(hook);
+  }
 
  private:
   struct Entry {
@@ -106,16 +156,32 @@ class SubgraphCache {
     size_t bytes = 0;
   };
 
+  /// One open extraction. Waiters block on `cv` until the leader publishes
+  /// `sub` (or abandons, which sends them to extract for themselves).
+  struct FlightTicket {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const Subgraph> sub;  // null when abandoned
+    // Full identity, so a hash-colliding key never adopts a stranger.
+    uint64_t fingerprint = 0;
+    int32_t max_items = 0;
+    std::vector<NodeId> seeds;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used.
     std::list<Entry> lru;
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    /// Open extractions keyed like the index; erased on publish/abandon.
+    std::unordered_map<uint64_t, std::shared_ptr<FlightTicket>> inflight;
     size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t inserts = 0;
-    uint64_t evictions = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> coalesced_waits{0};
   };
 
   Shard& ShardFor(uint64_t key) {
@@ -125,6 +191,22 @@ class SubgraphCache {
   }
   static bool Matches(const Entry& e, uint64_t fingerprint,
                       std::span<const NodeId> seeds, int32_t max_items);
+  /// Detaches a self-contained copy of the workspace's current subgraph
+  /// (the payload format entries and tickets share).
+  static std::shared_ptr<const Subgraph> DetachPayload(
+      const WalkWorkspace& ws);
+  /// Inserts `sub` under `key`, refreshing recency if an identical entry
+  /// raced in. Takes the shard lock itself.
+  void InsertPayload(uint64_t key, uint64_t graph_fingerprint,
+                     std::span<const NodeId> seeds,
+                     const SubgraphOptions& options,
+                     std::shared_ptr<const Subgraph> sub);
+  /// Insert body; caller holds the shard mutex.
+  void InsertPayloadLocked(Shard* shard, uint64_t key,
+                           uint64_t graph_fingerprint,
+                           std::span<const NodeId> seeds,
+                           const SubgraphOptions& options,
+                           std::shared_ptr<const Subgraph> sub);
   /// Evicts from the back of `shard` until it fits both budgets. Caller
   /// holds the shard mutex.
   void EvictOverflow(Shard* shard);
@@ -135,6 +217,7 @@ class SubgraphCache {
   /// unique_ptr because Shard (mutex) is immovable and the count is a
   /// runtime option.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::function<void()> leader_extract_hook_;
 };
 
 }  // namespace longtail

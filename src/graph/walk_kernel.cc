@@ -2,13 +2,53 @@
 
 #include <algorithm>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
 #endif
 
+#include "graph/walk_kernel_isa.h"
 #include "util/logging.h"
 
 namespace longtail {
+
+namespace internal {
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  // AVX needs OS cooperation: OSXSAVE says XGETBV exists, XCR0 bits 1|2
+  // say the OS actually saves XMM+YMM state across context switches.
+  // Checking the AVX2 feature bit alone would fault on such hosts.
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return false;
+  unsigned xcr0_lo = 0, xcr0_hi = 0;
+  // xgetbv(0), byte-encoded so no -mxsave is needed at compile time.
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"
+                   : "=a"(xcr0_lo), "=d"(xcr0_hi)
+                   : "c"(0));
+  if ((xcr0_lo & 0x6) != 0x6) return false;
+  if (__get_cpuid_max(0, nullptr) < 7) return false;
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  return (ebx & (1u << 5)) != 0;  // leaf 7.0 EBX bit 5: AVX2
+#else
+  return false;
+#endif
+}
+
+const WalkKernelIsa* ActiveWalkKernelIsa() {
+  // One probe per process; every kernel constructed afterwards reuses the
+  // cached choice.
+  static const WalkKernelIsa* active = [] {
+    const WalkKernelIsa* avx2 = Avx2WalkKernelIsa();
+    if (avx2 != nullptr && CpuSupportsAvx2()) return avx2;
+    return GenericWalkKernelIsa();
+  }();
+  return active;
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -20,49 +60,20 @@ namespace {
 // in docs/KERNELS.md.
 constexpr int32_t kRowBlock = 4096;
 
-// The hot gather: Σ_k prob[k]·x[col[k]] over one CSR row, 4-way unrolled
-// into independent accumulators so the loads pipeline. The AVX2 path
-// (vgatherdpd on the int32 column indices) accumulates lane i exactly like
-// scalar accumulator a_i and reduces with the same (a0+a1)+(a2+a3) tree,
-// so both paths round identically (assuming the scalar loop is not
-// FMA-contracted — the default build has no FMA ISA, and contraction only
-// exists where AVX2/FMA is enabled, where the intrinsic path runs instead).
-inline double RowGather(const double* prob, const NodeId* col, int64_t begin,
-                        int64_t end, const double* x) {
-  int64_t k = begin;
-  double sum;
-#if defined(__AVX2__)
-  __m256d acc = _mm256_setzero_pd();
-  // All-lanes mask + zeroed source: same vgatherdpd as the unmasked
-  // intrinsic, but avoids its _mm256_undefined_pd() source, which GCC 12
-  // flags with a spurious -Wmaybe-uninitialized.
-  const __m256d gather_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
-  for (; k + 4 <= end; k += 4) {
-    const __m128i idx =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + k));
-    const __m256d xv = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x, idx,
-                                                gather_mask, /*scale=*/8);
-    const __m256d pv = _mm256_loadu_pd(prob + k);
-    acc = _mm256_add_pd(acc, _mm256_mul_pd(pv, xv));
-  }
-  alignas(32) double lanes[4];
-  _mm256_store_pd(lanes, acc);
-  sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-#else
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  for (; k + 4 <= end; k += 4) {
-    a0 += prob[k] * x[col[k]];
-    a1 += prob[k + 1] * x[col[k + 1]];
-    a2 += prob[k + 2] * x[col[k + 2]];
-    a3 += prob[k + 3] * x[col[k + 3]];
-  }
-  sum = (a0 + a1) + (a2 + a3);
-#endif
-  for (; k < end; ++k) sum += prob[k] * x[col[k]];
-  return sum;
+}  // namespace
+
+WalkKernel::WalkKernel() : isa_(internal::ActiveWalkKernelIsa()) {}
+
+const char* WalkKernel::isa_name() const { return isa_->name; }
+
+bool WalkKernel::RuntimeAvx2Available() {
+  return internal::ActiveWalkKernelIsa() == internal::Avx2WalkKernelIsa() &&
+         internal::Avx2WalkKernelIsa() != nullptr;
 }
 
-}  // namespace
+void WalkKernel::ForceGenericIsaForTesting() {
+  isa_ = internal::GenericWalkKernelIsa();
+}
 
 void WalkKernel::BuildTransitions(const BipartiteGraph& g,
                                   Normalization norm) {
@@ -153,10 +164,8 @@ void WalkKernel::SweepTruncated(int iterations, std::vector<double>* value,
   for (int t = 0; t < iterations; ++t) {
     for (int32_t b = 0; b < n; b += kRowBlock) {
       const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
-      for (int32_t v = b; v < b_end; ++v) {
-        const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], cur);
-        nxt[v] = (add[v] + scale[v] * acc) + self[v] * cur[v];
-      }
+      isa_->absorbing_rows(b, b_end, ptr, col, prob, add, scale, self, cur,
+                           nxt);
     }
     double* tmp = cur;
     cur = nxt;
@@ -192,10 +201,8 @@ void WalkKernel::SweepTruncatedItemValues(int iterations,
       // The chain's first step advances its side by a single DP iteration.
       for (int32_t b = lo; b < hi; b += kRowBlock) {
         const int32_t b_end = b + kRowBlock < hi ? b + kRowBlock : hi;
-        for (int32_t v = b; v < b_end; ++v) {
-          const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], x);
-          x[v] = (add[v] + scale[v] * acc) + self[v] * x[v];
-        }
+        isa_->absorbing_rows(b, b_end, ptr, col, prob, add, scale, self, x,
+                             x);
       }
     } else {
       // Every later step advances its side by two DP iterations. Ordinary
@@ -205,11 +212,8 @@ void WalkKernel::SweepTruncatedItemValues(int iterations,
       // would, keeping them bit-identical to it.
       for (int32_t b = lo; b < hi; b += kRowBlock) {
         const int32_t b_end = b + kRowBlock < hi ? b + kRowBlock : hi;
-        for (int32_t v = b; v < b_end; ++v) {
-          const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], x);
-          x[v] = ((add[v] + scale[v] * acc) + self[v] * x[v]) +
-                 self[v] * add[v];
-        }
+        isa_->absorbing_rows_fused(b, b_end, ptr, col, prob, add, scale,
+                                   self, x);
       }
     }
   }
@@ -263,21 +267,9 @@ void WalkKernel::Apply(double alpha, const double* x, double beta,
       return;
     }
   }
-  if (restart != nullptr) {
-    for (int32_t b = 0; b < n; b += kRowBlock) {
-      const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
-      for (int32_t v = b; v < b_end; ++v) {
-        const double acc = RowGather(prob, col, ptr[v], ptr[v + 1], x);
-        y[v] = alpha * acc + beta * restart[v];
-      }
-    }
-  } else {
-    for (int32_t b = 0; b < n; b += kRowBlock) {
-      const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
-      for (int32_t v = b; v < b_end; ++v) {
-        y[v] = alpha * RowGather(prob, col, ptr[v], ptr[v + 1], x);
-      }
-    }
+  for (int32_t b = 0; b < n; b += kRowBlock) {
+    const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
+    isa_->apply_rows(b, b_end, ptr, col, prob, alpha, x, beta, restart, y);
   }
 }
 

@@ -23,11 +23,15 @@
 //    transient: scale=0, self=1 accumulates cost forever; ordinary rows:
 //    scale=1, self=0).
 //  * SweepTruncated / Apply run the sweep as a blocked, 4-way-unrolled
-//    gather over the transition CSR; with AVX2 enabled at compile time the
-//    gather uses hardware gathers (vgatherdpd) behind a fallback that is
-//    bit-identical to the unrolled scalar path (same per-lane accumulation
-//    order and reduction tree). See docs/KERNELS.md for the layout, the
-//    blocking/unroll parameters and how to re-tune them.
+//    gather over the transition CSR. The gather is *runtime-dispatched*:
+//    one portable binary carries both a scalar flavour and an AVX2 flavour
+//    (hardware vgatherdpd, compiled in its own -mavx2 translation unit),
+//    and a one-time CPUID probe at kernel construction picks the table —
+//    no recompilation per host. The two flavours are bit-identical (same
+//    per-lane accumulation order and reduction tree, FP contraction off in
+//    the AVX2 TU), enforced by tests/walk_kernel_test.cc. See
+//    docs/KERNELS.md for the layout, the blocking/unroll parameters and
+//    how to re-tune them.
 //
 // Numerical contract: results agree with the retained reference loop
 // (AbsorbingValueTruncatedReference in markov.h) to relative tolerance
@@ -47,6 +51,10 @@
 #include "graph/bipartite_graph.h"
 
 namespace longtail {
+
+namespace internal {
+struct WalkKernelIsa;
+}  // namespace internal
 
 /// Per-graph normalized transition CSR plus per-query sweep coefficients.
 /// One kernel lives in each WalkWorkspace (rebuilt per extracted subgraph)
@@ -71,9 +79,24 @@ class WalkKernel {
     kRaw,
   };
 
-  WalkKernel() = default;
+  /// Binds the kernel to the best row-gather implementation the running
+  /// CPU supports (one CPUID probe per process, cached; see
+  /// walk_kernel_isa.h). The binary is portable — an AVX2 host runs the
+  /// vgatherdpd flavour, any other host the scalar flavour, with
+  /// bit-identical results.
+  WalkKernel();
   WalkKernel(const WalkKernel&) = delete;
   WalkKernel& operator=(const WalkKernel&) = delete;
+
+  /// Name of the row-gather flavour this kernel dispatches to ("avx2" or
+  /// "generic").
+  const char* isa_name() const;
+  /// True when this build carries the AVX2 translation unit *and* the
+  /// running CPU/OS support AVX2 — i.e. when new kernels bind to "avx2".
+  static bool RuntimeAvx2Available();
+  /// Test-only: rebinds this kernel to the portable scalar flavour so
+  /// parity tests can compare both paths within one process.
+  void ForceGenericIsaForTesting();
 
   /// Builds (or rebuilds) the normalized transition CSR for `g`. O(edges),
   /// one division per edge; call once per extracted subgraph / fitted
@@ -145,6 +168,9 @@ class WalkKernel {
              const double* restart, double* y) const;
 
  private:
+  /// The instruction-set flavour every sweep dispatches through; bound at
+  /// construction, never null.
+  const internal::WalkKernelIsa* isa_;
   const BipartiteGraph* graph_ = nullptr;
   Normalization norm_ = Normalization::kRowStochastic;
   int32_t num_nodes_ = 0;

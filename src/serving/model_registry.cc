@@ -1,6 +1,8 @@
 #include "serving/model_registry.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "baselines/item_knn.h"
@@ -13,6 +15,8 @@
 #include "core/absorbing_time.h"
 #include "core/hitting_time.h"
 #include "data/serialization.h"
+#include "serving/serving_engine.h"
+#include "util/logging.h"
 
 namespace longtail {
 
@@ -206,6 +210,46 @@ Result<std::string> ReadCheckpointAlgorithm(const std::string& path) {
   LT_RETURN_IF_ERROR(reader.status());
   LT_ASSIGN_OR_RETURN(const CheckpointHeader header, ReadHeader(&reader));
   return header.algorithm;
+}
+
+Result<std::vector<std::string>> LoadCheckpointDirIntoEngine(
+    const std::string& dir, const Dataset& data, ServingEngine* engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot read checkpoint directory '" + dir +
+                           "': " + ec.message());
+  }
+  // Deterministic registration order regardless of directory enumeration.
+  std::vector<std::string> paths;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".ckpt") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> loaded;
+  for (const std::string& path : paths) {
+    auto model = LoadModelCheckpoint(path, data);
+    if (!model.ok()) {
+      LT_LOG(WARN) << "skipping checkpoint " << path << ": "
+                   << model.status().ToString();
+      continue;
+    }
+    const std::string name = (*model)->name();
+    const Status added = engine->AddOwnedModel(std::move(model).value());
+    if (!added.ok()) {
+      LT_LOG(WARN) << "skipping checkpoint " << path << ": "
+                   << added.ToString();
+      continue;
+    }
+    loaded.push_back(name);
+  }
+  std::sort(loaded.begin(), loaded.end());
+  return loaded;
 }
 
 }  // namespace longtail

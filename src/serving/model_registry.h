@@ -79,6 +79,18 @@ Result<std::unique_ptr<Recommender>> LoadModelCheckpoint(
 /// routing without loading the model).
 Result<std::string> ReadCheckpointAlgorithm(const std::string& path);
 
+class ServingEngine;
+
+/// Cold-starts a whole serving fleet: loads every `*.ckpt` file under
+/// `dir` through the registry and registers each loaded model into
+/// `engine` (owned), so a restarted server goes disk → serving without a
+/// single Fit. Files that fail to load (corrupt, wrong dataset, unknown
+/// algorithm) are skipped with a warning — one bad checkpoint must not
+/// keep the rest of the fleet down. Returns the registered model names,
+/// sorted; fails only when `dir` cannot be read at all.
+Result<std::vector<std::string>> LoadCheckpointDirIntoEngine(
+    const std::string& dir, const Dataset& data, ServingEngine* engine);
+
 }  // namespace longtail
 
 #endif  // LONGTAIL_SERVING_MODEL_REGISTRY_H_

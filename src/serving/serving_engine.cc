@@ -1,0 +1,375 @@
+#include "serving/serving_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <utility>
+
+#include "serving/model_registry.h"
+#include "util/serving_pool.h"
+
+namespace longtail {
+
+ServingEngine::ServingEngine(ServingEngineOptions options)
+    : options_(options) {
+  options_.max_batch_size = std::max<size_t>(1, options_.max_batch_size);
+  options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
+  if (options_.clock != nullptr) {
+    clock_ = options_.clock;
+  } else {
+    owned_clock_ = std::make_unique<SteadyTickClock>();
+    clock_ = owned_clock_.get();
+  }
+  if (options_.start_dispatcher) {
+    dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    // Pairs with the dispatcher's predicate check: without this empty
+    // critical section a store between its check and its sleep could be
+    // missed and the join below would hang.
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+  }
+  dispatch_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Fail-fast shutdown: every still-queued request resolves with a typed
+  // Status instead of blocking teardown behind unserved traffic.
+  for (ModelEntry* entry : SnapshotEntries()) {
+    std::vector<PendingRequest> drained = entry->queue.CloseAndDrain();
+    queued_.fetch_sub(drained.size(), std::memory_order_relaxed);
+    rejected_shutdown_.fetch_add(drained.size(), std::memory_order_relaxed);
+    for (PendingRequest& p : drained) {
+      UserQueryResult failed;
+      failed.status = Status::FailedPrecondition(
+          "ServingEngine destroyed before the request was dispatched");
+      p.promise.set_value(std::move(failed));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- models
+
+Status ServingEngine::AddEntry(std::string name, const Recommender* model,
+                               std::unique_ptr<Recommender> owned) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot register a null model");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("cannot register a model without a name");
+  }
+  if (model->dataset() == nullptr) {
+    return Status::FailedPrecondition(
+        "model '" + name + "' must be fitted (or checkpoint-loaded) before "
+        "it can serve");
+  }
+  auto entry = std::make_unique<ModelEntry>(options_.max_queue_depth);
+  entry->name = name;
+  entry->model = model;
+  entry->owned = std::move(owned);
+  std::lock_guard<std::mutex> lock(models_mu_);
+  auto [it, inserted] = models_.emplace(std::move(name), std::move(entry));
+  if (!inserted) {
+    return Status::InvalidArgument("model '" + it->first +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status ServingEngine::AddModel(const Recommender* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot register a null model");
+  }
+  return AddEntry(model->name(), model, nullptr);
+}
+
+Status ServingEngine::AddModel(std::string name, const Recommender* model) {
+  return AddEntry(std::move(name), model, nullptr);
+}
+
+Status ServingEngine::AddOwnedModel(std::unique_ptr<Recommender> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot register a null model");
+  }
+  const Recommender* raw = model.get();
+  return AddEntry(raw->name(), raw, std::move(model));
+}
+
+Status ServingEngine::AddCheckpoint(const std::string& path,
+                                    const Dataset& data) {
+  LT_ASSIGN_OR_RETURN(std::unique_ptr<Recommender> model,
+                      LoadModelCheckpoint(path, data));
+  return AddOwnedModel(std::move(model));
+}
+
+bool ServingEngine::HasModel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  return models_.count(name) > 0;
+}
+
+std::vector<std::string> ServingEngine::ModelNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(models_mu_);
+  names.reserve(models_.size());
+  for (const auto& [name, entry] : models_) names.push_back(name);
+  return names;
+}
+
+std::vector<ServingEngine::ModelEntry*> ServingEngine::SnapshotEntries()
+    const {
+  std::vector<ModelEntry*> entries;
+  std::lock_guard<std::mutex> lock(models_mu_);
+  entries.reserve(models_.size());
+  for (const auto& [name, entry] : models_) entries.push_back(entry.get());
+  return entries;
+}
+
+ServingEngine::ModelEntry* ServingEngine::FindEntry(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  auto it = models_.find(name);
+  return it != models_.end() ? it->second.get() : nullptr;
+}
+
+// ---------------------------------------------------------------- serving
+
+std::future<UserQueryResult> ServingEngine::RejectedFuture(Status status) {
+  std::promise<UserQueryResult> promise;
+  std::future<UserQueryResult> future = promise.get_future();
+  UserQueryResult rejected;
+  rejected.status = std::move(status);
+  promise.set_value(std::move(rejected));
+  return future;
+}
+
+std::future<UserQueryResult> ServingEngine::Submit(
+    const std::string& model, const ServeRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return RejectedFuture(
+        Status::FailedPrecondition("ServingEngine is shutting down"));
+  }
+  ModelEntry* entry = FindEntry(model);
+  if (entry == nullptr) {
+    rejected_unknown_model_.fetch_add(1, std::memory_order_relaxed);
+    return RejectedFuture(
+        Status::NotFound("no model '" + model + "' is registered"));
+  }
+  const uint64_t now = clock_->NowTicks();
+  if (request.deadline_tick != 0 && now > request.deadline_tick) {
+    rejected_expired_.fetch_add(1, std::memory_order_relaxed);
+    return RejectedFuture(Status::DeadlineExceeded(
+        "request deadline (tick " + std::to_string(request.deadline_tick) +
+        ") passed before submit (tick " + std::to_string(now) + ")"));
+  }
+  // Counted *before* the enqueue so a concurrent Pump that takes the
+  // request immediately can never decrement past zero; rejected admissions
+  // undo the increment below.
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  std::future<UserQueryResult> future;
+  const Status admitted = entry->queue.Enqueue(request, now, &future);
+  if (!admitted.ok()) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    if (admitted.code() == StatusCode::kResourceExhausted) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return RejectedFuture(admitted);
+  }
+  {
+    // Pairs with the dispatcher's predicate check (see ~ServingEngine):
+    // the increment must not slip between its check and its sleep.
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+  }
+  dispatch_cv_.notify_one();
+  return future;
+}
+
+UserQueryResult ServingEngine::Query(const std::string& model,
+                                     const ServeRequest& request) {
+  std::vector<UserQueryResult> results =
+      QueryAll(model, std::span<const ServeRequest>(&request, 1));
+  return std::move(results.front());
+}
+
+std::vector<UserQueryResult> ServingEngine::QueryAll(
+    const std::string& model, std::span<const ServeRequest> requests) {
+  std::vector<UserQueryResult> results(requests.size());
+  // Futures still waiting on dispatch, in submit order (index, future).
+  std::deque<std::pair<size_t, std::future<UserQueryResult>>> inflight;
+  const auto settle_front = [&] {
+    auto& [idx, future] = inflight.front();
+    results[idx] = future.get();
+    inflight.pop_front();
+  };
+  for (size_t i = 0; i < requests.size(); ++i) {
+    for (;;) {
+      std::future<UserQueryResult> future = Submit(model, requests[i]);
+      if (future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        // Either rejected at submit or already served by a racing
+        // dispatcher flush; only queue-full rejections are retryable.
+        UserQueryResult ready = future.get();
+        if (ready.status.code() != StatusCode::kResourceExhausted) {
+          results[i] = std::move(ready);
+          break;
+        }
+        // Backpressure: make room (serve what is queued, settle our
+        // oldest) and retry instead of surfacing the rejection.
+        if (!dispatcher_running()) Pump(/*force=*/true);
+        if (!inflight.empty()) {
+          settle_front();
+        } else if (dispatcher_running()) {
+          std::this_thread::yield();  // foreign traffic holds the queue
+        }
+        continue;
+      }
+      inflight.emplace_back(i, std::move(future));
+      break;
+    }
+  }
+  if (!dispatcher_running()) PumpUntilIdle();
+  while (!inflight.empty()) settle_front();
+  return results;
+}
+
+size_t ServingEngine::Pump(bool force) {
+  size_t taken = 0;
+  for (ModelEntry* entry : SnapshotEntries()) {
+    taken += PumpEntry(entry, force);
+  }
+  return taken;
+}
+
+size_t ServingEngine::PumpUntilIdle() {
+  size_t taken = 0;
+  while (true) {
+    const size_t round = Pump(/*force=*/true);
+    if (round == 0) break;
+    taken += round;
+  }
+  return taken;
+}
+
+size_t ServingEngine::PumpEntry(ModelEntry* entry, bool force) {
+  size_t taken = 0;
+  while (true) {
+    std::vector<PendingRequest> batch =
+        entry->queue.TakeBatch(options_.max_batch_size, clock_->NowTicks(),
+                               options_.flush_interval_ticks, force);
+    if (batch.empty()) break;
+    queued_.fetch_sub(batch.size(), std::memory_order_relaxed);
+    taken += batch.size();
+    ExecuteBatch(entry, std::move(batch));
+  }
+  return taken;
+}
+
+void ServingEngine::RecordBatchSize(size_t size) {
+  const size_t bucket = std::min<size_t>(
+      kBatchBuckets - 1, static_cast<size_t>(std::bit_width(size) - 1));
+  batch_size_pow2_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingEngine::ExecuteBatch(ModelEntry* entry,
+                                 std::vector<PendingRequest> batch) {
+  const uint64_t now = clock_->NowTicks();
+  std::vector<UserQuery> queries;
+  std::vector<size_t> live;  // indexes into `batch`, aligned with queries
+  queries.reserve(batch.size());
+  live.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingRequest& p = batch[i];
+    if (p.request.deadline_tick != 0 && now > p.request.deadline_tick) {
+      // Expired while queued: fail without spending walk workers on it.
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      UserQueryResult expired;
+      expired.status = Status::DeadlineExceeded(
+          "request deadline (tick " +
+          std::to_string(p.request.deadline_tick) +
+          ") passed in queue (dispatch tick " + std::to_string(now) + ")");
+      p.promise.set_value(std::move(expired));
+      continue;
+    }
+    const uint64_t waited = now - p.enqueue_tick;
+    queue_ticks_sum_.fetch_add(waited, std::memory_order_relaxed);
+    uint64_t prev_max = queue_ticks_max_.load(std::memory_order_relaxed);
+    while (waited > prev_max && !queue_ticks_max_.compare_exchange_weak(
+                                    prev_max, waited,
+                                    std::memory_order_relaxed)) {
+    }
+    UserQuery q;
+    q.user = p.request.user;
+    q.top_k = p.request.top_k;
+    q.score_items = p.request.score_items;
+    queries.push_back(q);
+    live.push_back(i);
+  }
+  dispatched_.fetch_add(queries.size(), std::memory_order_relaxed);
+  if (queries.empty()) return;
+  batches_executed_.fetch_add(1, std::memory_order_relaxed);
+  RecordBatchSize(queries.size());
+  BatchOptions batch_options;
+  batch_options.num_threads = options_.batch_threads;
+  batch_options.pool = options_.pool;
+  batch_options.subgraph_cache = options_.subgraph_cache;
+  std::vector<UserQueryResult> batch_results =
+      entry->model->QueryBatch(queries, batch_options);
+  for (size_t j = 0; j < batch_results.size(); ++j) {
+    batch[live[j]].promise.set_value(std::move(batch_results[j]));
+  }
+  completed_.fetch_add(batch_results.size(), std::memory_order_relaxed);
+}
+
+void ServingEngine::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(dispatch_mu_);
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (queued_.load(std::memory_order_relaxed) == 0) {
+      // Idle: block until a submit (or shutdown) wakes us.
+      dispatch_cv_.wait(lock, [this] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_relaxed) > 0;
+      });
+      continue;
+    }
+    lock.unlock();
+    const size_t dispatched = Pump(/*force=*/false);
+    lock.lock();
+    if (dispatched == 0) {
+      // Requests are queued but no batch is ready (filling toward
+      // max_batch_size, younger than the flush interval): poll at tick
+      // granularity — 1 tick = 1 ms on the default clock.
+      dispatch_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+}
+
+EngineStats ServingEngine::Stats() const {
+  EngineStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  stats.rejected_expired = rejected_expired_.load(std::memory_order_relaxed);
+  stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  stats.rejected_unknown_model =
+      rejected_unknown_model_.load(std::memory_order_relaxed);
+  stats.rejected_shutdown =
+      rejected_shutdown_.load(std::memory_order_relaxed);
+  stats.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  stats.dispatched = dispatched_.load(std::memory_order_relaxed);
+  stats.queue_ticks_sum = queue_ticks_sum_.load(std::memory_order_relaxed);
+  stats.queue_ticks_max = queue_ticks_max_.load(std::memory_order_relaxed);
+  stats.batch_size_pow2.resize(kBatchBuckets);
+  for (size_t i = 0; i < kBatchBuckets; ++i) {
+    stats.batch_size_pow2[i] =
+        batch_size_pow2_[i].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace longtail

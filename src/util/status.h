@@ -22,6 +22,11 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  /// A bounded resource (queue depth, admission budget) is full; retry
+  /// later or shed load. Used by the serving layer's admission control.
+  kResourceExhausted,
+  /// The request's deadline passed before (or while) it could be served.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -57,6 +62,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -425,5 +425,122 @@ TEST(SubgraphCacheHammerTest, ConcurrentLookupInsertEvictClear) {
   EXPECT_LE(stats.entries, 8u);
 }
 
+// ---------------------------------------------------------- single flight
+
+// Deterministic coalescing proof: the leader is held open (test hook)
+// until the other N-1 threads have registered as waiters behind its
+// in-flight ticket, so exactly one extraction runs, every duplicate
+// adopts the leader's payload, and none of them touches the LRU.
+TEST(SubgraphCacheSingleFlightTest, WaitersAdoptTheLeadersExtraction) {
+  const Dataset data = testing::MakeFigure2Dataset();
+  const BipartiteGraph g = BipartiteGraph::FromDataset(data);
+  SubgraphCache cache;
+  const SubgraphOptions sub_options;
+  const std::vector<NodeId> seeds = {g.UserNode(1), g.ItemNode(0)};
+  constexpr int kThreads = 4;
+  cache.SetLeaderExtractHookForTesting([&cache] {
+    // Spin (no sleeps) until every other thread is a registered waiter;
+    // waiters count themselves *before* blocking on the ticket.
+    while (cache.Stats().coalesced_waits <
+           static_cast<uint64_t>(kThreads - 1)) {
+      std::this_thread::yield();
+    }
+  });
+
+  WalkWorkspace reference;
+  ExtractSubgraphInto(g, seeds, sub_options, &reference);
+  const std::vector<UserId> want_users = reference.sub().users;
+  const std::vector<ItemId> want_items = reference.sub().items;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      WalkWorkspace ws;
+      cache.GetOrExtract(g, seeds, sub_options, &ws);
+      if (ws.sub().users != want_users || ws.sub().items != want_items) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const SubgraphCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 1u) << "a duplicate extraction ran";
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.coalesced_waits, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.hits, 0u);
+
+  // The published entry is a normal LRU resident afterwards.
+  WalkWorkspace late;
+  cache.GetOrExtract(g, seeds, sub_options, &late);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(late.sub().users, want_users);
+  EXPECT_EQ(late.sub().items, want_items);
+}
+
+// GetOrExtract under churn: hot keys, a cache far below the working set
+// (constant eviction), and periodic Clear() calls — adopted subgraphs must
+// always match a fresh extraction, and total extractions for a key never
+// exceed what misses report.
+TEST(SubgraphCacheHammerTest, ConcurrentGetOrExtractEvictClear) {
+  SyntheticSpec spec;
+  spec.num_users = 48;
+  spec.num_items = 40;
+  spec.mean_user_degree = 7;
+  spec.min_user_degree = 2;
+  spec.num_genres = 4;
+  spec.seed = 778;
+  auto generated = GenerateSyntheticData(spec);
+  ASSERT_TRUE(generated.ok());
+  const Dataset data = std::move(generated).value().dataset;
+  const BipartiteGraph g = BipartiteGraph::FromDataset(data);
+
+  SubgraphCacheOptions cache_options;
+  cache_options.max_entries = 6;
+  cache_options.num_shards = 2;
+  SubgraphCache cache(cache_options);
+  const SubgraphOptions sub_options;
+
+  std::vector<std::vector<UserId>> expected_users(data.num_users());
+  std::vector<std::vector<ItemId>> expected_items(data.num_users());
+  {
+    WalkWorkspace ws;
+    for (UserId u = 0; u < data.num_users(); ++u) {
+      ExtractSubgraphInto(g, {g.UserNode(u)}, sub_options, &ws);
+      expected_users[u] = ws.sub().users;
+      expected_items[u] = ws.sub().items;
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 300;
+  std::atomic<int> corruptions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      WalkWorkspace ws;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // A small hot set maximizes identical concurrent misses (the
+        // single-flight path) while evictions churn the residents.
+        const UserId u = static_cast<UserId>((i + t) % 12);
+        const std::vector<NodeId> seeds = {g.UserNode(u)};
+        cache.GetOrExtract(g, seeds, sub_options, &ws);
+        if (ws.sub().users != expected_users[u] ||
+            ws.sub().items != expected_items[u]) {
+          corruptions.fetch_add(1);
+        }
+        if (t == 0 && i % 97 == 96) cache.Clear();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(corruptions.load(), 0);
+  EXPECT_LE(cache.Stats().entries, 6u);
+}
+
 }  // namespace
 }  // namespace longtail

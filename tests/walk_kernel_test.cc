@@ -337,6 +337,76 @@ TEST(WalkKernelTest, ApplySparseFrontierTakesPushAndMatchesScatter) {
   }
 }
 
+// Runtime ISA dispatch: one portable binary carries a scalar and (on
+// x86-64 toolchains) an AVX2 row-gather; the CPUID probe picks one at
+// kernel construction. The two must be BIT-identical — same per-lane
+// accumulation, same reduction tree, no FP contraction — across every
+// sweep flavour. On hosts without AVX2 both kernels bind "generic" and
+// the comparison is trivially green; the CI AVX2 leg pins the real case.
+TEST(WalkKernelTest, RuntimeIsaDispatchBitIdenticalToGeneric) {
+  const BipartiteGraph g = RandomGraph(70, 90, 0.12, 4242, 4, 5);
+  const int32_t n = g.num_nodes();
+  const auto absorbing = RandomAbsorbing(n, 0.15, 4243);
+  const auto costs = RandomCosts(n, 4244);
+
+  WalkKernel dispatched;  // whatever the CPU probe picked
+  WalkKernel generic;
+  generic.ForceGenericIsaForTesting();
+  EXPECT_STREQ(generic.isa_name(), "generic");
+  if (WalkKernel::RuntimeAvx2Available()) {
+    EXPECT_STREQ(dispatched.isa_name(), "avx2");
+  } else {
+    EXPECT_STREQ(dispatched.isa_name(), "generic");
+  }
+
+  // Absorbing sweeps: full double-buffered and in-place ranking flavours.
+  dispatched.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+  generic.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+  dispatched.CompileAbsorbingSweep(absorbing, costs);
+  generic.CompileAbsorbingSweep(absorbing, costs);
+  for (int tau : {1, 2, 7, 15}) {
+    std::vector<double> va, sa, vb, sb;
+    dispatched.SweepTruncated(tau, &va, &sa);
+    generic.SweepTruncated(tau, &vb, &sb);
+    ASSERT_EQ(va.size(), vb.size());
+    for (size_t v = 0; v < va.size(); ++v) {
+      EXPECT_EQ(va[v], vb[v]) << "full sweep tau " << tau << " node " << v;
+    }
+    std::vector<double> ra, rb;
+    dispatched.SweepTruncatedItemValues(tau, &ra);
+    generic.SweepTruncatedItemValues(tau, &rb);
+    for (int32_t v = g.num_users(); v < n; ++v) {
+      EXPECT_EQ(ra[v], rb[v]) << "ranking sweep tau " << tau << " item row "
+                              << v;
+    }
+  }
+
+  // Power-iteration Apply, dense pull path (x dense everywhere so the
+  // sparse push is never chosen), with and without a restart vector.
+  WalkKernel dispatched_col, generic_col;
+  generic_col.ForceGenericIsaForTesting();
+  dispatched_col.BuildTransitions(
+      g, WalkKernel::Normalization::kColumnStochastic);
+  generic_col.BuildTransitions(g,
+                               WalkKernel::Normalization::kColumnStochastic);
+  std::vector<double> x(n), restart(n);
+  for (int32_t v = 0; v < n; ++v) {
+    x[v] = 0.25 + 0.5 * ((v * 2654435761u) % 97) / 97.0;
+    restart[v] = v % 7 == 0 ? 1.0 / 7.0 : 0.0;
+  }
+  std::vector<double> ya(n), yb(n);
+  dispatched_col.Apply(0.85, x.data(), 0.15, restart.data(), ya.data());
+  generic_col.Apply(0.85, x.data(), 0.15, restart.data(), yb.data());
+  for (int32_t v = 0; v < n; ++v) {
+    EXPECT_EQ(ya[v], yb[v]) << "apply+restart node " << v;
+  }
+  dispatched_col.Apply(0.5, x.data(), 0.0, nullptr, ya.data());
+  generic_col.Apply(0.5, x.data(), 0.0, nullptr, yb.data());
+  for (int32_t v = 0; v < n; ++v) {
+    EXPECT_EQ(ya[v], yb[v]) << "apply node " << v;
+  }
+}
+
 // The kernel serves every production path; sequential and batch results
 // must therefore stay bit-identical at any thread count.
 TEST(WalkKernelTest, RecommenderBatchParityAtOneAndEightThreads) {
