@@ -12,6 +12,9 @@
 #include "data/generator.h"
 #include "graph/markov.h"
 #include "graph/random_walk.h"
+#include "graph/walk_kernel.h"
+#include "graph/walk_layout.h"
+#include "bench/synthetic_walk_graph.h"
 #include "graph/subgraph.h"
 #include "linalg/svd.h"
 #include "topics/lda.h"
@@ -153,6 +156,69 @@ BENCHMARK(BM_BatchRecommend)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Walk-kernel sweep at cache-boundary sizes on the synthetic expander
+// (bench/synthetic_walk_graph.h). Arg = target node count; pick args so
+// the value vector (8·nodes bytes) lands below and above L2 to see the
+// adaptive plan switch (the label records which plan BuildTransitions
+// picked). One "iteration" = BuildTransitions + CompileAbsorbingSweep +
+// a full τ = 15 ranking sweep — the per-query cost the serving path pays
+// on a cache miss.
+void BM_WalkKernelSweep(benchmark::State& state) {
+  const BipartiteGraph g =
+      bench::MakeSyntheticWalkGraph(static_cast<int32_t>(state.range(0)));
+  std::vector<bool> absorbing(g.num_nodes(), false);
+  for (NodeId nbr : g.Neighbors(0)) absorbing[nbr] = true;
+  const std::vector<double> costs(g.num_nodes(), 1.0);
+  std::vector<double> value;
+  WalkKernel kernel;
+  constexpr int kTau = 15;
+  for (auto _ : state) {
+    kernel.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+    kernel.CompileAbsorbingSweep(absorbing, costs);
+    kernel.SweepTruncatedItemValues(kTau, &value);
+    benchmark::DoNotOptimize(value.data());
+  }
+  state.SetLabel(kernel.sweep_strategy());
+  state.SetItemsProcessed(state.iterations() * kTau * g.num_edges());
+}
+BENCHMARK(BM_WalkKernelSweep)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Arg(1 << 19)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state flavour: the WalkLayout permutation is built once (the
+// SubgraphCache admission cost) and every iteration adopts it — what a
+// cache-hit query pays. Compare against BM_WalkKernelSweep at the same
+// size for the reorder payoff; below the reorder threshold the layout is
+// null and the two benchmarks coincide.
+void BM_WalkKernelSweepCachedLayout(benchmark::State& state) {
+  const BipartiteGraph g =
+      bench::MakeSyntheticWalkGraph(static_cast<int32_t>(state.range(0)));
+  std::vector<bool> absorbing(g.num_nodes(), false);
+  for (NodeId nbr : g.Neighbors(0)) absorbing[nbr] = true;
+  const std::vector<double> costs(g.num_nodes(), 1.0);
+  std::vector<double> value;
+  const std::shared_ptr<const WalkLayout> layout =
+      BuildWalkLayoutIfBeneficial(g);
+  WalkKernel kernel;
+  constexpr int kTau = 15;
+  for (auto _ : state) {
+    kernel.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic,
+                            layout);
+    kernel.CompileAbsorbingSweep(absorbing, costs);
+    kernel.SweepTruncatedItemValues(kTau, &value);
+    benchmark::DoNotOptimize(value.data());
+  }
+  state.SetLabel(kernel.sweep_strategy());
+  state.SetItemsProcessed(state.iterations() * kTau * g.num_edges());
+}
+BENCHMARK(BM_WalkKernelSweepCachedLayout)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Arg(1 << 19)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ItemEntropy(benchmark::State& state) {
   for (auto _ : state) {

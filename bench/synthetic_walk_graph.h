@@ -1,0 +1,62 @@
+// Deterministic synthetic bipartite graph for walk-kernel benchmarks.
+//
+// The corpus generator tops out near L2 on typical hosts, so cache-boundary
+// benchmark rungs need a graph whose node count is chosen freely. This
+// builder produces an expander-like user-item graph: per-user degrees 4-8
+// from a multiplicative hash, item endpoints from a fixed-seed LCG, small
+// integer weights. Expander edges have no exploitable locality, which makes
+// these rungs a *lower bound* for layout techniques — corpus subgraphs
+// (power-law, community-structured) reorder better, never worse.
+//
+// Shared by bench_table5_efficiency.cc (cache-ladder rungs) and
+// bench_kernels.cc (sweep microbenchmarks) so both measure the same shape.
+#ifndef LONGTAIL_BENCH_SYNTHETIC_WALK_GRAPH_H_
+#define LONGTAIL_BENCH_SYNTHETIC_WALK_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace longtail {
+namespace bench {
+
+/// Builds a graph with ~target_nodes nodes (1/4 items, 3/4 users).
+/// Deterministic: the same target always yields the same graph.
+inline BipartiteGraph MakeSyntheticWalkGraph(int32_t target_nodes) {
+  const int32_t num_items = std::max(2, target_nodes / 4);
+  const int32_t num_users = std::max(2, target_nodes - num_items);
+  auto degree_of = [](int32_t u) { return 4 + (u * 2654435761u >> 28) % 5; };
+  auto item_of = [num_items](uint64_t state) {
+    return static_cast<NodeId>(state % static_cast<uint64_t>(num_items));
+  };
+  std::vector<int32_t> degrees(num_users + num_items, 0);
+  uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (int32_t u = 0; u < num_users; ++u) {
+    const int32_t d = degree_of(u);
+    degrees[u] += d;
+    for (int32_t k = 0; k < d; ++k) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      ++degrees[num_users + item_of(lcg >> 17)];
+    }
+  }
+  BipartiteGraph g;
+  g.BeginAssign(num_users, num_items, degrees);
+  lcg = 0x9e3779b97f4a7c15ull;  // same sequence as the counting pass
+  for (int32_t u = 0; u < num_users; ++u) {
+    const int32_t d = degree_of(u);
+    for (int32_t k = 0; k < d; ++k) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      g.AssignEdge(u, num_users + item_of(lcg >> 17),
+                   1.0 + static_cast<double>(k % 5));
+    }
+  }
+  g.FinishAssign();
+  return g;
+}
+
+}  // namespace bench
+}  // namespace longtail
+
+#endif  // LONGTAIL_BENCH_SYNTHETIC_WALK_GRAPH_H_

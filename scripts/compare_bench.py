@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_table5.json files and flag performance regressions.
+
+Usage:
+  compare_bench.py BASELINE.json CANDIDATE.json [--max-regression 0.10]
+      Diffs every rate metric (users/sec, rows/sec, and the in-run speedup
+      ratios) in the "kernel", "serving", and "engine" sections, matching
+      rows by name. Exits non-zero when any metric regresses by more than
+      --max-regression (default 10%). Rows or metrics present only on one
+      side are reported but never fail the run — corpus scale and machine
+      geometry legitimately change the row set.
+
+  compare_bench.py --assert-only CANDIDATE.json [--min-full-speedup 0.98]
+      No baseline: asserts invariants that must hold on any machine at any
+      scale. Currently: every "kernel" sweep row's full-sweep speedup vs
+      the reference loop is >= --min-full-speedup (the kernel must never
+      lose to the loop it replaced, at any swept size). Rows whose
+      reference loop runs under --min-ref-ns per DP iteration (default
+      1 µs) are reported but not gated: at that granularity the ratio
+      measures ~20 ns of fixed per-call overhead against timer noise,
+      not sweep throughput.
+
+Absolute rates compare runs on the *same machine* (CI keeps the seed
+baseline's runner class); the speedup ratios are machine-normalized
+already, since both sides of each ratio were measured in the same run.
+"""
+
+import argparse
+import json
+import sys
+
+# Higher-is-better metrics, by JSON location. Lower-is-better latency
+# fields are deliberately left out: they are redundant with the rates
+# (1/x), and comparing both would double-count every regression.
+KERNEL_SWEEP_RATES = (
+    "reference_rows_per_second",
+    "kernel_rows_per_second",
+    "speedup",
+    "full_vs_reference_speedup",
+    "cached_speedup",
+)
+ALGORITHM_RATES = ("batch_users_per_second",)
+SERVING_RATES = ("steady_users_per_second",)
+ENGINE_RATES = ("users_per_second",)
+
+# Field renames across repo history: candidate readers accept both.
+FULL_SPEEDUP_ALIASES = ("full_vs_reference_speedup", "full_sweep_speedup")
+
+
+def rows_by_name(obj, *path):
+    """Returns {name: row} for a list of named rows at path, or {}."""
+    node = obj
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return {}
+        node = node[key]
+    if not isinstance(node, list):
+        return {}
+    return {row["name"]: row for row in node if isinstance(row, dict) and "name" in row}
+
+
+def metric(row, name):
+    for alias in FULL_SPEEDUP_ALIASES if name == "full_vs_reference_speedup" else (name,):
+        value = row.get(alias)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def compare(baseline, candidate, max_regression):
+    """Yields (section, row, metric, base, cand, regression) tuples."""
+    sections = (
+        ("kernel", ("kernel", "sweeps"), KERNEL_SWEEP_RATES),
+        ("algorithms", ("algorithms",), ALGORITHM_RATES),
+        ("serving", ("serving", "algorithms"), SERVING_RATES),
+        ("engine", ("engine", "traffic"), ENGINE_RATES),
+    )
+    failures = []
+    for section, path, rates in sections:
+        base_rows = rows_by_name(baseline, *path)
+        cand_rows = rows_by_name(candidate, *path)
+        for name in base_rows.keys() | cand_rows.keys():
+            if name not in cand_rows:
+                print(f"  [info] {section}/{name}: only in baseline")
+                continue
+            if name not in base_rows:
+                print(f"  [info] {section}/{name}: only in candidate")
+                continue
+            for rate in rates:
+                base = metric(base_rows[name], rate)
+                cand = metric(cand_rows[name], rate)
+                if base is None or cand is None or base <= 0.0:
+                    continue
+                regression = (base - cand) / base
+                marker = " "
+                if regression > max_regression:
+                    failures.append((section, name, rate))
+                    marker = "!"
+                print(
+                    f" {marker} {section}/{name}.{rate}: "
+                    f"{base:.4g} -> {cand:.4g} ({-regression:+.1%})"
+                )
+    return failures
+
+
+def assert_invariants(candidate, min_full_speedup, min_ref_ns):
+    failures = []
+    sweeps = rows_by_name(candidate, "kernel", "sweeps")
+    if not sweeps:
+        print("  [warn] no kernel sweep rows found")
+    for name, row in sorted(sweeps.items()):
+        speedup = metric(row, "full_vs_reference_speedup")
+        if speedup is None:
+            print(f"  [warn] kernel/{name}: no full-sweep speedup field")
+            continue
+        ref_ns = metric(row, "reference_ns_per_iteration")
+        if ref_ns is not None and ref_ns < min_ref_ns:
+            print(
+                f"   kernel/{name}: full_vs_reference_speedup {speedup:.2f} "
+                f"[not gated: reference {ref_ns:.0f} ns/it < {min_ref_ns:.0f}]"
+            )
+            continue
+        ok = speedup >= min_full_speedup
+        print(
+            f" {' ' if ok else '!'} kernel/{name}: "
+            f"full_vs_reference_speedup {speedup:.2f} "
+            f"(floor {min_full_speedup:.2f})"
+        )
+        if not ok:
+            failures.append(("kernel", name, "full_vs_reference_speedup"))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("files", nargs="+", help="baseline and candidate, or just candidate with --assert-only")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="fail when a rate metric drops by more than this fraction (default 0.10)")
+    parser.add_argument("--assert-only", action="store_true",
+                        help="check machine-independent invariants of one file instead of diffing two")
+    parser.add_argument("--min-full-speedup", type=float, default=0.98,
+                        help="--assert-only: floor for every sweep row's full_vs_reference_speedup (default 0.98)")
+    parser.add_argument("--min-ref-ns", type=float, default=1000.0,
+                        help="--assert-only: skip gating rows whose reference loop is faster than this per iteration (default 1000 ns)")
+    args = parser.parse_args()
+
+    if args.assert_only:
+        if len(args.files) != 1:
+            parser.error("--assert-only takes exactly one file")
+        with open(args.files[0]) as f:
+            candidate = json.load(f)
+        print(f"asserting invariants of {args.files[0]}")
+        failures = assert_invariants(candidate, args.min_full_speedup,
+                                     args.min_ref_ns)
+    else:
+        if len(args.files) != 2:
+            parser.error("expected BASELINE.json CANDIDATE.json")
+        with open(args.files[0]) as f:
+            baseline = json.load(f)
+        with open(args.files[1]) as f:
+            candidate = json.load(f)
+        print(f"comparing {args.files[0]} (baseline) vs {args.files[1]}")
+        failures = compare(baseline, candidate, args.max_regression)
+
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) out of bounds:")
+        for section, name, rate in failures:
+            print(f"  {section}/{name}.{rate}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

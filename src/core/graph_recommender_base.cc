@@ -196,9 +196,12 @@ Status GraphRecommenderBase::ComputeWalk(UserId user, WalkWorkspace* ws,
     // Ranking sweep: TopKFromWalk/ScoresFromWalk consume item-side values
     // only, so the kernel runs the alternating half of the DP those values
     // depend on (bit-identical item values, half the edge work). User rows
-    // of ws->values hold intermediates and must not be read.
+    // of ws->values hold intermediates and must not be read. A cache-borne
+    // layout (sub.layout) makes the kernel sweep the pre-permuted CSR —
+    // the reordering cost was paid once, at payload admission.
     ws->kernel.BuildTransitions(sub.graph,
-                                WalkKernel::Normalization::kRowStochastic);
+                                WalkKernel::Normalization::kRowStochastic,
+                                sub.layout);
     ws->kernel.CompileAbsorbingSweep(ws->absorbing, ws->node_costs);
     ws->kernel.SweepTruncatedItemValues(options_.iterations, &ws->values);
   }

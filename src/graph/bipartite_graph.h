@@ -80,6 +80,9 @@ class BipartiteGraph {
   /// d_i = Σ_j a(i, j): the weighted degree used for transition
   /// probabilities (Eq. 1) and the stationary distribution (Eq. 2).
   double WeightedDegree(NodeId n) const { return weighted_degree_[n]; }
+  /// All weighted degrees as one span (num_nodes entries) — the walk
+  /// kernel's simple sweep streams this array alongside the raw weights.
+  std::span<const double> WeightedDegrees() const { return weighted_degree_; }
   /// Σ_{i,j} a(i, j) over the full (symmetric) adjacency.
   double TotalWeight() const { return total_weight_; }
 

@@ -50,6 +50,9 @@ void WalkWorkspace::AdoptSubgraph(const BipartiteGraph& g,
   sub_.users = src.users;
   sub_.items = src.items;
   sub_.graph = src.graph;
+  // Shared, immutable: adopting the layout is a pointer copy — the
+  // permutation was paid once, when the cache admitted the payload.
+  sub_.layout = src.layout;
   sub_.global_user_to_local.clear();
   sub_.global_item_to_local.clear();
   for (size_t lu = 0; lu < sub_.users.size(); ++lu) {
@@ -77,6 +80,9 @@ Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
   sub.items.clear();
   sub.global_user_to_local.clear();
   sub.global_item_to_local.clear();
+  // A fresh extraction has no layout; the SubgraphCache attaches one when
+  // (and only when) it admits this subgraph as a payload.
+  sub.layout.reset();
 
   const int32_t n = g.num_nodes();
   std::vector<NodeId>& order = ws.order_;

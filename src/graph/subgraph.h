@@ -18,10 +18,12 @@
 #define LONGTAIL_GRAPH_SUBGRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
 #include "graph/walk_kernel.h"
+#include "graph/walk_layout.h"
 #include "linalg/solvers.h"
 
 namespace longtail {
@@ -37,6 +39,11 @@ struct Subgraph {
   std::vector<UserId> users;
   /// local item id → global ItemId.
   std::vector<ItemId> items;
+  /// Optional cache-aware layout of `graph` (see walk_layout.h), built once
+  /// when a SubgraphCache admits the payload and shared by every adopter —
+  /// WalkKernel::BuildTransitions sweeps the permuted CSR without
+  /// re-permuting. Null for fresh extractions and below-threshold graphs.
+  std::shared_ptr<const WalkLayout> layout;
 
   /// Local *node* id (not local user/item index) of a global user/item:
   /// users map to [0, users.size()), items to [users.size(),
@@ -92,8 +99,17 @@ class WalkWorkspace {
   /// the epoch-stamped global→local tables. Equivalent to (and bit-identical
   /// with) re-running ExtractSubgraphInto with the seeds that produced
   /// `src`, but costs one sequential copy instead of a BFS + induced-CSR
-  /// rebuild. The copies reuse this workspace's buffer capacity.
+  /// rebuild. The copies reuse this workspace's buffer capacity. `src`'s
+  /// walk layout (if any) is shared by pointer, never re-permuted.
   void AdoptSubgraph(const BipartiteGraph& g, const Subgraph& src);
+
+  /// Attaches a walk layout to the current subgraph. Called by a
+  /// SubgraphCache leader right after its extraction is admitted as a
+  /// payload, so the leader's own walk sweeps the same layout every later
+  /// adopter will share.
+  void AttachLayout(std::shared_ptr<const WalkLayout> layout) {
+    sub_.layout = std::move(layout);
+  }
 
   /// Local node id of a global node in the current subgraph; -1 if absent
   /// or out of range. Valid only for the most recent extraction/adoption

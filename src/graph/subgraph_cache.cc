@@ -16,20 +16,29 @@ size_t RoundUpPow2(size_t v) {
 }
 
 /// Resident payload estimate: the CSR (adjacency + weights + row pointers +
-/// weighted degrees) dominates; id maps and seeds ride along.
+/// weighted degrees) dominates; id maps, seeds and the optional walk layout
+/// (permutation + permuted CSR + transition values) ride along.
 size_t PayloadBytes(const Subgraph& sub, size_t num_seeds) {
   const size_t nodes = static_cast<size_t>(sub.graph.num_nodes());
   const size_t entries = 2 * static_cast<size_t>(sub.graph.num_edges());
-  return entries * (sizeof(NodeId) + sizeof(double)) +
-         nodes * (sizeof(int64_t) + sizeof(double)) +
-         sub.users.size() * sizeof(UserId) +
-         sub.items.size() * sizeof(ItemId) + num_seeds * sizeof(NodeId) +
-         128;  // entry bookkeeping overhead
+  size_t bytes = entries * (sizeof(NodeId) + sizeof(double)) +
+                 nodes * (sizeof(int64_t) + sizeof(double)) +
+                 sub.users.size() * sizeof(UserId) +
+                 sub.items.size() * sizeof(ItemId) +
+                 num_seeds * sizeof(NodeId) + 128;  // entry bookkeeping
+  if (sub.layout != nullptr) {
+    bytes += sub.layout->perm.size() * sizeof(int32_t) +
+             sub.layout->ptr.size() * sizeof(int64_t) +
+             sub.layout->col.size() * sizeof(NodeId) +
+             sub.layout->row_prob.size() * sizeof(double);
+  }
+  return bytes;
 }
 
 }  // namespace
 
 SubgraphCache::SubgraphCache(SubgraphCacheOptions options) {
+  always_build_layout_ = options.always_build_layout;
   const size_t num_shards = RoundUpPow2(std::max<size_t>(1, options.num_shards));
   shard_mask_ = num_shards - 1;
   const size_t max_entries = std::max(options.max_entries, num_shards);
@@ -66,7 +75,7 @@ bool SubgraphCache::Matches(const Entry& e, uint64_t fingerprint,
 }
 
 std::shared_ptr<const Subgraph> SubgraphCache::DetachPayload(
-    const WalkWorkspace& ws) {
+    const WalkWorkspace& ws) const {
   // Reverse-lookup tables stay empty: cached subgraphs are only ever read
   // back through AdoptSubgraph, which rebuilds the workspace's stamped
   // tables.
@@ -74,6 +83,15 @@ std::shared_ptr<const Subgraph> SubgraphCache::DetachPayload(
   sub->graph = ws.sub().graph.CompactCopy();
   sub->users = ws.sub().users;
   sub->items = ws.sub().items;
+  // The one-time layout build: every adopter of this payload (and the
+  // leader itself) sweeps the permuted CSR without re-permuting.
+  if (always_build_layout_ && sub->graph.num_nodes() > 0) {
+    auto layout = std::make_shared<WalkLayout>();
+    BuildWalkLayout(sub->graph, /*with_row_prob=*/true, layout.get());
+    sub->layout = std::move(layout);
+  } else {
+    sub->layout = BuildWalkLayoutIfBeneficial(sub->graph);
+  }
   return sub;
 }
 
@@ -156,13 +174,17 @@ void SubgraphCache::GetOrExtract(const BipartiteGraph& g,
     if (ticket == nullptr) {
       // Collision bypass: extract privately; latest-wins insert below.
       ExtractSubgraphInto(g, seeds, options, ws);
-      InsertPayload(key, fingerprint, seeds, options, DetachPayload(*ws));
+      std::shared_ptr<const Subgraph> payload = DetachPayload(*ws);
+      ws->AttachLayout(payload->layout);
+      InsertPayload(key, fingerprint, seeds, options, std::move(payload));
       return;
     }
     if (leader) {
       if (leader_extract_hook_) leader_extract_hook_();
       ExtractSubgraphInto(g, seeds, options, ws);
       std::shared_ptr<const Subgraph> payload = DetachPayload(*ws);
+      // The leader's own walk sweeps the same layout its waiters adopt.
+      ws->AttachLayout(payload->layout);
       {
         // LRU first, ticket erase second: a thread arriving in between
         // hits the fresh entry instead of opening a duplicate flight.

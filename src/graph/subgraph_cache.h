@@ -57,6 +57,11 @@ struct SubgraphCacheOptions {
   /// Optional resident-payload byte budget across all shards (0 = entry
   /// count only). Evicts LRU entries while a shard exceeds its slice.
   size_t max_bytes = 0;
+  /// Build a walk layout (walk_layout.h) for every admitted payload, not
+  /// just those past the reorder threshold. Production leaves this false —
+  /// small subgraphs gain nothing from reordering; tests set it to exercise
+  /// the layout-adoption path on CI-sized graphs.
+  bool always_build_layout = false;
 };
 
 struct SubgraphCacheStats {
@@ -192,9 +197,11 @@ class SubgraphCache {
   static bool Matches(const Entry& e, uint64_t fingerprint,
                       std::span<const NodeId> seeds, int32_t max_items);
   /// Detaches a self-contained copy of the workspace's current subgraph
-  /// (the payload format entries and tickets share).
-  static std::shared_ptr<const Subgraph> DetachPayload(
-      const WalkWorkspace& ws);
+  /// (the payload format entries and tickets share), building its walk
+  /// layout when the subgraph crosses the reorder threshold (or always,
+  /// under options.always_build_layout) — the one-time permutation every
+  /// adopter of this payload reuses.
+  std::shared_ptr<const Subgraph> DetachPayload(const WalkWorkspace& ws) const;
   /// Inserts `sub` under `key`, refreshing recency if an identical entry
   /// raced in. Takes the shard lock itself.
   void InsertPayload(uint64_t key, uint64_t graph_fingerprint,
@@ -213,6 +220,7 @@ class SubgraphCache {
 
   size_t max_per_shard_ = 0;
   size_t max_bytes_per_shard_ = 0;
+  bool always_build_layout_ = false;
   uint64_t shard_mask_ = 0;
   /// unique_ptr because Shard (mutex) is immovable and the count is a
   /// runtime option.

@@ -52,15 +52,22 @@ const WalkKernelIsa* ActiveWalkKernelIsa() {
 
 namespace {
 
-// Rows are processed in blocks of this many nodes so each strip of the
-// coefficient vectors (add/scale/self) and the output buffer stays resident
-// in L2 while its gathers run: 4 doubles per row ≈ 32 B, so a 4096-row
-// block touches ~128 KiB of dense state — half a typical 256 KiB L2 —
-// leaving the rest for the gathered value vector. Re-tuning guidance lives
-// in docs/KERNELS.md.
-constexpr int32_t kRowBlock = 4096;
+/// Rows per L1 tile of the blocked row pass: each row streams ~48 B of
+/// dense state (cur/nxt values, three coefficients, a row pointer), and
+/// budgeting half of L1d for those streams leaves the other half to the
+/// gathered value window. 48 KiB L1d → 512-row tiles.
+int32_t RowTileForL1() {
+  const size_t tile = ProbeCacheGeometry().l1d_bytes / 96;
+  return static_cast<int32_t>(std::clamp<size_t>(tile, 256, 16384));
+}
 
 }  // namespace
+
+size_t WalkKernel::SimplePlanMaxValueBytes() {
+  return ProbeCacheGeometry().l2_bytes;
+}
+
+int32_t WalkKernel::BlockedPlanRowTile() { return RowTileForL1(); }
 
 WalkKernel::WalkKernel() : isa_(internal::ActiveWalkKernelIsa()) {}
 
@@ -75,43 +82,169 @@ void WalkKernel::ForceGenericIsaForTesting() {
   isa_ = internal::GenericWalkKernelIsa();
 }
 
-void WalkKernel::BuildTransitions(const BipartiteGraph& g,
-                                  Normalization norm) {
+const char* WalkKernel::sweep_strategy() const {
+  if (norm_fly_ && row_tile_ == 0) return "simple";
+  return perm_ != nullptr ? "blocked_reordered" : "blocked";
+}
+
+void WalkKernel::BuildTransitions(const BipartiteGraph& g, Normalization norm,
+                                  std::shared_ptr<const WalkLayout> layout) {
   graph_ = &g;
   norm_ = norm;
   num_nodes_ = g.num_nodes();
-  const auto ptr = g.RowPointers();
-  const auto col = g.FlatNeighbors();
+  BindPlan(g, std::move(layout));
+}
+
+void WalkKernel::BindPlan(const BipartiteGraph& g,
+                          std::shared_ptr<const WalkLayout> layout) {
+  const int32_t n = num_nodes_;
+  const auto gptr = g.RowPointers();
+  const auto gcol = g.FlatNeighbors();
   const auto w = g.FlatWeights();
+  const int64_t entries = n > 0 ? gptr[n] : 0;
+
+  // ---- Pick the plan (one-time cost probe per build) ----
+  bool simple = false;
+  bool reorder = false;
+  switch (forced_plan_) {
+    case SweepMode::kSimple:
+      simple = true;
+      break;
+    case SweepMode::kBlocked:
+      break;
+    case SweepMode::kBlockedReordered:
+      reorder = true;
+      break;
+    case SweepMode::kAuto:
+      if (layout != nullptr) {
+        // A pre-built permutation rides in (SubgraphCache payload): the
+        // reorder decision was made at insert time; adopt it.
+        reorder = true;
+      } else {
+        // One-shot builds never self-permute: the layout BFS + scatter
+        // cannot amortize over a single query's τ sweeps (measured ~1.0x
+        // e2e at the sizes where the reordered sweep itself wins 1.5x).
+        // Reordered plans arrive via SubgraphCache payloads, where the
+        // permutation is paid once and shared by every adopter.
+        simple = norm_ == Normalization::kRowStochastic &&
+                 static_cast<size_t>(n) * sizeof(double) <=
+                     SimplePlanMaxValueBytes();
+      }
+      break;
+  }
+  LT_CHECK(!simple || norm_ == Normalization::kRowStochastic)
+      << "simple sweeps normalize rows on the fly (row-stochastic only)";
+  // An empty graph has nothing to permute (and n == 0 skips the CSR bind
+  // below); fall back to the identity plan so a forced kBlockedReordered
+  // on an empty seed subgraph doesn't try to materialize transitions.
+  if (n == 0) reorder = false;
+
+  // Identity-order row-stochastic plans never materialize transitions:
+  // the normalizing gather reads the raw weight strip (which a
+  // materialized sweep would read as the prob strip — same bytes moved)
+  // and folds the one divide per row into a register, so skipping the
+  // O(entries) prob build is free per sweep and saves its full cost per
+  // BuildTransitions. The rounding sequence is identical — w·(1/d), then
+  // ·x — so results are bit-identical (enforced by walk_kernel_test.cc).
+  norm_fly_ = !reorder && norm_ == Normalization::kRowStochastic;
+  row_tile_ = simple ? 0 : RowTileForL1();
+  perm_ = nullptr;
+  layout_.reset();
+  prob_data_ = nullptr;
+  w_ = nullptr;
+  wdeg_ = nullptr;
+
+  if (norm_fly_) {
+    ptr_ = gptr.data();
+    col_ = gcol.data();
+    w_ = w.data();
+    wdeg_ = g.WeightedDegrees().data();
+    return;
+  }
+
+  // ---- Bind the CSR the sweeps will walk ----
+  const WalkLayout* lay = nullptr;
+  if (reorder && n > 0) {
+    if (layout != nullptr) {
+      LT_CHECK_EQ(layout->num_nodes, n);
+      LT_CHECK_EQ(layout->num_users, g.num_users());
+      LT_CHECK_EQ(static_cast<int64_t>(layout->col.size()), entries);
+      layout_ = std::move(layout);
+      lay = layout_.get();
+    } else {
+      // One-shot large build: pay the O(nodes + entries) permutation here;
+      // it amortizes over the τ sweep iterations that follow.
+      BuildWalkLayout(g, norm_ == Normalization::kRowStochastic,
+                      &own_layout_);
+      lay = &own_layout_;
+    }
+    ptr_ = lay->ptr.data();
+    col_ = lay->col.data();
+    perm_ = lay->perm.data();
+  } else {
+    ptr_ = gptr.data();
+    col_ = gcol.data();
+  }
+
+  // ---- Materialize transition values in sweep order ----
+  if (perm_ == nullptr) {
+    switch (norm_) {
+      case Normalization::kRowStochastic:
+        LT_CHECK(false)
+            << "identity row-stochastic plans normalize on the fly";
+        break;
+      case Normalization::kColumnStochastic: {
+        prob_.resize(w.size());
+        for (size_t k = 0; k < w.size(); ++k) {
+          const double d = g.WeightedDegree(gcol[k]);
+          prob_[k] = d > 0.0 ? w[k] / d : 0.0;
+        }
+        prob_data_ = prob_.data();
+        break;
+      }
+      case Normalization::kRaw:
+        // Raw gathers read the graph's weight array as-is; no copy.
+        prob_data_ = w.data();
+        break;
+    }
+    return;
+  }
+
+  if (norm_ == Normalization::kRowStochastic &&
+      static_cast<int64_t>(lay->row_prob.size()) == entries) {
+    // The layout carries the row-stochastic values (same rounding as the
+    // identity build; see BuildWalkLayout).
+    prob_data_ = lay->row_prob.data();
+    return;
+  }
+  // Permuted-order materialization for the remaining normalizations: same
+  // per-entry expressions as the identity branches above, written at the
+  // permuted offsets.
   prob_.resize(w.size());
-  switch (norm) {
-    case Normalization::kRowStochastic: {
-      // One divide per row, then a multiply per edge: ~2x cheaper to build
-      // than per-edge division, at the cost of one extra rounding (covered
-      // by the kernel's documented ~1e-13 parity tolerance).
-      for (int32_t v = 0; v < num_nodes_; ++v) {
-        const double d = g.WeightedDegree(v);
-        // d <= 0 is a degenerate row (possible only with non-positive
-        // weights): CompileAbsorbingSweep treats it as isolated, so its
-        // transition values are never consumed; zero them for
-        // definiteness.
-        const double inv = d > 0.0 ? 1.0 / d : 0.0;
-        for (int64_t k = ptr[v]; k < ptr[v + 1]; ++k) prob_[k] = w[k] * inv;
+  for (int32_t v = 0; v < n; ++v) {
+    const double row_d = g.WeightedDegree(v);
+    const double row_inv = row_d > 0.0 ? 1.0 / row_d : 0.0;
+    int64_t dst = ptr_[perm_[v]];
+    for (int64_t k = gptr[v]; k < gptr[v + 1]; ++k) {
+      double p;
+      switch (norm_) {
+        case Normalization::kRowStochastic:
+          p = w[k] * row_inv;
+          break;
+        case Normalization::kColumnStochastic: {
+          const double d = g.WeightedDegree(gcol[k]);
+          p = d > 0.0 ? w[k] / d : 0.0;
+          break;
+        }
+        case Normalization::kRaw:
+        default:
+          p = w[k];
+          break;
       }
-      break;
-    }
-    case Normalization::kColumnStochastic: {
-      for (size_t k = 0; k < w.size(); ++k) {
-        const double d = g.WeightedDegree(col[k]);
-        prob_[k] = d > 0.0 ? w[k] / d : 0.0;
-      }
-      break;
-    }
-    case Normalization::kRaw: {
-      std::copy(w.begin(), w.end(), prob_.begin());
-      break;
+      prob_[dst++] = p;
     }
   }
+  prob_data_ = prob_.data();
 }
 
 void WalkKernel::CompileAbsorbingSweep(const std::vector<bool>& absorbing,
@@ -126,20 +259,101 @@ void WalkKernel::CompileAbsorbingSweep(const std::vector<bool>& absorbing,
   scale_.resize(n);
   self_.resize(n);
   const BipartiteGraph& g = *graph_;
+  // Coefficients live in sweep space: scattered through the permutation
+  // when the plan reordered, so the row passes stay oblivious to layout.
   for (int32_t v = 0; v < n; ++v) {
+    const int32_t row = perm_ != nullptr ? perm_[v] : v;
     if (absorbing[v]) {
-      add_[v] = 0.0;
-      scale_[v] = 0.0;
-      self_[v] = 0.0;
+      add_[row] = 0.0;
+      scale_[row] = 0.0;
+      self_[row] = 0.0;
     } else if (g.WeightedDegree(v) <= 0.0) {
       // Isolated transient node: never absorbed, accumulates cost forever.
-      add_[v] = node_cost[v];
-      scale_[v] = 0.0;
-      self_[v] = 1.0;
+      add_[row] = node_cost[v];
+      scale_[row] = 0.0;
+      self_[row] = 1.0;
     } else {
-      add_[v] = node_cost[v];
-      scale_[v] = 1.0;
-      self_[v] = 0.0;
+      add_[row] = node_cost[v];
+      scale_[row] = 1.0;
+      self_[row] = 0.0;
+    }
+  }
+}
+
+void WalkKernel::PrefetchRows(int32_t lo, int32_t hi) const {
+#if defined(__GNUC__) || defined(__clang__)
+  // Warm the next tile's column-index and value strips while the current
+  // tile's gathers are in flight. Bounded: past ~4 KiB per strip the
+  // lines would be evicted again before the tile is reached.
+  constexpr int64_t kMaxPrefetchBytes = 4096;
+  const int64_t k0 = ptr_[lo];
+  const int64_t span = ptr_[hi] - k0;
+  const int64_t col_bytes = std::min<int64_t>(
+      span * static_cast<int64_t>(sizeof(NodeId)), kMaxPrefetchBytes);
+  const char* cp = reinterpret_cast<const char*>(col_ + k0);
+  for (int64_t off = 0; off < col_bytes; off += 64) {
+    __builtin_prefetch(cp + off, 0, 1);
+  }
+  const double* vals = norm_fly_ ? w_ : prob_data_;
+  const int64_t val_bytes = std::min<int64_t>(
+      span * static_cast<int64_t>(sizeof(double)), kMaxPrefetchBytes);
+  const char* pp = reinterpret_cast<const char*>(vals + k0);
+  for (int64_t off = 0; off < val_bytes; off += 64) {
+    __builtin_prefetch(pp + off, 0, 1);
+  }
+#else
+  (void)lo;
+  (void)hi;
+#endif
+}
+
+void WalkKernel::RunAbsorbingRange(int32_t lo, int32_t hi, const double* cur,
+                                   double* nxt) const {
+  const double* add = add_.data();
+  const double* scale = scale_.data();
+  const double* self = self_.data();
+  if (row_tile_ <= 0) {
+    // Simple plan: tiny working set by construction — tiling would only
+    // add loop overhead.
+    isa_->absorbing_rows_norm(lo, hi, ptr_, col_, w_, wdeg_, add, scale,
+                              self, cur, nxt);
+    return;
+  }
+  for (int32_t b = lo; b < hi; b += row_tile_) {
+    const int32_t b_end = b + row_tile_ < hi ? b + row_tile_ : hi;
+    if (b_end < hi) {
+      PrefetchRows(b_end, b_end + row_tile_ < hi ? b_end + row_tile_ : hi);
+    }
+    if (norm_fly_) {
+      isa_->absorbing_rows_norm(b, b_end, ptr_, col_, w_, wdeg_, add, scale,
+                                self, cur, nxt);
+    } else {
+      isa_->absorbing_rows(b, b_end, ptr_, col_, prob_data_, add, scale,
+                           self, cur, nxt);
+    }
+  }
+}
+
+void WalkKernel::RunFusedRange(int32_t lo, int32_t hi, double* x) const {
+  const double* add = add_.data();
+  const double* scale = scale_.data();
+  const double* self = self_.data();
+  if (row_tile_ <= 0) {
+    isa_->absorbing_rows_fused_norm(lo, hi, ptr_, col_, w_, wdeg_, add,
+                                    scale, self, x);
+    return;
+  }
+  for (int32_t b = lo; b < hi; b += row_tile_) {
+    const int32_t b_end = b + row_tile_ < hi ? b + row_tile_ : hi;
+    if (b_end < hi) {
+      PrefetchRows(b_end, b_end + row_tile_ < hi ? b_end + row_tile_ : hi);
+    }
+    if (norm_fly_) {
+      isa_->absorbing_rows_fused_norm(b, b_end, ptr_, col_, w_, wdeg_, add,
+                                      scale, self, x);
+    } else {
+      isa_->absorbing_rows_fused(b, b_end, ptr_, col_, prob_data_, add,
+                                 scale, self, x);
     }
   }
 }
@@ -153,25 +367,31 @@ void WalkKernel::SweepTruncated(int iterations, std::vector<double>* value,
   value->assign(n, 0.0);
   scratch->assign(n, 0.0);
   if (n == 0) return;
-  const int64_t* ptr = graph_->RowPointers().data();
-  const NodeId* col = graph_->FlatNeighbors().data();
-  const double* prob = prob_.data();
-  const double* add = add_.data();
-  const double* scale = scale_.data();
-  const double* self = self_.data();
-  double* cur = value->data();
-  double* nxt = scratch->data();
+  double* cur;
+  double* nxt;
+  if (perm_ == nullptr) {
+    cur = value->data();
+    nxt = scratch->data();
+  } else {
+    // Reordered plan: sweep in permuted space, read out through the
+    // permutation below. V_0 ≡ 0 needs no seed scatter.
+    pval_.assign(n, 0.0);
+    pscratch_.assign(n, 0.0);
+    cur = pval_.data();
+    nxt = pscratch_.data();
+  }
   for (int t = 0; t < iterations; ++t) {
-    for (int32_t b = 0; b < n; b += kRowBlock) {
-      const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
-      isa_->absorbing_rows(b, b_end, ptr, col, prob, add, scale, self, cur,
-                           nxt);
-    }
+    RunAbsorbingRange(0, n, cur, nxt);
     double* tmp = cur;
     cur = nxt;
     nxt = tmp;
   }
-  if (cur != value->data()) value->swap(*scratch);
+  if (perm_ == nullptr) {
+    if (cur != value->data()) value->swap(*scratch);
+  } else {
+    double* out = value->data();
+    for (int32_t v = 0; v < n; ++v) out[v] = cur[perm_[v]];
+  }
 }
 
 void WalkKernel::SweepTruncatedItemValues(int iterations,
@@ -182,14 +402,16 @@ void WalkKernel::SweepTruncatedItemValues(int iterations,
       << "CompileAbsorbingSweep must run first";
   value->assign(n, 0.0);
   if (n == 0 || iterations <= 0) return;
-  const int64_t* ptr = graph_->RowPointers().data();
-  const NodeId* col = graph_->FlatNeighbors().data();
-  const double* prob = prob_.data();
-  const double* add = add_.data();
-  const double* scale = scale_.data();
-  const double* self = self_.data();
+  double* x;
+  if (perm_ == nullptr) {
+    x = value->data();
+  } else {
+    pval_.assign(n, 0.0);
+    x = pval_.data();
+  }
+  // The permutation preserves sides, so the side boundary — and with it
+  // the alternating chain — is the same in sweep space.
   const int32_t num_users = graph_->num_users();
-  double* x = value->data();
   // Step t updates the side whose value the chain labels "iteration t":
   // items when (τ - t) is even, users otherwise, ending on items at t = τ.
   // In-place is safe because a side's gathers read only the *other* side.
@@ -199,33 +421,29 @@ void WalkKernel::SweepTruncatedItemValues(int iterations,
     const int32_t hi = item_side ? n : num_users;
     if (t == 1) {
       // The chain's first step advances its side by a single DP iteration.
-      for (int32_t b = lo; b < hi; b += kRowBlock) {
-        const int32_t b_end = b + kRowBlock < hi ? b + kRowBlock : hi;
-        isa_->absorbing_rows(b, b_end, ptr, col, prob, add, scale, self, x,
-                             x);
-      }
+      RunAbsorbingRange(lo, hi, x, x);
     } else {
       // Every later step advances its side by two DP iterations. Ordinary
       // rows never reference the skipped intermediate, but isolated rows
       // (self = 1) accumulate cost on both: the trailing self·add term
       // applies the second addition in the same order the full sweep
       // would, keeping them bit-identical to it.
-      for (int32_t b = lo; b < hi; b += kRowBlock) {
-        const int32_t b_end = b + kRowBlock < hi ? b + kRowBlock : hi;
-        isa_->absorbing_rows_fused(b, b_end, ptr, col, prob, add, scale,
-                                   self, x);
-      }
+      RunFusedRange(lo, hi, x);
     }
+  }
+  if (perm_ != nullptr) {
+    double* out = value->data();
+    for (int32_t v = 0; v < n; ++v) out[v] = x[perm_[v]];
   }
 }
 
 void WalkKernel::Apply(double alpha, const double* x, double beta,
                        const double* restart, double* y) const {
   LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
+  LT_CHECK(!norm_fly_)
+      << "Apply needs materialized transitions; no caller applies "
+         "row-stochastic transitions, see walk_kernel.h";
   const int32_t n = num_nodes_;
-  const int64_t* ptr = graph_->RowPointers().data();
-  const NodeId* col = graph_->FlatNeighbors().data();
-  const double* prob = prob_.data();
   // Sparse-input fast path: a dense pull always walks every adjacency
   // entry, which would make the first Katz steps / PPR iterations (a
   // frontier of one user node) cost O(total edges) where the pre-kernel
@@ -233,12 +451,16 @@ void WalkKernel::Apply(double alpha, const double* x, double beta,
   // under half the entries, push from just those rows instead. The push
   // re-derives the per-row normalization from the raw weights (the
   // stored prob array is column-normalized for pulls), so push and pull
-  // agree to rounding, and the branch is a pure function of x.
+  // agree to rounding, and the branch is a pure function of x. It runs
+  // in original id space off the graph's own CSR, independent of the
+  // sweep plan's layout.
   if (norm_ != Normalization::kRowStochastic && n > 0) {
-    const int64_t total_entries = ptr[n];
+    const int64_t* gp = graph_->RowPointers().data();
+    const NodeId* gc = graph_->FlatNeighbors().data();
+    const int64_t total_entries = gp[n];
     int64_t nonzero_entries = 0;
     for (int32_t v = 0; v < n; ++v) {
-      if (x[v] != 0.0) nonzero_entries += ptr[v + 1] - ptr[v];
+      if (x[v] != 0.0) nonzero_entries += gp[v + 1] - gp[v];
     }
     if (nonzero_entries * 2 < total_entries) {
       if (restart != nullptr) {
@@ -260,16 +482,39 @@ void WalkKernel::Apply(double alpha, const double* x, double beta,
         } else {  // kRaw
           out = alpha * mass;
         }
-        for (int64_t k = ptr[v]; k < ptr[v + 1]; ++k) {
-          y[col[k]] += out * w[k];
+        for (int64_t k = gp[v]; k < gp[v + 1]; ++k) {
+          y[gc[k]] += out * w[k];
         }
       }
       return;
     }
   }
-  for (int32_t b = 0; b < n; b += kRowBlock) {
-    const int32_t b_end = b + kRowBlock < n ? b + kRowBlock : n;
-    isa_->apply_rows(b, b_end, ptr, col, prob, alpha, x, beta, restart, y);
+  const double* in = x;
+  const double* rst = restart;
+  double* out = y;
+  if (perm_ != nullptr && n > 0) {
+    // Permute the operands into sweep space, pull there, scatter back.
+    px_.resize(n);
+    pval_.resize(n);
+    for (int32_t v = 0; v < n; ++v) px_[perm_[v]] = x[v];
+    in = px_.data();
+    out = pval_.data();
+    if (restart != nullptr) {
+      pscratch_.resize(n);
+      for (int32_t v = 0; v < n; ++v) pscratch_[perm_[v]] = restart[v];
+      rst = pscratch_.data();
+    }
+  }
+  for (int32_t b = 0; b < n; b += row_tile_) {
+    const int32_t b_end = b + row_tile_ < n ? b + row_tile_ : n;
+    if (b_end < n) {
+      PrefetchRows(b_end, b_end + row_tile_ < n ? b_end + row_tile_ : n);
+    }
+    isa_->apply_rows(b, b_end, ptr_, col_, prob_data_, alpha, in, beta, rst,
+                     out);
+  }
+  if (perm_ != nullptr && n > 0) {
+    for (int32_t v = 0; v < n; ++v) y[v] = pval_[perm_[v]];
   }
 }
 

@@ -46,9 +46,11 @@
 #define LONGTAIL_GRAPH_WALK_KERNEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "graph/walk_layout.h"
 
 namespace longtail {
 
@@ -79,6 +81,27 @@ class WalkKernel {
     kRaw,
   };
 
+  /// The execution plan BuildTransitions picks per graph shape (one-time
+  /// cost probe against the machine's measured cache geometry; see
+  /// docs/KERNELS.md for the thresholds):
+  ///  * kSimple — flat reference-style loop, no row tiling. Wins while
+  ///    one value vector (the window row gathers read from) still fits in
+  ///    L2, where tile bookkeeping is pure overhead. Row-stochastic only.
+  ///  * kBlocked — L1-tiled row pass with next-tile prefetch, identity
+  ///    node order; wins once the value vector exceeds L2.
+  /// Both identity-order plans normalize row-stochastic transitions on the
+  /// fly from the raw weights — the O(entries) transition materialization
+  /// is skipped entirely, with the same per-entry rounding sequence (w·(1/d)
+  /// then ·x), so results are bit-identical to a materialized sweep. Other
+  /// normalizations (PPR/Katz) materialize once and amortize over many
+  /// Apply calls.
+  ///  * kBlockedReordered — kBlocked over a WalkLayout-permuted CSR
+  ///    (adopted from the SubgraphCache or built here); seeds are injected
+  ///    and values read back through the permutation, outputs bit-identical
+  ///    in original id space.
+  /// kAuto is only a ForcePlanForTesting value: restore the cost probe.
+  enum class SweepMode { kAuto, kSimple, kBlocked, kBlockedReordered };
+
   /// Binds the kernel to the best row-gather implementation the running
   /// CPU supports (one CPUID probe per process, cached; see
   /// walk_kernel_isa.h). The binary is portable — an AVX2 host runs the
@@ -98,20 +121,51 @@ class WalkKernel {
   /// parity tests can compare both paths within one process.
   void ForceGenericIsaForTesting();
 
-  /// Builds (or rebuilds) the normalized transition CSR for `g`. O(edges),
-  /// one division per edge; call once per extracted subgraph / fitted
-  /// graph, then reuse across any number of sweeps. The kernel keeps a
-  /// pointer to `g` and reads its CSR arrays during sweeps, so `g` must
-  /// outlive the kernel's use and must not be rebuilt in between.
+  /// Builds (or rebuilds) the normalized transition CSR for `g` and picks
+  /// the sweep plan (simple / blocked / blocked+reordered) for its shape.
+  /// O(edges); call once per extracted subgraph / fitted graph, then reuse
+  /// across any number of sweeps. The kernel keeps a pointer to `g` and
+  /// reads its CSR arrays during sweeps, so `g` must outlive the kernel's
+  /// use and must not be rebuilt in between.
+  ///
+  /// `layout` is an optional pre-built permutation of `g` (typically the
+  /// one riding on a SubgraphCache payload): passing it makes the kernel
+  /// sweep the permuted CSR without re-permuting — steady-state serving
+  /// pays the reordering once per cached subgraph. When absent, auto
+  /// plans stay in identity order (a one-shot query cannot amortize the
+  /// permutation build; only ForcePlanForTesting(kBlockedReordered)
+  /// self-builds one). Either way every public input/output stays in
+  /// original local id space, bit-identical to the identity layout.
+  ///
   /// Rows with weighted degree <= 0 get all-zero transition values (they
   /// are compiled as isolated by CompileAbsorbingSweep).
-  void BuildTransitions(const BipartiteGraph& g, Normalization norm);
+  void BuildTransitions(const BipartiteGraph& g, Normalization norm,
+                        std::shared_ptr<const WalkLayout> layout = nullptr);
 
   /// True once BuildTransitions has run; sweeps LT_CHECK this.
   bool has_transitions() const { return graph_ != nullptr; }
   /// The graph the transitions were built from (nullptr before any build).
   const BipartiteGraph* graph() const { return graph_; }
   Normalization normalization() const { return norm_; }
+
+  /// The plan the last BuildTransitions picked ("simple", "blocked" or
+  /// "blocked_reordered"); bench/introspection only.
+  const char* sweep_strategy() const;
+  /// True when the last build swept a permuted CSR (adopted or private).
+  bool reordered() const { return perm_ != nullptr; }
+  /// Rows per L1 tile of the blocked row pass (0 in simple mode).
+  int32_t row_tile() const { return row_tile_; }
+  /// Test/bench hook: pin the plan for subsequent BuildTransitions calls
+  /// (kAuto restores the cost probe). kSimple requires kRowStochastic;
+  /// kBlockedReordered builds a private layout when none is passed.
+  void ForcePlanForTesting(SweepMode mode) { forced_plan_ = mode; }
+
+  /// Plan constants on this machine (bench/introspection): the
+  /// value-vector ceiling under which the cost probe picks the simple
+  /// plan, and the rows-per-L1-tile the blocked plans sweep with. Derived
+  /// from the measured cache geometry (walk_layout.h) once per process.
+  static size_t SimplePlanMaxValueBytes();
+  static int32_t BlockedPlanRowTile();
 
   /// Compiles one query's absorbing flags and per-node immediate costs
   /// into the branch-free coefficient vectors. Requires kRowStochastic
@@ -168,18 +222,68 @@ class WalkKernel {
              const double* restart, double* y) const;
 
  private:
+  /// Applies the plan chosen by BuildTransitions: binds the active CSR
+  /// views (identity or permuted), materializes transition values when the
+  /// plan needs them, and sizes the row tile.
+  void BindPlan(const BipartiteGraph& g,
+                std::shared_ptr<const WalkLayout> layout);
+  /// Tiled absorbing pass over sweep-space rows [lo, hi): simple mode
+  /// dispatches the normalizing rows once, blocked modes walk L1-sized row
+  /// tiles and prefetch the next tile's index/value strips.
+  void RunAbsorbingRange(int32_t lo, int32_t hi, const double* cur,
+                         double* nxt) const;
+  /// Same for the ranking sweep's in-place double-step pass.
+  void RunFusedRange(int32_t lo, int32_t hi, double* x) const;
+  /// Prefetches the col/prob strips of sweep-space rows [lo, hi).
+  void PrefetchRows(int32_t lo, int32_t hi) const;
+
   /// The instruction-set flavour every sweep dispatches through; bound at
   /// construction, never null.
   const internal::WalkKernelIsa* isa_;
   const BipartiteGraph* graph_ = nullptr;
   Normalization norm_ = Normalization::kRowStochastic;
   int32_t num_nodes_ = 0;
-  /// Normalized transition values, parallel to graph()->FlatNeighbors().
+  SweepMode forced_plan_ = SweepMode::kAuto;
+
+  // ---- Active plan, bound by BuildTransitions ----
+  /// True when the plan normalizes rows on the fly from w_/wdeg_ instead
+  /// of a materialized transition array (kRowStochastic, identity order —
+  /// both the simple and the blocked plan).
+  bool norm_fly_ = false;
+  /// Rows per L1 tile of the blocked row pass (0 = flat simple loop).
+  int32_t row_tile_ = 0;
+  /// The CSR the sweeps walk: the graph's own arrays (identity order) or a
+  /// WalkLayout's permuted arrays.
+  const int64_t* ptr_ = nullptr;
+  const NodeId* col_ = nullptr;
+  /// Materialized transition values parallel to col_ (null when norm_fly_):
+  /// layout row_prob, prob_.data(), or the graph's raw weights.
+  const double* prob_data_ = nullptr;
+  /// Raw weights + weighted degrees for the normalizing row passes.
+  const double* w_ = nullptr;
+  const double* wdeg_ = nullptr;
+  /// Original local id → sweep-space row (null ⇔ identity layout).
+  /// CompileAbsorbingSweep scatters coefficients through it; sweeps gather
+  /// outputs back through it.
+  const int32_t* perm_ = nullptr;
+  /// Keeps an adopted layout alive for the lifetime of the transitions.
+  std::shared_ptr<const WalkLayout> layout_;
+  /// Privately built layout (large one-shot builds); capacity reused.
+  WalkLayout own_layout_;
+
+  /// Normalized transition values in sweep order, parallel to col_ (unused
+  /// when the layout supplies row_prob or the plan normalizes on the fly).
   std::vector<double> prob_;
-  /// Per-row sweep coefficients compiled by CompileAbsorbingSweep.
+  /// Per-row sweep coefficients compiled by CompileAbsorbingSweep, indexed
+  /// in sweep space (permuted when reordered).
   std::vector<double> add_;    // constant term (0 for absorbing rows)
   std::vector<double> scale_;  // 1 ordinary row, 0 absorbing/isolated
   std::vector<double> self_;   // 1 isolated transient row, else 0
+  /// Permuted-space sweep buffers (reordered plans only). Mutable because
+  /// sweeps are logically const — the kernel is single-owner per worker.
+  mutable std::vector<double> pval_;
+  mutable std::vector<double> pscratch_;
+  mutable std::vector<double> px_;
 };
 
 }  // namespace longtail

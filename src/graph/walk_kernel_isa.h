@@ -21,9 +21,16 @@
 namespace longtail {
 namespace internal {
 
-/// One instruction-set flavour of the kernel's three hot row passes. All
-/// passes process local node rows [lo, hi) of a transition CSR (`ptr`,
-/// `col`, `prob`); callers own blocking and iteration structure.
+/// One instruction-set flavour of the kernel's hot row passes. All passes
+/// process local node rows [lo, hi) of a transition CSR (`ptr`, `col`,
+/// `prob`); callers own blocking and iteration structure.
+///
+/// Every absorbing pass skips the gather of rows with scale == self == 0
+/// (absorbing rows) and writes exactly +0.0 — the value the full
+/// expression produces for any finite gather, since 0·acc and 0·cur are
+/// signed zeros that +0.0 absorbs. Queries absorb the probe user's rated
+/// items, often the highest-degree rows, so the skip removes a large slice
+/// of edge work without perturbing a single bit.
 struct WalkKernelIsa {
   const char* name;  // "generic" or "avx2"
 
@@ -44,6 +51,25 @@ struct WalkKernelIsa {
                                const NodeId* col, const double* prob,
                                const double* add, const double* scale,
                                const double* self, double* x);
+
+  /// Normalizing flavour of absorbing_rows for the adaptive plan's
+  /// "simple" mode: no materialized prob array — each row derives
+  /// inv = 1/wdeg[v] and gathers (w[k]·inv)·cur[col[k]], the exact
+  /// products BuildTransitions would have stored, so results stay
+  /// bit-identical to the blocked path while skipping the O(entries)
+  /// transition build that dominates tiny subgraphs.
+  void (*absorbing_rows_norm)(int32_t lo, int32_t hi, const int64_t* ptr,
+                              const NodeId* col, const double* w,
+                              const double* wdeg, const double* add,
+                              const double* scale, const double* self,
+                              const double* cur, double* nxt);
+
+  /// Normalizing flavour of absorbing_rows_fused (same contract).
+  void (*absorbing_rows_fused_norm)(int32_t lo, int32_t hi,
+                                    const int64_t* ptr, const NodeId* col,
+                                    const double* w, const double* wdeg,
+                                    const double* add, const double* scale,
+                                    const double* self, double* x);
 
   /// Power-iteration pass: y[v] = alpha·⟨prob_row(v), x⟩ + beta·restart[v]
   /// (`restart == nullptr` drops the second term). `x` and `y` must not

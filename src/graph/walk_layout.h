@@ -1,0 +1,94 @@
+// Cache-aware memory layout for the walk kernel.
+//
+// The truncated-walk sweep is a gather: row v reads value[col[k]] for every
+// adjacency entry k. BFS extraction assigns local ids in visit order, which
+// is decent, but on large subgraphs (value vector past L2) the gathered
+// addresses still span the whole vector and every edge is a potential cache
+// miss. A WalkLayout is a locality-improving *node permutation* of the
+// subgraph plus the transition CSR rebuilt in permuted order: a
+// degree-bucketed BFS (Cuthill–McKee-style) renumbering clusters each row's
+// neighbors into a narrow index band, so the sweep's gathers hit a window
+// of the value vector that stays cache-resident.
+//
+// The permutation is *bipartite-aware*: users keep ids [0, num_users) and
+// items [num_users, num_nodes), each side numbered in the shared BFS visit
+// order. That preserves the side boundary the ranking sweep alternates
+// over, so every sweep flavour runs unchanged on the permuted CSR.
+//
+// Bit-identity contract: the permuted row perm[v] carries row v's edges in
+// their ORIGINAL order with columns renamed through perm, and row_prob is
+// computed with the exact expression BuildTransitions uses (one 1/d per
+// row, then w[k]·inv per edge). A sweep over the permuted CSR therefore
+// performs the same per-row multiply/add sequence as the identity layout,
+// and scattering the result back through perm reproduces the identity
+// output bit for bit (tests/walk_kernel_test.cc pins this).
+//
+// Layouts are built once per subgraph — by SubgraphCache when it admits a
+// payload (steady-state serving pays the permutation once per cached
+// subgraph) or by the kernel itself for one-shot large builds — and adopted
+// by WalkKernel::BuildTransitions via shared_ptr.
+#ifndef LONGTAIL_GRAPH_WALK_LAYOUT_H_
+#define LONGTAIL_GRAPH_WALK_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace longtail {
+
+/// Data-cache capacities of the running machine, probed once per process
+/// (sysconf where the platform exposes them, conservative defaults
+/// otherwise). The kernel's adaptive sweep selection and the layout
+/// threshold compare working-set bytes against these.
+struct CacheGeometry {
+  size_t l1d_bytes;
+  size_t l2_bytes;
+  size_t l3_bytes;
+};
+
+const CacheGeometry& ProbeCacheGeometry();
+
+/// A node permutation of one BipartiteGraph plus its CSR (and optionally
+/// the row-stochastic transition values) materialized in permuted order.
+/// Immutable once built; shared across workspaces via shared_ptr.
+struct WalkLayout {
+  int32_t num_users = 0;
+  int32_t num_nodes = 0;
+  /// Original local node id → permuted node id. Side-preserving: users map
+  /// to [0, num_users), items to [num_users, num_nodes).
+  std::vector<int32_t> perm;
+  /// Permuted CSR: row perm[v] holds row v's adjacency entries in original
+  /// order, column ids renamed through perm. ptr has num_nodes + 1 entries.
+  std::vector<int64_t> ptr;
+  std::vector<NodeId> col;
+  /// Row-stochastic transition values parallel to col, same rounding as
+  /// WalkKernel::BuildTransitions(kRowStochastic). Empty when the layout
+  /// was built without them (non-row-stochastic consumers).
+  std::vector<double> row_prob;
+};
+
+/// Builds the degree-bucketed BFS permutation and permuted CSR for `g`.
+/// Each connected component is entered at its lowest-degree node and
+/// traversed breadth-first (neighbors in row order); isolated nodes keep
+/// their relative order at the end of each side. O(nodes + edges).
+/// Reuses `out`'s buffer capacity.
+void BuildWalkLayout(const BipartiteGraph& g, bool with_row_prob,
+                     WalkLayout* out);
+
+/// The reorder threshold shared by the kernel's auto plan and the cache:
+/// true when the value vector outgrows L2 (gathers start missing) and the
+/// graph is dense enough (entries >= 2·nodes) for locality to matter.
+bool WalkLayoutReorderBeneficial(int32_t num_nodes, int64_t entries);
+
+/// BuildWalkLayout behind the WalkLayoutReorderBeneficial gate; nullptr
+/// when reordering would not pay. Always includes row_prob (the consumers
+/// are the row-stochastic truncated sweeps).
+std::shared_ptr<const WalkLayout> BuildWalkLayoutIfBeneficial(
+    const BipartiteGraph& g);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_GRAPH_WALK_LAYOUT_H_

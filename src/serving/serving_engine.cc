@@ -319,10 +319,12 @@ void ServingEngine::ExecuteBatch(ModelEntry* entry,
   batch_options.subgraph_cache = options_.subgraph_cache;
   std::vector<UserQueryResult> batch_results =
       entry->model->QueryBatch(queries, batch_options);
+  // Count before fulfilling: a blocking caller woken by set_value must
+  // already see its query in Stats().completed.
+  completed_.fetch_add(batch_results.size(), std::memory_order_relaxed);
   for (size_t j = 0; j < batch_results.size(); ++j) {
     batch[live[j]].promise.set_value(std::move(batch_results[j]));
   }
-  completed_.fetch_add(batch_results.size(), std::memory_order_relaxed);
 }
 
 void ServingEngine::DispatcherLoop() {

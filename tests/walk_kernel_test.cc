@@ -15,6 +15,7 @@
 #include <cmath>
 #include <memory>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "core/absorbing_cost.h"
@@ -24,6 +25,7 @@
 #include "graph/markov.h"
 #include "graph/subgraph.h"
 #include "graph/walk_kernel.h"
+#include "graph/walk_layout.h"
 
 namespace longtail {
 namespace {
@@ -404,6 +406,187 @@ TEST(WalkKernelTest, RuntimeIsaDispatchBitIdenticalToGeneric) {
   generic_col.Apply(0.5, x.data(), 0.0, nullptr, yb.data());
   for (int32_t v = 0; v < n; ++v) {
     EXPECT_EQ(ya[v], yb[v]) << "apply node " << v;
+  }
+}
+
+// The three execution plans — simple flat loop, L1-blocked tiles, blocked
+// over a WalkLayout-permuted CSR — are *memory layout* decisions only: for
+// the same query they must produce BIT-identical results, including the
+// reordered plan, whose coefficients are scattered and outputs gathered
+// through the permutation. Exercised against the auto plan on random
+// graphs with isolated nodes and single-side (users-only / items-only)
+// graphs, at several τ, on both the dispatched and the generic row-gather
+// flavour.
+TEST(WalkKernelTest, ExecutionPlansBitIdenticalAcrossLayouts) {
+  struct Config {
+    int32_t users, items, isolated_users, isolated_items;
+    double density;
+  };
+  const Config configs[] = {
+      {40, 30, 0, 0, 0.15},
+      {80, 120, 5, 9, 0.05},  // sparse, isolated nodes on both sides
+      {25, 0, 3, 0, 0.0},     // users only — every row isolated
+      {0, 18, 0, 2, 0.0},     // items only
+  };
+  const WalkKernel::SweepMode plans[] = {
+      WalkKernel::SweepMode::kSimple,
+      WalkKernel::SweepMode::kBlocked,
+      WalkKernel::SweepMode::kBlockedReordered,
+  };
+  uint64_t seed = 31000;
+  for (const Config& c : configs) {
+    const BipartiteGraph g = RandomGraph(c.users, c.items, c.density, ++seed,
+                                         c.isolated_users, c.isolated_items);
+    const int32_t n = g.num_nodes();
+    const auto absorbing = RandomAbsorbing(n, 0.2, ++seed);
+    const auto costs = RandomCosts(n, ++seed);
+    for (int tau : {1, 7, 16}) {
+      WalkKernel base;  // auto plan, dispatched ISA
+      base.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+      base.CompileAbsorbingSweep(absorbing, costs);
+      std::vector<double> full, scratch, rank;
+      base.SweepTruncated(tau, &full, &scratch);
+      base.SweepTruncatedItemValues(tau, &rank);
+      for (bool generic : {false, true}) {
+        for (WalkKernel::SweepMode plan : plans) {
+          WalkKernel k;
+          if (generic) k.ForceGenericIsaForTesting();
+          k.ForcePlanForTesting(plan);
+          k.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+          k.CompileAbsorbingSweep(absorbing, costs);
+          const std::string label =
+              std::string(k.sweep_strategy()) + (generic ? "/generic" : "") +
+              " " + std::to_string(c.users) + "x" + std::to_string(c.items) +
+              " tau " + std::to_string(tau);
+          std::vector<double> f2, s2, r2;
+          k.SweepTruncated(tau, &f2, &s2);
+          ASSERT_EQ(full.size(), f2.size()) << label;
+          for (size_t v = 0; v < full.size(); ++v) {
+            EXPECT_EQ(full[v], f2[v]) << label << " node " << v;
+          }
+          k.SweepTruncatedItemValues(tau, &r2);
+          ASSERT_EQ(rank.size(), r2.size()) << label;
+          for (int32_t v = g.num_users(); v < n; ++v) {
+            EXPECT_EQ(rank[v], r2[v]) << label << " item row " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Forced plans on the empty subgraph an empty seed set extracts (and on a
+// default-constructed graph): every plan must handle n == 0.
+TEST(WalkKernelTest, ForcedPlansHandleEmptySeedSubgraph) {
+  const BipartiteGraph g = RandomGraph(12, 8, 0.3, 33000);
+  for (WalkKernel::SweepMode plan :
+       {WalkKernel::SweepMode::kSimple, WalkKernel::SweepMode::kBlocked,
+        WalkKernel::SweepMode::kBlockedReordered}) {
+    WalkWorkspace ws;
+    ws.kernel.ForcePlanForTesting(plan);
+    const Subgraph& sub = ExtractSubgraphInto(g, {}, SubgraphOptions{}, &ws);
+    EXPECT_EQ(0, sub.graph.num_nodes());
+    std::vector<double> value, scratch;
+    AbsorbingValueTruncated(sub.graph, {}, {}, 15, &ws.kernel, &value,
+                            &scratch);
+    EXPECT_TRUE(value.empty());
+  }
+}
+
+// Apply must also be layout-invariant, bit for bit: the sparse push runs
+// in original id space off the graph's own CSR on every plan, and the
+// dense pull preserves each row's entry order through the permutation.
+// (kSimple is row-stochastic-only, which no Apply caller uses.)
+TEST(WalkKernelTest, ApplyBitIdenticalAcrossBlockedPlans) {
+  const BipartiteGraph g = RandomGraph(45, 35, 0.12, 35000, 3, 2);
+  const int32_t n = g.num_nodes();
+  std::vector<double> dense(n), restart(n), sparse(n, 0.0);
+  for (int32_t v = 0; v < n; ++v) {
+    dense[v] = 0.25 + 0.5 * ((v * 2654435761u) % 97) / 97.0;
+    restart[v] = v % 5 == 0 ? 0.2 : 0.0;
+  }
+  sparse[g.UserNode(7)] = 1.0;  // frontier of one → the push path
+  for (WalkKernel::Normalization norm :
+       {WalkKernel::Normalization::kColumnStochastic,
+        WalkKernel::Normalization::kRaw}) {
+    WalkKernel base;  // auto plan, dispatched ISA
+    base.BuildTransitions(g, norm);
+    std::vector<double> y_dense(n), y_sparse(n);
+    base.Apply(0.85, dense.data(), 0.15, restart.data(), y_dense.data());
+    base.Apply(0.5, sparse.data(), 0.0, nullptr, y_sparse.data());
+    for (bool generic : {false, true}) {
+      for (WalkKernel::SweepMode plan :
+           {WalkKernel::SweepMode::kBlocked,
+            WalkKernel::SweepMode::kBlockedReordered}) {
+        WalkKernel k;
+        if (generic) k.ForceGenericIsaForTesting();
+        k.ForcePlanForTesting(plan);
+        k.BuildTransitions(g, norm);
+        const std::string label = std::string(k.sweep_strategy()) +
+                                  (generic ? "/generic" : "") +
+                                  (norm == WalkKernel::Normalization::kRaw
+                                       ? " raw"
+                                       : " colstoch");
+        std::vector<double> ya(n), yb(n);
+        k.Apply(0.85, dense.data(), 0.15, restart.data(), ya.data());
+        k.Apply(0.5, sparse.data(), 0.0, nullptr, yb.data());
+        for (int32_t v = 0; v < n; ++v) {
+          EXPECT_EQ(y_dense[v], ya[v]) << label << " dense node " << v;
+          EXPECT_EQ(y_sparse[v], yb[v]) << label << " sparse node " << v;
+        }
+      }
+    }
+  }
+}
+
+// Eight workers, each with a private kernel sweeping the SAME shared
+// WalkLayout (the SubgraphCache steady state: one payload, many adopting
+// threads), must all match the single-threaded identity-order sweep bit
+// for bit. The layout is read-only after build; this pins that no sweep
+// mutates shared state.
+TEST(WalkKernelTest, SharedLayoutParityAtOneAndEightThreads) {
+  const BipartiteGraph g = RandomGraph(120, 100, 0.05, 36000, 4, 3);
+  const int32_t n = g.num_nodes();
+  const auto absorbing = RandomAbsorbing(n, 0.15, 36001);
+  const auto costs = RandomCosts(n, 36002);
+  constexpr int kTau = 15;
+
+  WalkKernel identity;
+  identity.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
+  identity.CompileAbsorbingSweep(absorbing, costs);
+  std::vector<double> expected_full, scratch, expected_rank;
+  identity.SweepTruncated(kTau, &expected_full, &scratch);
+  identity.SweepTruncatedItemValues(kTau, &expected_rank);
+
+  auto layout = std::make_shared<WalkLayout>();
+  BuildWalkLayout(g, /*with_row_prob=*/true, layout.get());
+
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    std::vector<std::vector<double>> full(threads), rank(threads);
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        WalkKernel k;
+        k.BuildTransitions(g, WalkKernel::Normalization::kRowStochastic,
+                           layout);
+        k.CompileAbsorbingSweep(absorbing, costs);
+        std::vector<double> s;
+        k.SweepTruncated(kTau, &full[t], &s);
+        k.SweepTruncatedItemValues(kTau, &rank[t]);
+      });
+    }
+    for (auto& th : pool) th.join();
+    for (size_t t = 0; t < threads; ++t) {
+      ASSERT_EQ(expected_full.size(), full[t].size()) << threads << "t";
+      for (size_t v = 0; v < expected_full.size(); ++v) {
+        EXPECT_EQ(expected_full[v], full[t][v])
+            << threads << "t worker " << t << " node " << v;
+      }
+      for (int32_t v = g.num_users(); v < n; ++v) {
+        EXPECT_EQ(expected_rank[v], rank[t][v])
+            << threads << "t worker " << t << " item row " << v;
+      }
+    }
   }
 }
 
