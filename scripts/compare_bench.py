@@ -20,6 +20,14 @@ Usage:
       measures ~20 ns of fixed per-call overhead against timer noise,
       not sweep throughput.
 
+  compare_bench.py --load BASELINE.json CANDIDATE.json
+      Diffs two BENCH_load.json files from bench_load: closed-loop
+      throughput per ladder rung plus the saturation headline, and
+      open-loop achieved rate, tail latency (p50/p99/p99.9) and rejection
+      rate per swept point. Always informational (exit 0): wall-clock load
+      numbers are runner-class and core-count dependent, so the diff is a
+      prompt to look, never a merge gate.
+
 Absolute rates compare runs on the *same machine* (CI keeps the seed
 baseline's runner class); the speedup ratios are machine-normalized
 already, since both sides of each ratio were measured in the same run.
@@ -42,6 +50,12 @@ KERNEL_SWEEP_RATES = (
 ALGORITHM_RATES = ("batch_users_per_second",)
 SERVING_RATES = ("steady_users_per_second",)
 ENGINE_RATES = ("users_per_second",)
+
+# Load harness (BENCH_load.json): higher-is-better rates and
+# lower-is-better tail latencies, reported side by side but never gated.
+LOAD_CLOSED_RATES = ("throughput_rps",)
+LOAD_OPEN_RATES = ("achieved_rps",)
+LOAD_OPEN_LATENCIES = ("p50_seconds", "p99_seconds", "p999_seconds")
 
 # Field renames across repo history: candidate readers accept both.
 FULL_SPEEDUP_ALIASES = ("full_vs_reference_speedup", "full_sweep_speedup")
@@ -103,6 +117,61 @@ def compare(baseline, candidate, max_regression):
     return failures
 
 
+def scalar(obj, *path):
+    node = obj
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_load(baseline, candidate):
+    """Prints load-harness drift; informational only, never fails."""
+    for label, path, base_v, cand_v in (
+        ("closed_loop.saturation_rps", None,
+         scalar(baseline, "closed_loop", "saturation_rps"),
+         scalar(candidate, "closed_loop", "saturation_rps")),
+        ("open_loop.rejection_rate_at_2x_saturation", None,
+         scalar(baseline, "open_loop", "rejection_rate_at_2x_saturation"),
+         scalar(candidate, "open_loop", "rejection_rate_at_2x_saturation")),
+    ):
+        if base_v is None or cand_v is None:
+            print(f"  [info] {label}: missing on one side")
+            continue
+        if base_v:
+            delta = f"{(cand_v - base_v) / base_v:+.1%}"
+        else:
+            delta = f"{cand_v - base_v:+.4f} abs"
+        print(f"   {label}: {base_v:.4g} -> {cand_v:.4g} ({delta})")
+    sections = (
+        ("closed_loop", ("closed_loop", "ladder"), LOAD_CLOSED_RATES, ()),
+        ("open_loop", ("open_loop", "points"), LOAD_OPEN_RATES,
+         LOAD_OPEN_LATENCIES),
+    )
+    for section, path, rates, latencies in sections:
+        base_rows = rows_by_name(baseline, *path)
+        cand_rows = rows_by_name(candidate, *path)
+        for name in sorted(base_rows.keys() | cand_rows.keys()):
+            if name not in cand_rows or name not in base_rows:
+                side = "baseline" if name in base_rows else "candidate"
+                print(f"  [info] {section}/{name}: only in {side}")
+                continue
+            for field in (*rates, *latencies):
+                base = metric(base_rows[name], field)
+                cand = metric(cand_rows[name], field)
+                if base is None or cand is None or base <= 0.0:
+                    continue
+                delta = (cand - base) / base
+                worse = delta < 0 if field in rates else delta > 0
+                print(
+                    f" {'~' if worse else ' '} {section}/{name}.{field}: "
+                    f"{base:.4g} -> {cand:.4g} ({delta:+.1%})"
+                )
+    print("load diff is informational; not a gate")
+    return []
+
+
 def assert_invariants(candidate, min_full_speedup, min_ref_ns):
     failures = []
     sweeps = rows_by_name(candidate, "kernel", "sweeps")
@@ -140,6 +209,8 @@ def main():
                         help="fail when a rate metric drops by more than this fraction (default 0.10)")
     parser.add_argument("--assert-only", action="store_true",
                         help="check machine-independent invariants of one file instead of diffing two")
+    parser.add_argument("--load", action="store_true",
+                        help="diff two BENCH_load.json load-harness files (informational, always exits 0)")
     parser.add_argument("--min-full-speedup", type=float, default=0.98,
                         help="--assert-only: floor for every sweep row's full_vs_reference_speedup (default 0.98)")
     parser.add_argument("--min-ref-ns", type=float, default=1000.0,
@@ -154,6 +225,15 @@ def main():
         print(f"asserting invariants of {args.files[0]}")
         failures = assert_invariants(candidate, args.min_full_speedup,
                                      args.min_ref_ns)
+    elif args.load:
+        if len(args.files) != 2:
+            parser.error("--load expects BASELINE.json CANDIDATE.json")
+        with open(args.files[0]) as f:
+            baseline = json.load(f)
+        with open(args.files[1]) as f:
+            candidate = json.load(f)
+        print(f"load harness: {args.files[0]} (baseline) vs {args.files[1]}")
+        failures = compare_load(baseline, candidate)
     else:
         if len(args.files) != 2:
             parser.error("expected BASELINE.json CANDIDATE.json")

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/hash.h"
+#include "util/metrics.h"
 
 namespace longtail {
 
@@ -51,6 +52,46 @@ SubgraphCache::SubgraphCache(SubgraphCacheOptions options) {
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
+}
+
+SubgraphCache::~SubgraphCache() { BindMetrics(nullptr); }
+
+void SubgraphCache::BindMetrics(MetricsRegistry* registry) {
+  if (metrics_ != nullptr) metrics_->ReleaseCallbacks(this);
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  // Counters sum the shard atomics at scrape time; entries/resident_bytes
+  // go through Stats() (brief per-shard locks, same as any Stats() caller).
+  struct Field {
+    const char* name;
+    const char* help;
+    uint64_t SubgraphCacheStats::*member;
+  };
+  static constexpr Field kCounters[] = {
+      {"longtail_subgraph_cache_hits_total", "Cache hits.",
+       &SubgraphCacheStats::hits},
+      {"longtail_subgraph_cache_misses_total", "Cache misses.",
+       &SubgraphCacheStats::misses},
+      {"longtail_subgraph_cache_inserts_total", "Entries inserted.",
+       &SubgraphCacheStats::inserts},
+      {"longtail_subgraph_cache_evictions_total", "Entries evicted (LRU).",
+       &SubgraphCacheStats::evictions},
+      {"longtail_subgraph_cache_coalesced_waits_total",
+       "Duplicate extractions absorbed by single-flight coalescing.",
+       &SubgraphCacheStats::coalesced_waits},
+  };
+  for (const Field& field : kCounters) {
+    registry->RegisterCallbackCounter(
+        field.name, field.help, {},
+        [this, member = field.member] { return Stats().*member; }, this);
+  }
+  registry->RegisterCallbackGauge(
+      "longtail_subgraph_cache_entries", "Resident cache entries.", {},
+      [this] { return static_cast<double>(Stats().entries); }, this);
+  registry->RegisterCallbackGauge(
+      "longtail_subgraph_cache_resident_bytes",
+      "Estimated bytes of resident payloads.", {},
+      [this] { return static_cast<double>(Stats().resident_bytes); }, this);
 }
 
 uint64_t SubgraphCache::Key(uint64_t graph_fingerprint,

@@ -91,12 +91,27 @@ struct SubgraphCacheStats {
   }
 };
 
+class MetricsRegistry;
+
 class SubgraphCache {
  public:
   explicit SubgraphCache(SubgraphCacheOptions options = {});
+  ~SubgraphCache();
 
   SubgraphCache(const SubgraphCache&) = delete;
   SubgraphCache& operator=(const SubgraphCache&) = delete;
+
+  /// Exports the cache's counters into `registry` as callback series
+  /// (longtail_subgraph_cache_*: hit/miss/insert/eviction/coalesced-wait
+  /// totals, plus entries and resident-bytes gauges), sampled from the
+  /// shard atomics at scrape time — no new work on the lookup path. The
+  /// registry must outlive the cache or BindMetrics(nullptr) must be
+  /// called first; the destructor releases the callbacks itself. Beware
+  /// binding to a ServingEngine's *owned* registry (options.metrics ==
+  /// nullptr): that registry dies with the engine, and a cache shared via
+  /// ServingEngineOptions::subgraph_cache necessarily outlives it — use an
+  /// external registry or unbind before the engine is destroyed.
+  void BindMetrics(MetricsRegistry* registry);
 
   /// Hash of the extraction inputs. Deterministic across processes for a
   /// given dataset (the fingerprint is a content hash).
@@ -226,6 +241,9 @@ class SubgraphCache {
   /// runtime option.
   std::vector<std::unique_ptr<Shard>> shards_;
   std::function<void()> leader_extract_hook_;
+  /// Registry currently holding this cache's callback series (see
+  /// BindMetrics); null when unbound.
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace longtail

@@ -1,0 +1,47 @@
+#include "serving/load_gen.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+LoadGenerator::LoadGenerator(const LoadGenOptions& options)
+    : options_(options),
+      zipf_(options.num_users, options.zipf_exponent),
+      rng_(options.seed) {
+  // Scatter popularity ranks over the id space with an explicit
+  // Fisher–Yates (std::shuffle's draw sequence is implementation-defined,
+  // which would break the cross-platform determinism contract). The
+  // permutation burns a fixed num_users - 1 draws up front, so request
+  // streams stay aligned across builds regardless of shuffle internals.
+  rank_to_user_.resize(options_.num_users);
+  for (size_t i = 0; i < rank_to_user_.size(); ++i) {
+    rank_to_user_[i] = static_cast<UserId>(i);
+  }
+  for (size_t i = rank_to_user_.size() - 1; i > 0; --i) {
+    const size_t j = static_cast<size_t>(rng_() % (i + 1));
+    std::swap(rank_to_user_[i], rank_to_user_[j]);
+  }
+}
+
+ServeRequest LoadGenerator::Next() {
+  ServeRequest request;
+  request.user = rank_to_user_[zipf_.Sample(rng_)];
+  request.top_k = options_.top_k;
+  return request;
+}
+
+double LoadGenerator::NextArrivalSeconds(double rate_per_second) {
+  LT_CHECK(rate_per_second > 0.0);
+  // Inverse-CDF exponential; 1 - u keeps the argument strictly positive.
+  const double u = UniformDouble(rng_);
+  return -std::log(1.0 - u) / rate_per_second;
+}
+
+UserId LoadGenerator::UserForRank(size_t rank) const {
+  LT_CHECK(rank < rank_to_user_.size());
+  return rank_to_user_[rank];
+}
+
+}  // namespace longtail

@@ -1,0 +1,74 @@
+// Deterministic closed-/open-loop request stream for the load harness.
+//
+// A LoadGenerator turns a seed into the full workload: *which* user each
+// request queries (Zipf-ranked popularity, with ranks scattered across the
+// user-id space so "hot" is uncorrelated with id order) and *when* open-loop
+// requests arrive (Poisson process — i.i.d. exponential gaps). Both streams
+// come from one seeded mt19937_64 through fixed arithmetic-only mappings
+// (see util/zipf.h), so a (seed, num_users, exponent) triple names one exact
+// request sequence: bench_load runs are replayable, and the determinism
+// test in tests/load_gen_test.cc pins the contract.
+//
+// Closed loop vs open loop (the harness runs both):
+//  * closed — N clients issue a request, wait for completion, repeat. The
+//    offered load self-limits to the service rate; ramping N finds the
+//    saturation throughput.
+//  * open — requests arrive on a Poisson schedule regardless of completions,
+//    the regime where queueing delay and admission-control rejections
+//    actually show up. NextArrivalSeconds supplies the schedule.
+#ifndef LONGTAIL_SERVING_LOAD_GEN_H_
+#define LONGTAIL_SERVING_LOAD_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/types.h"
+#include "serving/request_queue.h"
+#include "util/zipf.h"
+
+namespace longtail {
+
+struct LoadGenOptions {
+  /// Users the workload draws from (ranks map onto [0, num_users)).
+  size_t num_users = 1;
+  /// Zipf skew; 0.99 is the YCSB default, 0 = uniform traffic.
+  double zipf_exponent = 0.99;
+  /// Items requested per query.
+  int top_k = 10;
+  uint64_t seed = 50123;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenOptions& options);
+
+  /// The next request in the stream: a Zipf-ranked user and options.top_k.
+  /// Consumes exactly one rng draw, so the user sequence is independent of
+  /// whether the caller also draws arrival gaps.
+  ServeRequest Next();
+
+  /// Exponential inter-arrival gap for an open-loop schedule at
+  /// `rate_per_second` (> 0). Mean 1/rate. Consumes exactly one rng draw.
+  double NextArrivalSeconds(double rate_per_second);
+
+  /// The user a popularity rank maps to (rank 0 = hottest). Exposed so
+  /// tests and the harness can relate observed per-user counts back to the
+  /// intended distribution.
+  UserId UserForRank(size_t rank) const;
+
+  const ZipfDistribution& zipf() const { return zipf_; }
+  const LoadGenOptions& options() const { return options_; }
+
+ private:
+  LoadGenOptions options_;
+  ZipfDistribution zipf_;
+  std::mt19937_64 rng_;
+  /// Seeded Fisher–Yates permutation rank → user id.
+  std::vector<UserId> rank_to_user_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_SERVING_LOAD_GEN_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace longtail {
 
 RequestQueue::RequestQueue(size_t max_depth)
@@ -25,6 +27,7 @@ Status RequestQueue::Enqueue(const ServeRequest& request, uint64_t now_tick,
   pending.enqueue_tick = now_tick;
   *out = pending.promise.get_future();
   pending_.push_back(std::move(pending));
+  AtomicFetchMax(peak_depth_, pending_.size());
   return Status::OK();
 }
 

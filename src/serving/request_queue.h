@@ -129,6 +129,13 @@ class RequestQueue {
 
   size_t depth() const;
 
+  /// High-water mark of depth() since construction (atomic fetch-max; never
+  /// resets). The metrics plane exports it per model next to the live depth
+  /// gauge, so a scrape after a burst still shows how deep the queue got.
+  size_t peak_depth() const {
+    return static_cast<size_t>(peak_depth_.load(std::memory_order_relaxed));
+  }
+
   /// The tick at which the currently-oldest request becomes flushable
   /// (enqueue + flush_after); nullopt when empty. Lets a dispatcher sleep
   /// precisely instead of polling blind.
@@ -138,6 +145,7 @@ class RequestQueue {
   const size_t max_depth_;
   mutable std::mutex mu_;
   std::deque<PendingRequest> pending_;
+  std::atomic<uint64_t> peak_depth_{0};
   bool closed_ = false;
 };
 

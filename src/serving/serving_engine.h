@@ -45,6 +45,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -56,6 +57,7 @@
 
 #include "core/recommender.h"
 #include "serving/request_queue.h"
+#include "util/metrics.h"
 
 namespace longtail {
 
@@ -82,9 +84,36 @@ struct ServingEngineOptions {
   /// Spawn the background dispatcher thread. Off = the embedder calls
   /// Pump() (deterministic tests; sync Query/QueryAll pump themselves).
   bool start_dispatcher = true;
+  /// Metrics registry the engine exports into (counters, per-model queue
+  /// gauges, batch-size and queue-wait histograms — see
+  /// docs/OBSERVABILITY.md). nullptr = the engine owns a private registry,
+  /// reachable via metrics(). An external registry must outlive the engine;
+  /// register at most one engine per registry (the series names carry no
+  /// engine label).
+  MetricsRegistry* metrics = nullptr;
+  /// Blocking Query/QueryAll retry budget under sustained backpressure:
+  /// after this many ResourceExhausted admissions for one request, the
+  /// rejection is surfaced to the caller instead of retried (the queue is
+  /// not draining; spinning harder will not help). 0 = retry forever (the
+  /// pre-budget behavior, which can hot-spin when foreign traffic holds the
+  /// queue full).
+  uint64_t query_retry_budget = 256;
 };
 
-/// Cumulative engine counters (atomic snapshots; see Stats()).
+/// Cumulative engine counters.
+///
+/// Snapshot semantics: Stats() is taken while traffic is in flight, without
+/// stopping the engine, so a snapshot is not a single instant — but it is
+/// *ordered*. Every outcome counter (completed, the rejected_* family,
+/// expired_in_queue, dispatched) is incremented with release ordering after
+/// the matching submitted_ increment, and Stats() acquire-loads the
+/// outcomes first and `submitted` last. Any snapshot therefore satisfies
+///   completed + rejected_* + expired_in_queue <= submitted
+///   completed <= dispatched <= submitted
+/// (requests the snapshot caught mid-flight inflate `submitted` only). A
+/// snapshot that loaded each atomic independently could observe the
+/// opposite — an outcome without its submission — which is exactly the
+/// over-100% RejectionRate bug this ordering fixes.
 struct EngineStats {
   uint64_t submitted = 0;           // every Submit call
   uint64_t completed = 0;           // promises fulfilled by an executed batch
@@ -97,6 +126,9 @@ struct EngineStats {
   uint64_t dispatched = 0;          // requests handed to QueryBatch
   uint64_t queue_ticks_sum = 0;     // total ticks spent waiting, dispatched
   uint64_t queue_ticks_max = 0;
+  /// Queue-full admissions retried inside blocking Query/QueryAll (each
+  /// retry re-submits, so these also inflate submitted + rejected_queue_full).
+  uint64_t backpressure_retries = 0;
   /// batch_size_pow2[i] counts executed batches of size in [2^i, 2^(i+1)).
   std::vector<uint64_t> batch_size_pow2;
 
@@ -105,11 +137,14 @@ struct EngineStats {
                           : 0.0;
   }
   /// Rejected (queue-full + expired-on-arrival + unknown-model + shutdown)
-  /// over submitted.
+  /// over submitted. Clamped to [0, 1] as defense in depth — the snapshot
+  /// ordering above already guarantees rejected <= submitted.
   double RejectionRate() const {
     const uint64_t rejected = rejected_queue_full + rejected_expired +
                               rejected_unknown_model + rejected_shutdown;
-    return submitted > 0 ? static_cast<double>(rejected) / submitted : 0.0;
+    if (submitted == 0) return 0.0;
+    const double rate = static_cast<double>(rejected) / submitted;
+    return rate > 1.0 ? 1.0 : rate;
   }
 };
 
@@ -151,14 +186,18 @@ class ServingEngine {
                                       const ServeRequest& request);
 
   /// Blocking single query: Submit + (self-pump when no dispatcher runs)
-  /// + wait, with retry-under-backpressure on a full queue.
+  /// + wait, with retry-under-backpressure on a full queue. Retries are
+  /// bounded by options().query_retry_budget; past the budget the
+  /// ResourceExhausted rejection is returned to the caller.
   UserQueryResult Query(const std::string& model,
                         const ServeRequest& request);
 
   /// Blocking bulk traffic, results aligned with `requests`. Applies
   /// backpressure: at most max_queue_depth requests are in flight at
   /// once, and queue-full rejections are retried after draining instead
-  /// of surfacing to the caller.
+  /// of surfacing to the caller — up to query_retry_budget retries per
+  /// request, with tick-granularity backoff between attempts when the
+  /// queue is held full by foreign traffic (never a hot spin).
   std::vector<UserQueryResult> QueryAll(
       const std::string& model, std::span<const ServeRequest> requests);
 
@@ -175,6 +214,23 @@ class ServingEngine {
   const ServingEngineOptions& options() const { return options_; }
 
   EngineStats Stats() const;
+
+  /// The registry this engine exports into: the caller-supplied one, or the
+  /// engine-owned private registry when options.metrics was null. Never
+  /// null; ExportText() on it is the scrape surface for a /metrics
+  /// endpoint.
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Test-only: invoked by Stats() after its first field load, widening the
+  /// window between that load and the rest of the snapshot so tests can
+  /// deterministically interleave concurrent traffic mid-snapshot (the
+  /// over-counted-outcome regression needs exactly that interleaving, which
+  /// scheduler preemption alone almost never produces on one core). Set
+  /// before any concurrent Stats() caller exists; empty by default and
+  /// never used in production.
+  void set_stats_snapshot_hook_for_test(std::function<void()> hook) {
+    stats_snapshot_hook_for_test_ = std::move(hook);
+  }
 
  private:
   struct ModelEntry {
@@ -199,10 +255,24 @@ class ServingEngine {
   void ExecuteBatch(ModelEntry* entry, std::vector<PendingRequest> batch);
   void DispatcherLoop();
   void RecordBatchSize(size_t size);
+  /// Registers the engine-level callback series and owned histograms.
+  void RegisterEngineMetrics();
+  /// Registers the per-model queue gauges for a just-added entry.
+  void RegisterEntryMetrics(ModelEntry* entry);
+  /// Backpressure pause between Query retries: yields until the engine
+  /// clock advances one tick, bounded so a frozen test clock cannot spin.
+  void BackoffOneTick();
 
   ServingEngineOptions options_;
+  /// See set_stats_snapshot_hook_for_test().
+  std::function<void()> stats_snapshot_hook_for_test_;
   std::unique_ptr<EngineClock> owned_clock_;
   EngineClock* clock_ = nullptr;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  /// Owned by the registry; observed on the dispatch path.
+  Histogram* batch_size_hist_ = nullptr;
+  Histogram* queue_wait_hist_ = nullptr;
 
   mutable std::mutex models_mu_;
   std::map<std::string, std::unique_ptr<ModelEntry>> models_;
@@ -226,6 +296,7 @@ class ServingEngine {
   std::atomic<uint64_t> dispatched_{0};
   std::atomic<uint64_t> queue_ticks_sum_{0};
   std::atomic<uint64_t> queue_ticks_max_{0};
+  std::atomic<uint64_t> backpressure_retries_{0};
   static constexpr size_t kBatchBuckets = 17;  // 2^16 > any sane batch
   std::array<std::atomic<uint64_t>, kBatchBuckets> batch_size_pow2_{};
 };

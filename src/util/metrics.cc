@@ -1,0 +1,403 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& name) {
+  // Like metric names but without ':' (reserved for recording rules).
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+// Escaping per exposition format 0.0.4: HELP text escapes backslash and
+// newline; label values additionally escape double quotes.
+void AppendEscaped(std::string* out, const std::string& text,
+                   bool escape_quotes) {
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '"':
+        if (escape_quotes) {
+          *out += "\\\"";
+        } else {
+          *out += c;
+        }
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Prometheus-style value rendering: integral values print without a decimal
+// point, everything else as shortest round-trip decimal.
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), static_cast<int64_t>(value));
+    LT_CHECK(ec == std::errc());
+    return std::string(buf, ptr);
+  }
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  LT_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+std::string FormatValue(uint64_t value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  LT_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+// Serializes a label set as {a="x",b="y"} (empty string for no labels).
+// Doubles as the canonical child key, so lookup and output order agree.
+std::string SerializeLabels(const MetricLabels& labels,
+                            const std::string* extra_name = nullptr,
+                            const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_name == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscaped(&out, v, /*escape_quotes=*/true);
+    out += "\"";
+  }
+  if (extra_name != nullptr) {
+    if (!first) out += ",";
+    out += *extra_name;
+    out += "=\"";
+    AppendEscaped(&out, *extra_value, /*escape_quotes=*/true);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    LT_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+  slots_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value; values above every bound land in the +Inf slot.
+  const size_t slot =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  slots_[slot].fetch_add(1, std::memory_order_relaxed);
+  double prev = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(prev, prev + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::SlotCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = slots_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += slots_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  LT_CHECK_GT(count, 0);
+  LT_CHECK_GT(width, 0.0);
+  std::vector<double> bounds(count);
+  for (int i = 0; i < count; ++i) bounds[i] = start + width * i;
+  return bounds;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  LT_CHECK_GT(count, 0);
+  LT_CHECK_GT(start, 0.0);
+  LT_CHECK_GT(factor, 1.0);
+  std::vector<double> bounds(count);
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds[i] = bound;
+    bound *= factor;
+  }
+  return bounds;
+}
+
+struct MetricsRegistry::Child {
+  MetricLabels labels;
+  // Exactly one of the following is active, per the family's type.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  std::function<uint64_t()> counter_fn;
+  std::function<double()> gauge_fn;
+  const void* callback_owner = nullptr;
+};
+
+struct MetricsRegistry::Family {
+  std::string name;
+  std::string help;
+  MetricType type;
+  // Keyed by serialized labels: canonical identity and stable export order.
+  std::map<std::string, std::unique_ptr<Child>> children;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Family* MetricsRegistry::GetOrCreateFamily(
+    const std::string& name, const std::string& help, MetricType type) {
+  LT_CHECK(ValidMetricName(name)) << "invalid metric name: " << name;
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    auto family = std::make_unique<Family>();
+    family->name = name;
+    family->help = help;
+    family->type = type;
+    it = families_.emplace(name, std::move(family)).first;
+  } else {
+    LT_CHECK(it->second->type == type)
+        << "metric " << name << " re-registered with a different type";
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          const MetricLabels& labels) {
+  for (const auto& [k, v] : labels) {
+    LT_CHECK(ValidLabelName(k)) << "invalid label name: " << k;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, MetricType::kCounter);
+  const std::string key = SerializeLabels(labels);
+  auto it = family->children.find(key);
+  if (it == family->children.end()) {
+    auto child = std::make_unique<Child>();
+    child->labels = labels;
+    child->counter = std::make_unique<Counter>();
+    it = family->children.emplace(key, std::move(child)).first;
+  }
+  LT_CHECK(it->second->counter != nullptr)
+      << "metric " << name << key << " is callback-backed, not owned";
+  return it->second->counter.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      const MetricLabels& labels) {
+  for (const auto& [k, v] : labels) {
+    LT_CHECK(ValidLabelName(k)) << "invalid label name: " << k;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, MetricType::kGauge);
+  const std::string key = SerializeLabels(labels);
+  auto it = family->children.find(key);
+  if (it == family->children.end()) {
+    auto child = std::make_unique<Child>();
+    child->labels = labels;
+    child->gauge = std::make_unique<Gauge>();
+    it = family->children.emplace(key, std::move(child)).first;
+  }
+  LT_CHECK(it->second->gauge != nullptr)
+      << "metric " << name << key << " is callback-backed, not owned";
+  return it->second->gauge.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help,
+                                              std::vector<double> bounds,
+                                              const MetricLabels& labels) {
+  for (const auto& [k, v] : labels) {
+    LT_CHECK(ValidLabelName(k)) << "invalid label name: " << k;
+    LT_CHECK(k != "le") << "histogram labels must not include 'le'";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, MetricType::kHistogram);
+  const std::string key = SerializeLabels(labels);
+  auto it = family->children.find(key);
+  if (it == family->children.end()) {
+    auto child = std::make_unique<Child>();
+    child->labels = labels;
+    child->histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = family->children.emplace(key, std::move(child)).first;
+  }
+  return it->second->histogram.get();
+}
+
+void MetricsRegistry::RegisterCallbackCounter(const std::string& name,
+                                              const std::string& help,
+                                              const MetricLabels& labels,
+                                              std::function<uint64_t()> fn,
+                                              const void* owner) {
+  for (const auto& [k, v] : labels) {
+    LT_CHECK(ValidLabelName(k)) << "invalid label name: " << k;
+  }
+  LT_CHECK(fn != nullptr);
+  LT_CHECK(owner != nullptr) << "callback metrics require an owner token";
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, MetricType::kCounter);
+  const std::string key = SerializeLabels(labels);
+  auto child = std::make_unique<Child>();
+  child->labels = labels;
+  child->counter_fn = std::move(fn);
+  child->callback_owner = owner;
+  family->children[key] = std::move(child);
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help,
+                                            const MetricLabels& labels,
+                                            std::function<double()> fn,
+                                            const void* owner) {
+  for (const auto& [k, v] : labels) {
+    LT_CHECK(ValidLabelName(k)) << "invalid label name: " << k;
+  }
+  LT_CHECK(fn != nullptr);
+  LT_CHECK(owner != nullptr) << "callback metrics require an owner token";
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, MetricType::kGauge);
+  const std::string key = SerializeLabels(labels);
+  auto child = std::make_unique<Child>();
+  child->labels = labels;
+  child->gauge_fn = std::move(fn);
+  child->callback_owner = owner;
+  family->children[key] = std::move(child);
+}
+
+void MetricsRegistry::ReleaseCallbacks(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto fit = families_.begin(); fit != families_.end();) {
+    auto& children = fit->second->children;
+    for (auto cit = children.begin(); cit != children.end();) {
+      if (cit->second->callback_owner == owner) {
+        cit = children.erase(cit);
+      } else {
+        ++cit;
+      }
+    }
+    // An emptied callback-only family would export a headers-only stanza;
+    // drop it so the family can be re-registered (e.g. by a new engine).
+    if (children.empty()) {
+      fit = families_.erase(fit);
+    } else {
+      ++fit;
+    }
+  }
+}
+
+std::string MetricsRegistry::ExportText() const {
+  static const std::string kLe = "le";
+  static const std::string kInf = "+Inf";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " ";
+    AppendEscaped(&out, family->help, /*escape_quotes=*/false);
+    out += "\n# TYPE " + name + " ";
+    switch (family->type) {
+      case MetricType::kCounter:
+        out += "counter";
+        break;
+      case MetricType::kGauge:
+        out += "gauge";
+        break;
+      case MetricType::kHistogram:
+        out += "histogram";
+        break;
+    }
+    out += "\n";
+    for (const auto& [key, child] : family->children) {
+      switch (family->type) {
+        case MetricType::kCounter: {
+          const uint64_t value = child->counter_fn ? child->counter_fn()
+                                                   : child->counter->Value();
+          out += name + key + " " + FormatValue(value) + "\n";
+          break;
+        }
+        case MetricType::kGauge: {
+          const double value =
+              child->gauge_fn ? child->gauge_fn() : child->gauge->Value();
+          out += name + key + " " + FormatValue(value) + "\n";
+          break;
+        }
+        case MetricType::kHistogram: {
+          const Histogram& h = *child->histogram;
+          const std::vector<uint64_t> slots = h.SlotCounts();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += slots[i];
+            const std::string le = FormatValue(h.bounds()[i]);
+            out += name + "_bucket" +
+                   SerializeLabels(child->labels, &kLe, &le) + " " +
+                   FormatValue(cumulative) + "\n";
+          }
+          cumulative += slots[h.bounds().size()];
+          out += name + "_bucket" + SerializeLabels(child->labels, &kLe, &kInf) +
+                 " " + FormatValue(cumulative) + "\n";
+          out += name + "_sum" + key + " " + FormatValue(h.Sum()) + "\n";
+          out += name + "_count" + key + " " + FormatValue(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace longtail

@@ -1,0 +1,179 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms with a
+// Prometheus text exposition (format 0.0.4) via MetricsRegistry::ExportText().
+//
+// Hot-path cost model: Counter::Increment, Gauge::Set/Add and
+// Histogram::Observe are lock-free (relaxed atomics / CAS loops); only
+// instrument *registration* and ExportText() take the registry mutex.
+// Components therefore register once at construction and hold raw instrument
+// pointers, which stay valid for the registry's lifetime (instruments are
+// never deleted, matching prometheus-cpp semantics).
+//
+// Two registration styles:
+//   * Owned instruments (RegisterCounter/RegisterGauge/RegisterHistogram):
+//     the registry owns the storage; callers increment through the returned
+//     pointer. Get-or-create: registering the same (name, labels) twice
+//     returns the same instrument, so independent components can share one.
+//   * Callback instruments (RegisterCallbackCounter/RegisterCallbackGauge):
+//     the value is read at export time from a caller-supplied closure — the
+//     component keeps its own atomics as the source of truth (the
+//     ServingEngine does this so EngineStats snapshot ordering is unchanged)
+//     and the registry merely scrapes them. Because the closure may capture
+//     `this` of a shorter-lived component, every callback is tagged with an
+//     `owner` token and MUST be dropped via ReleaseCallbacks(owner) before
+//     the component dies. Callbacks run under the registry mutex during
+//     ExportText() and must not call back into the registry.
+#ifndef LONGTAIL_UTIL_METRICS_H_
+#define LONGTAIL_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace longtail {
+
+/// Atomically raises `target` to at least `value` (a lost-update-free
+/// fetch-max: plain `if (v > load) store(v)` drops concurrent maxima).
+/// Returns the previous value. Relaxed ordering — callers that need the max
+/// to order against other data must fence themselves; stats counters do not.
+inline uint64_t AtomicFetchMax(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t prev = target.load(std::memory_order_relaxed);
+  while (value > prev && !target.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+    // compare_exchange_weak reloads `prev` on failure (including spurious
+    // failures); the loop exits once the stored value is >= `value`.
+  }
+  return prev;
+}
+
+/// Label set attached to one time series. std::map keeps label order
+/// deterministic so exposition output is stable and (name, labels) lookup
+/// keys are canonical.
+using MetricLabels = std::map<std::string, std::string>;
+
+/// Monotonically increasing counter. Lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Settable point-in-time value. Lock-free (CAS loop: atomic<double> has no
+/// fetch_add on this toolchain's lock-free path).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double prev = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(prev, prev + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Increment() { Add(1.0); }
+  void Decrement() { Add(-1.0); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at registration and
+/// immutable; Observe() is lock-free (one relaxed fetch_add plus a CAS-loop
+/// double add for the sum). `_count` is derived from the bucket slots at
+/// export time, so `_count` always equals the `+Inf` cumulative bucket even
+/// under concurrent observation.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending; an implicit +Inf bucket is added.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Upper bounds excluding +Inf.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-slot (non-cumulative) counts; slot bounds_.size() is the +Inf slot.
+  std::vector<uint64_t> SlotCounts() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Count() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> slots_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// Bucket-bound builders mirroring the Prometheus client helpers.
+std::vector<double> LinearBuckets(double start, double width, int count);
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// Registry: named metric families, each with one child per label set.
+/// Thread-safe. Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*, label
+/// names [a-zA-Z_][a-zA-Z0-9_]*; violations and type conflicts (same name
+/// registered as two different types) crash via LT_CHECK — metric names are
+/// compile-time-ish constants, not user input.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* RegisterCounter(const std::string& name, const std::string& help,
+                           const MetricLabels& labels = {});
+  Gauge* RegisterGauge(const std::string& name, const std::string& help,
+                       const MetricLabels& labels = {});
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds,
+                               const MetricLabels& labels = {});
+
+  /// Export-time-evaluated series. `owner` tags the callback for
+  /// ReleaseCallbacks; it is an identity token (usually the component's
+  /// `this`), never dereferenced. Re-registering an existing
+  /// (name, labels) replaces the callback.
+  void RegisterCallbackCounter(const std::string& name,
+                               const std::string& help,
+                               const MetricLabels& labels,
+                               std::function<uint64_t()> fn,
+                               const void* owner);
+  void RegisterCallbackGauge(const std::string& name, const std::string& help,
+                             const MetricLabels& labels,
+                             std::function<double()> fn, const void* owner);
+
+  /// Drops every callback registered with `owner`. Must be called before the
+  /// owning component is destroyed; owned instruments are unaffected.
+  void ReleaseCallbacks(const void* owner);
+
+  /// Prometheus text exposition format 0.0.4: families sorted by name,
+  /// children sorted by serialized labels, `# HELP` / `# TYPE` headers,
+  /// histogram `_bucket{le=...}` series cumulative and capped by `+Inf`,
+  /// with `_sum` and `_count`. Callback instruments are sampled inside this
+  /// call, under the registry mutex.
+  std::string ExportText() const;
+
+ private:
+  struct Child;
+  struct Family;
+
+  enum class MetricType { kCounter, kGauge, kHistogram };
+
+  Family* GetOrCreateFamily(const std::string& name, const std::string& help,
+                            MetricType type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Family>> families_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_METRICS_H_

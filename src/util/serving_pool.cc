@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+
 namespace longtail {
 
 namespace {
@@ -24,12 +26,46 @@ ServingPool::ServingPool(size_t num_threads) {
 }
 
 ServingPool::~ServingPool() {
+  BindMetrics(nullptr);
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
   for (auto& t : threads_) t.join();
+}
+
+void ServingPool::BindMetrics(MetricsRegistry* registry) {
+  if (metrics_ != nullptr) metrics_->ReleaseCallbacks(this);
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  registry->RegisterCallbackCounter(
+      "longtail_pool_parallel_for_total",
+      "ParallelFor invocations on this pool.", {},
+      [this] { return parallel_for_calls_.load(std::memory_order_relaxed); },
+      this);
+  registry->RegisterCallbackCounter(
+      "longtail_pool_helper_dispatches_total",
+      "Helper tasks handed to pool workers.", {},
+      [this] { return helper_dispatches_.load(std::memory_order_relaxed); },
+      this);
+  registry->RegisterCallbackGauge(
+      "longtail_pool_active_participants",
+      "Threads currently draining a job (callers + helpers).", {},
+      [this] {
+        return static_cast<double>(
+            active_participants_.load(std::memory_order_relaxed));
+      },
+      this);
+  registry->RegisterCallbackGauge(
+      "longtail_pool_threads", "Worker threads in this pool.", {},
+      [this] { return static_cast<double>(threads_.size()); }, this);
+}
+
+void ServingPool::DrainJobCounted(Job* job) {
+  active_participants_.fetch_add(1, std::memory_order_relaxed);
+  DrainJob(job);
+  active_participants_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 ServingPool& ServingPool::Global() {
@@ -64,7 +100,7 @@ void ServingPool::WorkerLoop() {
       job = queue_.front();
       queue_.pop_front();
     }
-    DrainJob(job);
+    DrainJobCounted(job);
     // fetch_sub under the job mutex so the caller cannot observe
     // pending == 0, return, and destroy the job while this worker still
     // holds a reference to it.
@@ -80,6 +116,7 @@ void ServingPool::WorkerLoop() {
 void ServingPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                               size_t parallelism, size_t grain) {
   if (n == 0) return;
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   size_t workers = parallelism == 0 ? threads_.size() : parallelism;
   workers = std::min(workers, n);
   // Helpers beyond the caller come from the pool; a call re-entrant on
@@ -100,9 +137,10 @@ void ServingPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   job.n = n;
   job.grain = grain;
   if (helpers == 0) {
-    DrainJob(&job);
+    DrainJobCounted(&job);
     return;
   }
+  helper_dispatches_.fetch_add(helpers, std::memory_order_relaxed);
   job.pending.store(helpers, std::memory_order_relaxed);
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -115,7 +153,7 @@ void ServingPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   }
   // The caller is the first worker: progress is guaranteed even when every
   // pool thread is busy with other callers' jobs.
-  DrainJob(&job);
+  DrainJobCounted(&job);
   // The job is drained; helper entries still sitting in the queue would
   // only be popped and discarded. Dequeue them here so this batch's
   // completion never waits behind other batches' work.

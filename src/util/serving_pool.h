@@ -21,6 +21,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -28,6 +29,8 @@
 #include <vector>
 
 namespace longtail {
+
+class MetricsRegistry;
 
 /// A long-lived work-sharing pool. Construction spawns the workers once;
 /// every ParallelFor afterwards reuses them. Tasks must not throw.
@@ -61,6 +64,28 @@ class ServingPool {
   /// (used to detect re-entrant ParallelFor calls).
   static bool InWorker();
 
+  /// Exports the pool's activity into `registry` as callback series
+  /// (longtail_pool_*: ParallelFor calls, helper-task dispatches, active
+  /// participant gauge, thread count), read from pool atomics at scrape
+  /// time. The registry must outlive the pool or BindMetrics(nullptr) must
+  /// be called first; the destructor releases the callbacks itself. Note
+  /// Global() is never destroyed, so binding it to a shorter-lived registry
+  /// requires the explicit unbind.
+  void BindMetrics(MetricsRegistry* registry);
+
+  /// Cumulative ParallelFor invocations (including fully-inline ones).
+  uint64_t parallel_for_calls() const {
+    return parallel_for_calls_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative helper tasks handed to pool workers.
+  uint64_t helper_dispatches() const {
+    return helper_dispatches_.load(std::memory_order_relaxed);
+  }
+  /// Threads currently draining a job (callers + helpers).
+  size_t active_participants() const {
+    return active_participants_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Per-call control block; lives on the caller's stack for the duration
   /// of its ParallelFor (the caller only returns once `pending` helpers
@@ -78,6 +103,9 @@ class ServingPool {
   static void DrainJob(Job* job);
   void WorkerLoop();
 
+  /// Counts one thread's participation in one job around a DrainJob call.
+  void DrainJobCounted(Job* job);
+
   std::vector<std::thread> threads_;
   /// Deque rather than queue: a caller that drained its job dequeues its
   /// remaining helper entries instead of waiting for busy workers to pop
@@ -86,6 +114,12 @@ class ServingPool {
   std::mutex mu_;
   std::condition_variable work_cv_;
   bool shutdown_ = false;
+
+  // Activity stats (relaxed atomics; scraped via BindMetrics).
+  std::atomic<uint64_t> parallel_for_calls_{0};
+  std::atomic<uint64_t> helper_dispatches_{0};
+  std::atomic<size_t> active_participants_{0};
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Runs fn(i) for i in [0, n) on the global serving pool with up to

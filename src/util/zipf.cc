@@ -1,0 +1,36 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace longtail {
+
+ZipfDistribution::ZipfDistribution(size_t n, double exponent)
+    : exponent_(exponent) {
+  LT_CHECK(n >= 1) << "ZipfDistribution needs at least one rank";
+  LT_CHECK(exponent >= 0.0) << "Zipf exponent must be non-negative";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  // Bisection must never run off the end on u -> 1.0.
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(std::mt19937_64& rng) const {
+  const double u = UniformDouble(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Mass(size_t rank) const {
+  LT_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace longtail

@@ -1,0 +1,57 @@
+// Seed-deterministic Zipf(s) sampler over ranks [0, n).
+//
+// Serving traffic against a recommender is heavily skewed: a small head of
+// active users produces most queries while the long tail of users appears
+// rarely — the same power-law shape the paper measures on the *item* side.
+// The load harness (bench_load) models arrivals with a Zipf distribution,
+// the standard choice for key popularity in storage/serving benchmarks
+// (YCSB uses exponent 0.99).
+//
+// Determinism contract: Sample() consumes exactly one rng() draw and maps
+// it through a precomputed CDF with arithmetic only — no
+// std::*_distribution, whose sequences are implementation-defined. Two
+// samplers with equal (n, exponent) fed by equal-seeded generators produce
+// identical rank streams on any platform, which is what makes load-harness
+// runs and the bench JSON reproducible run-to-run.
+#ifndef LONGTAIL_UTIL_ZIPF_H_
+#define LONGTAIL_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace longtail {
+
+/// Zipf over ranks 0..n-1: P(rank k) ∝ 1 / (k+1)^s. Rank 0 is the hottest.
+/// Build cost O(n) time and memory; Sample is O(log n) (CDF bisection).
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `exponent` (s) must be >= 0. s = 0 degenerates to
+  /// uniform; larger s concentrates mass in the head.
+  ZipfDistribution(size_t n, double exponent);
+
+  /// Draws one rank, consuming exactly one rng() value.
+  size_t Sample(std::mt19937_64& rng) const;
+
+  /// Probability of `rank` (0-based).
+  double Mass(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  /// cdf_[k] = P(rank <= k); cdf_.back() == 1.0 exactly.
+  std::vector<double> cdf_;
+  double exponent_ = 0.0;
+};
+
+/// The canonical uint64 → [0, 1) double mapping (53 mantissa bits), shared
+/// so every sampler in the harness draws uniforms the same way.
+inline double UniformDouble(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_UTIL_ZIPF_H_

@@ -1,0 +1,127 @@
+// Determinism and shape tests for the Zipf sampler and the load-harness
+// request stream (ISSUE 7 satellite: the bench JSON is only comparable
+// across runs if a seed names one exact workload).
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serving/load_gen.h"
+#include "util/zipf.h"
+
+namespace longtail {
+namespace {
+
+TEST(ZipfDistributionTest, MassDecreasesAndSumsToOne) {
+  const ZipfDistribution zipf(100, 1.0);
+  double total = 0.0;
+  for (size_t k = 0; k < zipf.n(); ++k) {
+    total += zipf.Mass(k);
+    if (k > 0) {
+      EXPECT_LT(zipf.Mass(k), zipf.Mass(k - 1)) << "rank " << k;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfDistributionTest, ZeroExponentIsUniform) {
+  const ZipfDistribution zipf(64, 0.0);
+  for (size_t k = 0; k < zipf.n(); ++k) {
+    EXPECT_NEAR(zipf.Mass(k), 1.0 / 64.0, 1e-12);
+  }
+}
+
+TEST(ZipfDistributionTest, EmpiricalFrequenciesTrackMass) {
+  const ZipfDistribution zipf(100, 1.0);
+  std::mt19937_64 rng(50123);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(zipf.n(), 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  // Head rank and aggregate head mass, each within a few percent.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, zipf.Mass(0), 0.01);
+  double top10_mass = 0.0;
+  int top10_count = 0;
+  for (size_t k = 0; k < 10; ++k) {
+    top10_mass += zipf.Mass(k);
+    top10_count += counts[k];
+  }
+  // For s = 1, n = 100: H(10)/H(100) ~ 0.56 — the head carries the load.
+  EXPECT_GT(top10_mass, 0.5);
+  EXPECT_NEAR(static_cast<double>(top10_count) / kSamples, top10_mass, 0.01);
+}
+
+TEST(ZipfDistributionTest, SingleRankAlwaysSamplesZero) {
+  const ZipfDistribution zipf(1, 0.99);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+LoadGenOptions TestOptions(uint64_t seed) {
+  LoadGenOptions options;
+  options.num_users = 500;
+  options.zipf_exponent = 0.99;
+  options.top_k = 10;
+  options.seed = seed;
+  return options;
+}
+
+TEST(LoadGeneratorTest, SameSeedReproducesTheExactStream) {
+  LoadGenerator a(TestOptions(50123));
+  LoadGenerator b(TestOptions(50123));
+  for (int i = 0; i < 10000; ++i) {
+    const ServeRequest ra = a.Next();
+    const ServeRequest rb = b.Next();
+    ASSERT_EQ(ra.user, rb.user) << "request " << i;
+    ASSERT_EQ(ra.top_k, rb.top_k);
+    // Interleave arrival draws to pin that Next() and NextArrivalSeconds()
+    // each consume exactly one draw (a change there silently desyncs
+    // replays even if both streams stay individually plausible).
+    ASSERT_DOUBLE_EQ(a.NextArrivalSeconds(100.0),
+                     b.NextArrivalSeconds(100.0));
+  }
+}
+
+TEST(LoadGeneratorTest, DifferentSeedsDiverge) {
+  LoadGenerator a(TestOptions(1));
+  LoadGenerator b(TestOptions(2));
+  int differing = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next().user != b.Next().user) ++differing;
+  }
+  EXPECT_GT(differing, 500);
+}
+
+TEST(LoadGeneratorTest, HotRanksDominateTraffic) {
+  LoadGenerator gen(TestOptions(50123));
+  constexpr int kRequests = 100000;
+  std::map<UserId, int> counts;
+  for (int i = 0; i < kRequests; ++i) ++counts[gen.Next().user];
+  // The hottest rank beats the coldest by a wide margin...
+  const int hottest = counts[gen.UserForRank(0)];
+  const int coldest = counts[gen.UserForRank(gen.options().num_users - 1)];
+  EXPECT_GT(hottest, 50 * std::max(1, coldest));
+  // ...and the top decile of ranks carries most of the traffic.
+  int head = 0;
+  for (size_t rank = 0; rank < gen.options().num_users / 10; ++rank) {
+    head += counts[gen.UserForRank(rank)];
+  }
+  EXPECT_GT(static_cast<double>(head) / kRequests, 0.5);
+}
+
+TEST(LoadGeneratorTest, ArrivalGapsAreExponentialAtTheRequestedRate) {
+  LoadGenerator gen(TestOptions(50123));
+  constexpr double kRate = 200.0;
+  constexpr int kGaps = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kGaps; ++i) {
+    const double gap = gen.NextArrivalSeconds(kRate);
+    ASSERT_GE(gap, 0.0);
+    sum += gap;
+  }
+  EXPECT_NEAR(sum / kGaps, 1.0 / kRate, 0.05 / kRate);
+}
+
+}  // namespace
+}  // namespace longtail

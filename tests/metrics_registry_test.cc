@@ -1,0 +1,288 @@
+// Tests for the metrics registry: golden Prometheus exposition, a small
+// format validator reused against live output elsewhere, lock-free
+// instrument semantics, callback lifetime, and the AtomicFetchMax hammer
+// (the primitive behind queue_ticks_max and queue peak-depth tracking).
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prometheus_text_checker.h"
+
+namespace longtail {
+namespace {
+
+TEST(AtomicFetchMaxTest, RaisesOnlyUpward) {
+  std::atomic<uint64_t> target{10};
+  EXPECT_EQ(AtomicFetchMax(target, 5), 10u);
+  EXPECT_EQ(target.load(), 10u);
+  EXPECT_EQ(AtomicFetchMax(target, 17), 10u);
+  EXPECT_EQ(target.load(), 17u);
+  EXPECT_EQ(AtomicFetchMax(target, 17), 17u);
+  EXPECT_EQ(target.load(), 17u);
+}
+
+// The lost-update scenario from the serving-engine audit: N threads race
+// maxima through one atomic. A plain load/compare/store max loses updates
+// when a smaller value's store lands after a larger value's; the CAS loop
+// must end with exactly the global max. Single-core hosts still interleave
+// via preemption, so keep per-thread work long enough to cross quanta.
+TEST(AtomicFetchMaxTest, EightThreadHammerNeverUnderReports) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<uint64_t> target{0};
+  std::vector<std::vector<uint64_t>> values(kThreads);
+  uint64_t expected_max = 0;
+  std::mt19937_64 rng(50121);
+  for (int t = 0; t < kThreads; ++t) {
+    values[t].reserve(kPerThread);
+    for (int i = 0; i < kPerThread; ++i) {
+      const uint64_t v = rng() % 1000000;
+      values[t].push_back(v);
+      expected_max = std::max(expected_max, v);
+    }
+  }
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t v : values[t]) AtomicFetchMax(target, v);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(target.load(), expected_max);
+}
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddIncrementDecrement) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Increment();
+  g.Decrement();
+  g.Decrement();
+  EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+}
+
+TEST(HistogramTest, ObservationsLandInLeBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // le=1
+  h.Observe(1.0);   // le=1 (boundary value belongs to its bucket)
+  h.Observe(1.5);   // le=2
+  h.Observe(4.0);   // le=4
+  h.Observe(100.0); // +Inf
+  const std::vector<uint64_t> slots = h.SlotCounts();
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0], 2u);
+  EXPECT_EQ(slots[1], 1u);
+  EXPECT_EQ(slots[2], 1u);
+  EXPECT_EQ(slots[3], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 107.0);
+}
+
+TEST(HistogramTest, BucketBuilders) {
+  EXPECT_EQ(LinearBuckets(1.0, 2.0, 3), (std::vector<double>{1.0, 3.0, 5.0}));
+  EXPECT_EQ(ExponentialBuckets(1.0, 4.0, 3),
+            (std::vector<double>{1.0, 4.0, 16.0}));
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.RegisterCounter("shared_total", "shared");
+  Counter* b = registry.RegisterCounter("shared_total", "shared");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.RegisterGauge("depth", "d", {{"model", "x"}});
+  Gauge* g2 = registry.RegisterGauge("depth", "d", {{"model", "x"}});
+  Gauge* g3 = registry.RegisterGauge("depth", "d", {{"model", "y"}});
+  EXPECT_EQ(g1, g2);
+  EXPECT_NE(g1, g3);
+}
+
+// Golden exposition: the exact byte sequence is the contract a scraper (and
+// the future HTTP /metrics endpoint) depends on. Families sort by name,
+// children by serialized labels, histograms emit cumulative le-buckets
+// capped with +Inf plus _sum/_count.
+TEST(MetricsRegistryTest, ExportTextGolden) {
+  MetricsRegistry registry;
+  Counter* requests =
+      registry.RegisterCounter("app_requests_total", "Total requests.");
+  requests->Increment(3);
+  registry
+      .RegisterCounter("app_rejected_total", "Rejected requests.",
+                       {{"reason", "queue_full"}})
+      ->Increment(2);
+  registry
+      .RegisterCounter("app_rejected_total", "Rejected requests.",
+                       {{"reason", "expired"}})
+      ->Increment(1);
+  Gauge* depth = registry.RegisterGauge("app_queue_depth", "Queue depth.");
+  depth->Set(7);
+  Histogram* lat = registry.RegisterHistogram(
+      "app_latency_ticks", "Latency in ticks.", {1.0, 2.5, 10.0});
+  lat->Observe(0.5);
+  lat->Observe(2.0);
+  lat->Observe(2.5);
+  lat->Observe(99.0);
+
+  const std::string expected =
+      "# HELP app_latency_ticks Latency in ticks.\n"
+      "# TYPE app_latency_ticks histogram\n"
+      "app_latency_ticks_bucket{le=\"1\"} 1\n"
+      "app_latency_ticks_bucket{le=\"2.5\"} 3\n"
+      "app_latency_ticks_bucket{le=\"10\"} 3\n"
+      "app_latency_ticks_bucket{le=\"+Inf\"} 4\n"
+      "app_latency_ticks_sum 104\n"
+      "app_latency_ticks_count 4\n"
+      "# HELP app_queue_depth Queue depth.\n"
+      "# TYPE app_queue_depth gauge\n"
+      "app_queue_depth 7\n"
+      "# HELP app_rejected_total Rejected requests.\n"
+      "# TYPE app_rejected_total counter\n"
+      "app_rejected_total{reason=\"expired\"} 1\n"
+      "app_rejected_total{reason=\"queue_full\"} 2\n"
+      "# HELP app_requests_total Total requests.\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total 3\n";
+  EXPECT_EQ(registry.ExportText(), expected);
+}
+
+TEST(MetricsRegistryTest, EscapesHelpAndLabelValues) {
+  MetricsRegistry registry;
+  registry.RegisterGauge("esc", "line1\nline2 with \\ backslash",
+                         {{"path", "a\"b\\c\nd"}});
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("# HELP esc line1\\nline2 with \\\\ backslash\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("esc{path=\"a\\\"b\\\\c\\nd\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, NonIntegralValuesUseShortestRoundTrip) {
+  MetricsRegistry registry;
+  registry.RegisterGauge("frac", "f")->Set(0.1);
+  EXPECT_NE(registry.ExportText().find("frac 0.1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CallbackInstrumentsSampleAtExport) {
+  MetricsRegistry registry;
+  std::atomic<uint64_t> source{5};
+  int owner_token = 0;
+  registry.RegisterCallbackCounter(
+      "cb_total", "Callback counter.", {},
+      [&source] { return source.load(); }, &owner_token);
+  registry.RegisterCallbackGauge(
+      "cb_gauge", "Callback gauge.", {{"k", "v"}},
+      [&source] { return source.load() * 0.5; }, &owner_token);
+  EXPECT_NE(registry.ExportText().find("cb_total 5\n"), std::string::npos);
+  source.store(12);
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("cb_total 12\n"), std::string::npos);
+  EXPECT_NE(text.find("cb_gauge{k=\"v\"} 6\n"), std::string::npos);
+
+  // After release, the callbacks (and their emptied families) are gone —
+  // the closure over `source` is never invoked again.
+  registry.ReleaseCallbacks(&owner_token);
+  const std::string after = registry.ExportText();
+  EXPECT_EQ(after.find("cb_total"), std::string::npos);
+  EXPECT_EQ(after.find("cb_gauge"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ReleaseCallbacksKeepsOwnedInstrumentsAndOthers) {
+  MetricsRegistry registry;
+  int owner_a = 0;
+  int owner_b = 0;
+  registry.RegisterCounter("owned_total", "Owned.")->Increment();
+  registry.RegisterCallbackCounter("cb_a_total", "A.", {},
+                                   [] { return uint64_t{1}; }, &owner_a);
+  registry.RegisterCallbackCounter("cb_b_total", "B.", {},
+                                   [] { return uint64_t{2}; }, &owner_b);
+  registry.ReleaseCallbacks(&owner_a);
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("owned_total 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("cb_a_total"), std::string::npos);
+  EXPECT_NE(text.find("cb_b_total 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossFree) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("hammer_total", "h");
+  Histogram* h =
+      registry.RegisterHistogram("hammer_hist", "h", {10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->Count(), uint64_t{kThreads} * kPerThread);
+}
+
+// The synthetic golden output must also satisfy the generic format checker
+// used against live ServingEngine output in serving_engine_test.
+TEST(MetricsRegistryTest, ExportPassesFormatChecker) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("a_total", "A.")->Increment(9);
+  registry.RegisterGauge("b", "B.", {{"x", "1"}})->Set(-2.25);
+  registry.RegisterHistogram("c_hist", "C.", ExponentialBuckets(1, 2, 5))
+      ->Observe(3.0);
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(registry.ExportText(), &error)) << error;
+}
+
+TEST(PrometheusTextCheckerTest, RejectsMalformedExposition) {
+  std::string error;
+  // Sample with no TYPE header.
+  EXPECT_FALSE(CheckPrometheusText("orphan 1\n", &error));
+  // Non-cumulative histogram buckets.
+  EXPECT_FALSE(CheckPrometheusText(
+      "# HELP h H.\n# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+      &error));
+  // _count disagreeing with the +Inf bucket.
+  EXPECT_FALSE(CheckPrometheusText(
+      "# HELP h H.\n# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+      &error));
+  // Missing +Inf bucket.
+  EXPECT_FALSE(CheckPrometheusText(
+      "# HELP h H.\n# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", &error));
+  // Unparseable value.
+  EXPECT_FALSE(CheckPrometheusText(
+      "# HELP g G.\n# TYPE g gauge\ng pretzel\n", &error));
+  // A well-formed exposition passes.
+  EXPECT_TRUE(CheckPrometheusText(
+      "# HELP g G.\n# TYPE g gauge\ng{a=\"b\"} 1.5\n", &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace longtail

@@ -1,0 +1,275 @@
+// A small validator for Prometheus text exposition format 0.0.4, shared by
+// the metrics-registry golden tests and the live-engine exposition test.
+// Checks the structural invariants a scraper relies on:
+//   * every sample belongs to a family announced by a `# TYPE` line, with
+//     histogram samples restricted to _bucket/_sum/_count suffixes;
+//   * metric and label names match the Prometheus grammar;
+//   * sample values parse as decimal floating point (or +Inf/-Inf/NaN);
+//   * histogram buckets are cumulative (non-decreasing in `le` order),
+//     terminated by an `le="+Inf"` bucket that equals `_count`.
+// Header-only and test-only: lives in tests/, not src/.
+#ifndef LONGTAIL_TESTS_PROMETHEUS_TEXT_CHECKER_H_
+#define LONGTAIL_TESTS_PROMETHEUS_TEXT_CHECKER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace longtail {
+
+namespace prometheus_checker_internal {
+
+inline bool ValidName(const std::string& name, bool allow_colon) {
+  if (name.empty()) return false;
+  auto head = [allow_colon](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           (allow_colon && c == ':');
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+inline bool ParseValue(const std::string& text, double* out) {
+  if (text == "+Inf" || text == "Inf" || text == "-Inf" || text == "NaN") {
+    *out = text == "-Inf" ? -1.0 : 1.0;  // magnitude unused by the checks
+    return true;
+  }
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  return end == begin + text.size() && !text.empty();
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+  std::string value_text;
+};
+
+// Parses `name{a="b",...} value` (labels optional). Returns false with a
+// reason on malformed lines.
+inline bool ParseSample(const std::string& line, Sample* sample,
+                        std::string* why) {
+  size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  sample->name = line.substr(0, i);
+  if (!ValidName(sample->name, /*allow_colon=*/true)) {
+    *why = "invalid metric name '" + sample->name + "'";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      size_t eq = line.find('=', i);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        *why = "malformed label pair";
+        return false;
+      }
+      const std::string label_name = line.substr(i, eq - i);
+      if (!ValidName(label_name, /*allow_colon=*/false)) {
+        *why = "invalid label name '" + label_name + "'";
+        return false;
+      }
+      // Scan the quoted value honoring backslash escapes.
+      std::string value;
+      size_t j = eq + 2;
+      bool closed = false;
+      while (j < line.size()) {
+        char c = line[j];
+        if (c == '\\' && j + 1 < line.size()) {
+          char esc = line[j + 1];
+          value += esc == 'n' ? '\n' : esc;
+          j += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++j;
+          break;
+        }
+        value += c;
+        ++j;
+      }
+      if (!closed) {
+        *why = "unterminated label value";
+        return false;
+      }
+      sample->labels[label_name] = value;
+      i = j;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      *why = "unterminated label set";
+      return false;
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *why = "missing value separator";
+    return false;
+  }
+  sample->value_text = line.substr(i + 1);
+  // Exposition lines may carry an optional trailing timestamp; none of ours
+  // do, so a space in the value field is malformed here.
+  if (!ParseValue(sample->value_text, &sample->value)) {
+    *why = "unparseable value '" + sample->value_text + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace prometheus_checker_internal
+
+/// Validates a full exposition. On failure returns false and, when `error`
+/// is non-null, stores a human-readable reason including the line.
+inline bool CheckPrometheusText(const std::string& text, std::string* error) {
+  using prometheus_checker_internal::ParseSample;
+  using prometheus_checker_internal::Sample;
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  std::map<std::string, std::string> family_type;  // name -> type
+  // Histogram series keyed by (family, non-le labels serialization).
+  struct HistogramSeries {
+    std::vector<std::pair<std::string, double>> buckets;  // (le, cumulative)
+    bool has_sum = false;
+    bool has_count = false;
+    double count = 0.0;
+  };
+  std::map<std::string, HistogramSeries> histograms;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string at = " at line " + std::to_string(line_no) + ": " + line;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, type;
+      fields >> name >> type;
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        return fail("unknown TYPE '" + type + "'" + at);
+      }
+      if (family_type.count(name) != 0) {
+        return fail("duplicate TYPE for '" + name + "'" + at);
+      }
+      family_type[name] = type;
+      continue;
+    }
+    if (line[0] == '#') continue;  // HELP and comments
+
+    Sample sample;
+    std::string why;
+    if (!ParseSample(line, &sample, &why)) return fail(why + at);
+
+    // Resolve the family: exact name, or histogram suffix on a declared
+    // histogram family.
+    std::string family = sample.name;
+    std::string suffix;
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      const std::string tail(s);
+      if (family.size() > tail.size() &&
+          family.compare(family.size() - tail.size(), tail.size(), tail) ==
+              0) {
+        const std::string base = family.substr(0, family.size() - tail.size());
+        auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          family = base;
+          suffix = tail;
+          break;
+        }
+      }
+    }
+    auto it = family_type.find(family);
+    if (it == family_type.end()) {
+      return fail("sample without TYPE header" + at);
+    }
+    const std::string& type = it->second;
+    if (type == "histogram") {
+      if (suffix.empty()) {
+        return fail("bare sample for histogram family '" + family + "'" + at);
+      }
+      // Key by the labels minus `le`.
+      auto labels = sample.labels;
+      std::string le;
+      if (suffix == "_bucket") {
+        auto le_it = labels.find("le");
+        if (le_it == labels.end()) {
+          return fail("histogram bucket without le label" + at);
+        }
+        le = le_it->second;
+        labels.erase(le_it);
+      }
+      std::string key = family;
+      for (const auto& [k, v] : labels) key += "|" + k + "=" + v;
+      HistogramSeries& series = histograms[key];
+      if (suffix == "_bucket") {
+        series.buckets.emplace_back(le, sample.value);
+      } else if (suffix == "_sum") {
+        series.has_sum = true;
+      } else {
+        series.has_count = true;
+        series.count = sample.value;
+      }
+    }
+  }
+
+  for (const auto& [key, series] : histograms) {
+    if (series.buckets.empty()) {
+      return fail("histogram '" + key + "' has no buckets");
+    }
+    double prev = -1.0;
+    double prev_le = -1e308;
+    bool saw_inf = false;
+    for (const auto& [le, cumulative] : series.buckets) {
+      if (saw_inf) {
+        return fail("histogram '" + key + "' has buckets after +Inf");
+      }
+      if (le == "+Inf") {
+        saw_inf = true;
+      } else {
+        double bound = 0.0;
+        if (!prometheus_checker_internal::ParseValue(le, &bound)) {
+          return fail("histogram '" + key + "' has unparseable le '" + le +
+                      "'");
+        }
+        if (bound <= prev_le) {
+          return fail("histogram '" + key + "' le bounds not ascending");
+        }
+        prev_le = bound;
+      }
+      if (cumulative < prev) {
+        return fail("histogram '" + key + "' buckets not cumulative");
+      }
+      prev = cumulative;
+    }
+    if (!saw_inf) {
+      return fail("histogram '" + key + "' missing +Inf bucket");
+    }
+    if (!series.has_sum || !series.has_count) {
+      return fail("histogram '" + key + "' missing _sum or _count");
+    }
+    if (series.count != series.buckets.back().second) {
+      return fail("histogram '" + key + "' _count != +Inf bucket");
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_TESTS_PROMETHEUS_TEXT_CHECKER_H_
