@@ -63,7 +63,14 @@ struct LoadFlags {
   int64_t seed = 50123;
   double closed_seconds = 2.0;  // measurement window per ladder rung
   double open_seconds = 3.0;    // measurement window per rate point
-  int max_clients = 8;          // closed-loop ladder top (1,2,4,...)
+  // Closed-loop ladder top (1,2,4,...). Must comfortably exceed the
+  // engine's micro-batch width: N lockstep clients cap the in-flight
+  // population at N, so a short ladder under-fills batches and reports a
+  // "saturation" the open-loop batched engine sails past — which is how
+  // the 2x overload point once completed 741/741 with zero rejections.
+  // 64 clients keep the queue deep enough that the best rung is a real
+  // capacity ceiling and 2x of it genuinely overruns the admission queue.
+  int max_clients = 64;
   bool smoke = false;           // CI mode: tiny corpus, short windows
   std::string out = "BENCH_load.json";
 };
@@ -250,7 +257,12 @@ void WriteJson(const LoadFlags& flags, const Dataset& d,
                  flags.out.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"load_harness\",\n");
+  // The mode field lets validators assert overload behaviour only where
+  // it is measurable: smoke windows are too short (and their corpora too
+  // small) to fill the admission queue, so rejection_rate_at_2x_saturation
+  // is only meaningful — and only gated — when mode == "full".
+  std::fprintf(f, "{\n  \"bench\": \"load_harness\",\n  \"mode\": \"%s\",\n",
+               flags.smoke ? "smoke" : "full");
   std::fprintf(f,
                "  \"corpus\": {\"users\": %d, \"items\": %d, "
                "\"ratings\": %lld},\n",
@@ -420,6 +432,15 @@ void Run(const LoadFlags& flags) {
                 point.achieved_rate, 100.0 * point.rejection_rate);
     if (fraction == 2.0) rejection_at_2x = point.rejection_rate;
     points.push_back(point);
+  }
+  if (!flags.smoke && rejection_at_2x <= 0.0) {
+    // A full run offering 2x a real saturation estimate must overrun the
+    // admission queue; zero rejections means the ladder under-measured
+    // capacity and the overload point is not an overload (CI gates the
+    // committed artifact on this).
+    std::fprintf(stderr,
+                 "WARNING: 2x-saturation point rejected nothing — "
+                 "saturation estimate is below true capacity\n");
   }
 
   // The run's own scrape surface, self-checked with the test checker.

@@ -186,12 +186,19 @@ KernelTimings BenchKernelGraph(const char* name, const BipartiteGraph& g,
   const double once = calibrate.ElapsedSeconds();
   const int reps = std::max(2, static_cast<int>(0.06 / std::max(1e-6, once)));
 
-  // The cached-layout configuration adopts a permutation built once, up
-  // front — the SubgraphCache admission cost the steady state never pays
-  // again. Null below the reorder threshold (then the config measures the
-  // plain auto plan, i.e. cache-hit == cold plan parity).
+  // The cached configuration adopts a full WalkPlan built once, up front —
+  // exactly what SubgraphCache admission does, so the timed loop below is
+  // the serving warm path: AdoptPlan (two pointer stores) + compile +
+  // sweep, zero O(E) transition builds. The layout is null below the
+  // reorder threshold (then the plan is the plain auto plan, i.e.
+  // cache-hit == cold plan parity).
   const std::shared_ptr<const WalkLayout> cached_layout =
       BuildWalkLayoutIfBeneficial(g);
+  const std::shared_ptr<const WalkPlan> cached_plan = [&] {
+    auto p = std::make_shared<WalkPlan>();
+    p->Build(g, WalkNormalization::kRowStochastic, cached_layout);
+    return p;
+  }();
   WalkKernel cached_kernel;
 
   std::vector<double> ref_t(rounds), full_t(rounds), rank_t(rounds),
@@ -231,8 +238,7 @@ KernelTimings BenchKernelGraph(const char* name, const BipartiteGraph& g,
     {
       WallTimer t;
       for (int r = 0; r < reps; ++r) {
-        cached_kernel.BuildTransitions(
-            g, WalkKernel::Normalization::kRowStochastic, cached_layout);
+        cached_kernel.AdoptPlan(cached_plan);
         cached_kernel.CompileAbsorbingSweep(absorbing, costs);
         cached_kernel.SweepTruncatedItemValues(tau, &value);
       }
@@ -512,11 +518,19 @@ void WriteJson(const char* path, const Dataset& d,
         f,
         "      {\"name\": \"%s\", \"cold_batch_seconds_per_user\": %.9f, "
         "\"steady_batch_seconds_per_user\": %.9f, "
-        "\"steady_users_per_second\": %.1f, \"cold_hit_rate\": %.4f, "
+        "\"steady_users_per_second\": %.1f, "
+        "\"steady_vs_cold_speedup\": %.4f, \"cold_hit_rate\": %.4f, "
         "\"steady_hit_rate\": %.4f}%s\n",
         s.name.c_str(), s.cold_seconds_per_user, s.steady_seconds_per_user,
         s.steady_seconds_per_user > 0.0 ? 1.0 / s.steady_seconds_per_user
                                         : 0.0,
+        // In-run, machine-normalized: both passes ran back to back on the
+        // same machine, so this ratio is gate-able anywhere (the warm pass
+        // must never lose to the cold pass it skipped extraction for;
+        // compare_bench.py --assert-only holds the floor).
+        s.steady_seconds_per_user > 0.0
+            ? s.cold_seconds_per_user / s.steady_seconds_per_user
+            : 0.0,
         s.cold_hit_rate, s.steady_hit_rate,
         i + 1 < serving.size() ? "," : "");
   }

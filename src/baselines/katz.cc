@@ -17,7 +17,11 @@ Status KatzRecommender::Fit(const Dataset& data) {
   }
   data_ = &data;
   graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
-  kernel_.BuildTransitions(graph_, WalkKernel::Normalization::kRaw);
+  // Build the immutable plan exactly once, at fit time; queries only sweep.
+  auto plan = std::make_shared<WalkPlan>();
+  plan->Build(graph_, WalkNormalization::kRaw);
+  plan_ = std::move(plan);
+  kernel_.AdoptPlan(plan_);
   return Status::OK();
 }
 
@@ -92,7 +96,11 @@ Status KatzRecommender::LoadModel(CheckpointReader& reader,
   }
   options_ = loaded_options;
   graph_ = std::move(loaded_graph);
-  kernel_.BuildTransitions(graph_, WalkKernel::Normalization::kRaw);
+  // Same plan-at-load rule as Fit: one build, then queries only sweep.
+  auto plan = std::make_shared<WalkPlan>();
+  plan->Build(graph_, WalkNormalization::kRaw);
+  plan_ = std::move(plan);
+  kernel_.AdoptPlan(plan_);
   data_ = &data;
   return Status::OK();
 }

@@ -49,10 +49,14 @@ class KatzRecommender : public Recommender {
  private:
   KatzOptions options_;
   BipartiteGraph graph_;
-  /// Raw-weight walk kernel over `graph_`, built once at Fit/LoadModel:
-  /// each spreading-activation step x ← βAx is one kernel Apply (blocked
-  /// gather over the symmetric adjacency). Holds a pointer into `graph_`,
-  /// which makes the class intentionally non-copyable.
+  /// Immutable raw-weight walk plan over `graph_`, built exactly once at
+  /// Fit/LoadModel (the serving path's plan/scratch split applied to the
+  /// fit-time global graph). Points into `graph_`, which makes the class
+  /// intentionally non-copyable.
+  std::shared_ptr<const WalkPlan> plan_;
+  /// Sweep scratch bound to `plan_`: each spreading-activation step
+  /// x ← βAx is one kernel Apply (blocked gather over the symmetric
+  /// adjacency).
   WalkKernel kernel_;
 };
 

@@ -15,8 +15,12 @@ Status PageRankRecommender::Fit(const Dataset& data) {
   }
   data_ = &data;
   graph_ = BipartiteGraph::FromDataset(data, options_.weighted_edges);
-  kernel_.BuildTransitions(graph_,
-                           WalkKernel::Normalization::kColumnStochastic);
+  // Build the immutable plan exactly once, at fit time; every power
+  // iteration afterwards is pure sweep work against shared state.
+  auto plan = std::make_shared<WalkPlan>();
+  plan->Build(graph_, WalkNormalization::kColumnStochastic);
+  plan_ = std::move(plan);
+  kernel_.AdoptPlan(plan_);
   return Status::OK();
 }
 
@@ -106,8 +110,11 @@ Status PageRankRecommender::LoadModel(CheckpointReader& reader,
   }
   options_ = loaded_options;
   graph_ = std::move(loaded_graph);
-  kernel_.BuildTransitions(graph_,
-                           WalkKernel::Normalization::kColumnStochastic);
+  // Same plan-at-load rule as Fit: one build, then queries only sweep.
+  auto plan = std::make_shared<WalkPlan>();
+  plan->Build(graph_, WalkNormalization::kColumnStochastic);
+  plan_ = std::move(plan);
+  kernel_.AdoptPlan(plan_);
   data_ = &data;
   return Status::OK();
 }

@@ -58,11 +58,15 @@ class PageRankRecommender : public Recommender {
   bool discounted_;
   PageRankOptions options_;
   BipartiteGraph graph_;
-  /// Column-stochastic walk kernel over `graph_`, built once at
-  /// Fit/LoadModel: each power iteration is one kernel Apply
-  /// (π ← (1-λ)e + λPᵀπ as a blocked gather) instead of the old
-  /// edge-by-edge scatter. Holds a pointer into `graph_`, which is why the
-  /// kernel (and hence this class) is intentionally non-copyable.
+  /// Immutable column-stochastic walk plan over `graph_`, built exactly
+  /// once at Fit/LoadModel — the same plan/scratch split the serving path
+  /// uses for cached subgraphs, applied to the fit-time global graph. The
+  /// plan points into `graph_` (which is why this class stays
+  /// non-copyable); any number of kernels could adopt it concurrently.
+  std::shared_ptr<const WalkPlan> plan_;
+  /// Per-object sweep scratch bound to `plan_`: each power iteration is
+  /// one kernel Apply (π ← (1-λ)e + λPᵀπ as a blocked gather) instead of
+  /// the old edge-by-edge scatter.
   WalkKernel kernel_;
 };
 

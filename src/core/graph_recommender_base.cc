@@ -196,12 +196,23 @@ Status GraphRecommenderBase::ComputeWalk(UserId user, WalkWorkspace* ws,
     // Ranking sweep: TopKFromWalk/ScoresFromWalk consume item-side values
     // only, so the kernel runs the alternating half of the DP those values
     // depend on (bit-identical item values, half the edge work). User rows
-    // of ws->values hold intermediates and must not be read. A cache-borne
-    // layout (sub.layout) makes the kernel sweep the pre-permuted CSR —
-    // the reordering cost was paid once, at payload admission.
-    ws->kernel.BuildTransitions(sub.graph,
-                                WalkKernel::Normalization::kRowStochastic,
-                                sub.layout);
+    // of ws->values hold intermediates and must not be read.
+    if (sub.plan != nullptr) {
+      // Warm path: the cache payload carries the plan built at admission
+      // (transitions + sweep-plan selection + layout binding). Adoption is
+      // two pointer stores — the query's only remaining per-node work is
+      // the coefficient compile below. Bit-identical to the cold branch:
+      // the admission build ran the same decision procedure on the same
+      // graph and layout.
+      ws->kernel.AdoptPlan(sub.plan);
+    } else {
+      // Cold path: fresh extraction — rebuild the kernel's own plan. A
+      // cache-borne layout (sub.layout) would make it sweep the
+      // pre-permuted CSR, but fresh extractions have none.
+      ws->kernel.BuildTransitions(sub.graph,
+                                  WalkKernel::Normalization::kRowStochastic,
+                                  sub.layout);
+    }
     ws->kernel.CompileAbsorbingSweep(ws->absorbing, ws->node_costs);
     ws->kernel.SweepTruncatedItemValues(options_.iterations, &ws->values);
   }

@@ -1,5 +1,6 @@
 #include "graph/bipartite_graph.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "data/serialization.h"
@@ -7,6 +8,49 @@
 #include "util/logging.h"
 
 namespace longtail {
+
+namespace {
+
+/// Relaxed is enough: tests only compare deltas across operations they
+/// fully order themselves.
+std::atomic<uint64_t> g_graph_copy_count{0};
+
+}  // namespace
+
+BipartiteGraph::BipartiteGraph(const BipartiteGraph& other)
+    : num_users_(other.num_users_),
+      num_items_(other.num_items_),
+      num_edges_(other.num_edges_),
+      total_weight_(other.total_weight_),
+      fingerprint_(other.fingerprint_),
+      ptr_(other.ptr_),
+      adj_(other.adj_),
+      weights_(other.weights_),
+      weighted_degree_(other.weighted_degree_),
+      fill_(other.fill_) {
+  g_graph_copy_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+BipartiteGraph& BipartiteGraph::operator=(const BipartiteGraph& other) {
+  if (this != &other) {
+    num_users_ = other.num_users_;
+    num_items_ = other.num_items_;
+    num_edges_ = other.num_edges_;
+    total_weight_ = other.total_weight_;
+    fingerprint_ = other.fingerprint_;
+    ptr_ = other.ptr_;
+    adj_ = other.adj_;
+    weights_ = other.weights_;
+    weighted_degree_ = other.weighted_degree_;
+    fill_ = other.fill_;
+    g_graph_copy_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+uint64_t BipartiteGraph::CopyCountForTesting() {
+  return g_graph_copy_count.load(std::memory_order_relaxed);
+}
 
 void BipartiteGraph::ComputeFingerprint() {
   uint64_t h = FnvHashBytes(&num_users_, sizeof(num_users_));

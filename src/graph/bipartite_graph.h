@@ -23,6 +23,20 @@ class BipartiteGraph {
  public:
   BipartiteGraph() = default;
 
+  /// Copies are counted (see CopyCountForTesting) because the zero-copy
+  /// warm path's whole contract is that cache hits perform none: payload
+  /// admission pays exactly one CompactCopy, and every adopter afterwards
+  /// shares that payload by pointer. Moves stay free and uncounted.
+  BipartiteGraph(const BipartiteGraph& other);
+  BipartiteGraph& operator=(const BipartiteGraph& other);
+  BipartiteGraph(BipartiteGraph&&) = default;
+  BipartiteGraph& operator=(BipartiteGraph&&) = default;
+
+  /// Process-wide count of BipartiteGraph copy-constructions/assignments
+  /// (monotonic, relaxed atomic). Tests measure deltas across an operation
+  /// to prove the warm path is zero-copy; production code never reads it.
+  static uint64_t CopyCountForTesting();
+
   /// Builds the rating graph from a dataset. When `weighted` is false all
   /// edge weights are 1 (ablation of "edge weight corresponds to rating").
   static BipartiteGraph FromDataset(const Dataset& data, bool weighted = true);

@@ -83,6 +83,10 @@ void AbsorbingValueTruncated(const BipartiteGraph& g,
                              int iterations, WalkKernel* kernel,
                              std::vector<double>* value,
                              std::vector<double>* scratch) {
+  // One-shot entry point: builds the kernel's private plan in place. The
+  // serving path never comes through here — cached subgraphs carry an
+  // admission-built WalkPlan the kernel adopts instead (see
+  // graph_recommender_base.cc ComputeWalk).
   kernel->BuildTransitions(g, WalkKernel::Normalization::kRowStochastic);
   kernel->CompileAbsorbingSweep(absorbing, node_cost);
   kernel->SweepTruncated(iterations, value, scratch);

@@ -6,8 +6,82 @@
 
 namespace longtail {
 
+namespace {
+
+/// Fibonacci multiplicative hash of a node id into `mask + 1` slots.
+inline uint32_t NodeSlot(NodeId node, uint32_t mask) {
+  return static_cast<uint32_t>(
+             (static_cast<uint64_t>(static_cast<uint32_t>(node)) *
+              0x9E3779B97F4A7C15ull) >>
+             32) &
+         mask;
+}
+
+}  // namespace
+
+void SubgraphNodeIndex::Build(int32_t num_global_users,
+                              int32_t num_global_items, const Subgraph& sub) {
+  num_global_users_ = num_global_users;
+  num_global_items_ = num_global_items;
+  const size_t n = sub.users.size() + sub.items.size();
+  // Keep the table at most half full so linear probes stay O(1) expected.
+  size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  mask_ = static_cast<uint32_t>(cap - 1);
+  key_.assign(cap, -1);
+  value_.assign(cap, -1);
+  auto insert = [&](NodeId global_node, NodeId local_node) {
+    uint32_t slot = NodeSlot(global_node, mask_);
+    while (key_[slot] != -1) slot = (slot + 1) & mask_;
+    key_[slot] = global_node;
+    value_[slot] = local_node;
+  };
+  for (size_t lu = 0; lu < sub.users.size(); ++lu) {
+    insert(sub.users[lu], static_cast<NodeId>(lu));
+  }
+  const NodeId num_local_users = static_cast<NodeId>(sub.users.size());
+  for (size_t li = 0; li < sub.items.size(); ++li) {
+    insert(num_global_users + sub.items[li],
+           num_local_users + static_cast<NodeId>(li));
+  }
+  built_ = true;
+}
+
+void SubgraphNodeIndex::Clear() {
+  built_ = false;
+  num_global_users_ = 0;
+  num_global_items_ = 0;
+  mask_ = 0;
+  key_.clear();
+  value_.clear();
+}
+
+NodeId SubgraphNodeIndex::LocalNode(NodeId global_node) const {
+  if (!built_ || global_node < 0 ||
+      global_node >= num_global_users_ + num_global_items_) {
+    return -1;
+  }
+  uint32_t slot = NodeSlot(global_node, mask_);
+  while (key_[slot] != -1) {
+    if (key_[slot] == global_node) return value_[slot];
+    slot = (slot + 1) & mask_;
+  }
+  return -1;
+}
+
+NodeId SubgraphNodeIndex::LocalUser(UserId global_user) const {
+  if (global_user < 0 || global_user >= num_global_users_) return -1;
+  return LocalNode(global_user);
+}
+
+NodeId SubgraphNodeIndex::LocalItem(ItemId global_item) const {
+  if (global_item < 0 || global_item >= num_global_items_) return -1;
+  return LocalNode(num_global_users_ + global_item);
+}
+
 NodeId Subgraph::LocalUserNode(UserId global_user) const {
   if (workspace_ != nullptr) return workspace_->LocalUser(global_user);
+  if (node_index.built()) return node_index.LocalUser(global_user);
   if (global_user < 0 ||
       global_user >= static_cast<int32_t>(global_user_to_local.size())) {
     return -1;
@@ -17,6 +91,7 @@ NodeId Subgraph::LocalUserNode(UserId global_user) const {
 
 NodeId Subgraph::LocalItemNode(ItemId global_item) const {
   if (workspace_ != nullptr) return workspace_->LocalItem(global_item);
+  if (node_index.built()) return node_index.LocalItem(global_item);
   if (global_item < 0 ||
       global_item >= static_cast<int32_t>(global_item_to_local.size())) {
     return -1;
@@ -26,7 +101,16 @@ NodeId Subgraph::LocalItemNode(ItemId global_item) const {
   return static_cast<NodeId>(users.size()) + local_item;
 }
 
+void WalkWorkspace::AdoptSharedSubgraph(std::shared_ptr<const Subgraph> src) {
+  LT_CHECK(src != nullptr && src->node_index.built())
+      << "shared adoption needs an admission-built payload node index";
+  // The whole point: one pointer store. The payload keeps graph, layout,
+  // plan and node index alive together; nothing is copied or rebuilt.
+  shared_sub_ = std::move(src);
+}
+
 void WalkWorkspace::BeginQuery(const BipartiteGraph& g) {
+  shared_sub_.reset();
   const size_t n = static_cast<size_t>(g.num_nodes());
   num_global_users_ = g.num_users();
   num_global_items_ = g.num_items();
@@ -53,6 +137,10 @@ void WalkWorkspace::AdoptSubgraph(const BipartiteGraph& g,
   // Shared, immutable: adopting the layout is a pointer copy — the
   // permutation was paid once, when the cache admitted the payload.
   sub_.layout = src.layout;
+  // The plan is NOT carried over: it points into src's graph, which this
+  // deep copy does not keep alive. The copy path rebuilds transitions.
+  sub_.plan.reset();
+  sub_.node_index.Clear();
   sub_.global_user_to_local.clear();
   sub_.global_item_to_local.clear();
   for (size_t lu = 0; lu < sub_.users.size(); ++lu) {
@@ -80,9 +168,12 @@ Subgraph& ExtractSubgraphInto(const BipartiteGraph& g,
   sub.items.clear();
   sub.global_user_to_local.clear();
   sub.global_item_to_local.clear();
-  // A fresh extraction has no layout; the SubgraphCache attaches one when
-  // (and only when) it admits this subgraph as a payload.
+  // A fresh extraction has no layout, plan or node index; the
+  // SubgraphCache builds all three when (and only when) it admits this
+  // subgraph as a payload.
   sub.layout.reset();
+  sub.plan.reset();
+  sub.node_index.Clear();
 
   const int32_t n = g.num_nodes();
   std::vector<NodeId>& order = ws.order_;

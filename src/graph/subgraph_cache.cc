@@ -16,9 +16,22 @@ size_t RoundUpPow2(size_t v) {
   return p;
 }
 
+/// Bytes of the admission-built plan structures: the WalkPlan's owned
+/// storage (materialized transition values, if any — identity-order
+/// row-stochastic plans normalize on the fly, and layout-backed plans
+/// borrow the layout's row_prob, so this is usually just the struct) plus
+/// the compact node index. Reported as its own gauge so the memory cost of
+/// the zero-copy warm path stays visible next to the CSR it annotates.
+size_t PlanBytes(const Subgraph& sub) {
+  size_t bytes = sub.node_index.bytes();
+  if (sub.plan != nullptr) bytes += sub.plan->OwnedBytes();
+  return bytes;
+}
+
 /// Resident payload estimate: the CSR (adjacency + weights + row pointers +
-/// weighted degrees) dominates; id maps, seeds and the optional walk layout
-/// (permutation + permuted CSR + transition values) ride along.
+/// weighted degrees) dominates; id maps, seeds, the optional walk layout
+/// (permutation + permuted CSR + transition values) and the plan + node
+/// index ride along.
 size_t PayloadBytes(const Subgraph& sub, size_t num_seeds) {
   const size_t nodes = static_cast<size_t>(sub.graph.num_nodes());
   const size_t entries = 2 * static_cast<size_t>(sub.graph.num_edges());
@@ -33,7 +46,7 @@ size_t PayloadBytes(const Subgraph& sub, size_t num_seeds) {
              sub.layout->col.size() * sizeof(NodeId) +
              sub.layout->row_prob.size() * sizeof(double);
   }
-  return bytes;
+  return bytes + PlanBytes(sub);
 }
 
 }  // namespace
@@ -92,6 +105,12 @@ void SubgraphCache::BindMetrics(MetricsRegistry* registry) {
       "longtail_subgraph_cache_resident_bytes",
       "Estimated bytes of resident payloads.", {},
       [this] { return static_cast<double>(Stats().resident_bytes); }, this);
+  registry->RegisterCallbackGauge(
+      "longtail_subgraph_cache_plan_resident_bytes",
+      "Slice of resident payload bytes owned by admission-built walk plans "
+      "and node indexes.",
+      {}, [this] { return static_cast<double>(Stats().plan_resident_bytes); },
+      this);
 }
 
 uint64_t SubgraphCache::Key(uint64_t graph_fingerprint,
@@ -117,9 +136,8 @@ bool SubgraphCache::Matches(const Entry& e, uint64_t fingerprint,
 
 std::shared_ptr<const Subgraph> SubgraphCache::DetachPayload(
     const WalkWorkspace& ws) const {
-  // Reverse-lookup tables stay empty: cached subgraphs are only ever read
-  // back through AdoptSubgraph, which rebuilds the workspace's stamped
-  // tables.
+  // Reverse-lookup tables stay empty: adopters answer global→local queries
+  // from the compact node index built below.
   auto sub = std::make_shared<Subgraph>();
   sub->graph = ws.sub().graph.CompactCopy();
   sub->users = ws.sub().users;
@@ -133,6 +151,16 @@ std::shared_ptr<const Subgraph> SubgraphCache::DetachPayload(
   } else {
     sub->layout = BuildWalkLayoutIfBeneficial(sub->graph);
   }
+  // Admission-time plan build — the heart of the zero-copy warm path. The
+  // plan binds the payload's *own* graph and layout (it must: it points
+  // into their arrays, and payload + plan live and die together), with the
+  // same decision procedure BuildTransitions runs, so adopters sweeping it
+  // are bit-identical to a cold extraction. After this, no adopter ever
+  // runs BuildTransitions for this subgraph again.
+  auto plan = std::make_shared<WalkPlan>();
+  plan->Build(sub->graph, WalkNormalization::kRowStochastic, sub->layout);
+  sub->plan = std::move(plan);
+  sub->node_index.Build(ws.num_global_users(), ws.num_global_items(), *sub);
   return sub;
 }
 
@@ -154,9 +182,9 @@ bool SubgraphCache::Lookup(uint64_t key, const BipartiteGraph& g,
     shard.hits.fetch_add(1, std::memory_order_relaxed);
     sub = it->second->sub;
   }
-  // The workspace copy happens outside the lock: the shared_ptr keeps the
-  // payload alive even if this entry is evicted concurrently.
-  ws->AdoptSubgraph(g, *sub);
+  // Zero-copy adoption outside the lock: the shared_ptr keeps the payload
+  // alive even if this entry is evicted concurrently.
+  ws->AdoptSharedSubgraph(std::move(sub));
   return true;
 }
 
@@ -209,14 +237,14 @@ void SubgraphCache::GetOrExtract(const BipartiteGraph& g,
       }
     }
     if (cached != nullptr) {
-      ws->AdoptSubgraph(g, *cached);
+      ws->AdoptSharedSubgraph(std::move(cached));
       return;
     }
     if (ticket == nullptr) {
       // Collision bypass: extract privately; latest-wins insert below.
       ExtractSubgraphInto(g, seeds, options, ws);
       std::shared_ptr<const Subgraph> payload = DetachPayload(*ws);
-      ws->AttachLayout(payload->layout);
+      ws->AdoptSharedSubgraph(payload);
       InsertPayload(key, fingerprint, seeds, options, std::move(payload));
       return;
     }
@@ -224,8 +252,10 @@ void SubgraphCache::GetOrExtract(const BipartiteGraph& g,
       if (leader_extract_hook_) leader_extract_hook_();
       ExtractSubgraphInto(g, seeds, options, ws);
       std::shared_ptr<const Subgraph> payload = DetachPayload(*ws);
-      // The leader's own walk sweeps the same layout its waiters adopt.
-      ws->AttachLayout(payload->layout);
+      // The leader swaps its raw extraction for the payload it is about to
+      // publish, so its own walk sweeps the exact plan (and layout) every
+      // waiter and later hit will share.
+      ws->AdoptSharedSubgraph(payload);
       {
         // LRU first, ticket erase second: a thread arriving in between
         // hits the fresh entry instead of opening a duplicate flight.
@@ -253,7 +283,7 @@ void SubgraphCache::GetOrExtract(const BipartiteGraph& g,
       published = ticket->sub;
     }
     if (published != nullptr) {
-      ws->AdoptSubgraph(g, *published);
+      ws->AdoptSharedSubgraph(std::move(published));
       return;
     }
     // Leader abandoned: retry from the top (hit, new flight, or lead).
@@ -285,6 +315,7 @@ void SubgraphCache::InsertPayloadLocked(Shard* shard, uint64_t key,
     }
     // 64-bit key collision between different identities: latest wins.
     shard->bytes -= it->second->bytes;
+    shard->plan_bytes -= it->second->plan_bytes;
     shard->lru.erase(it->second);
     shard->index.erase(it);
     shard->evictions.fetch_add(1, std::memory_order_relaxed);
@@ -295,8 +326,10 @@ void SubgraphCache::InsertPayloadLocked(Shard* shard, uint64_t key,
   entry.max_items = options.max_items;
   entry.seeds.assign(seeds.begin(), seeds.end());
   entry.bytes = PayloadBytes(*sub, seeds.size());
+  entry.plan_bytes = PlanBytes(*sub);
   entry.sub = std::move(sub);
   shard->bytes += entry.bytes;
+  shard->plan_bytes += entry.plan_bytes;
   shard->lru.push_front(std::move(entry));
   shard->index[key] = shard->lru.begin();
   shard->inserts.fetch_add(1, std::memory_order_relaxed);
@@ -317,6 +350,7 @@ void SubgraphCache::EvictOverflow(Shard* shard) {
           shard->lru.size() > 1)) {
     const Entry& victim = shard->lru.back();
     shard->bytes -= victim.bytes;
+    shard->plan_bytes -= victim.plan_bytes;
     shard->index.erase(victim.key);
     shard->lru.pop_back();
     shard->evictions.fetch_add(1, std::memory_order_relaxed);
@@ -335,6 +369,7 @@ SubgraphCacheStats SubgraphCache::Stats() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.entries += shard->lru.size();
     stats.resident_bytes += shard->bytes;
+    stats.plan_resident_bytes += shard->plan_bytes;
   }
   return stats;
 }
@@ -345,6 +380,7 @@ void SubgraphCache::Clear() {
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
+    shard->plan_bytes = 0;
     shard->hits.store(0, std::memory_order_relaxed);
     shard->misses.store(0, std::memory_order_relaxed);
     shard->inserts.store(0, std::memory_order_relaxed);

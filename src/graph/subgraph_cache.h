@@ -5,11 +5,15 @@
 // subgraph per query. Queries with the same seed set — the same user asked
 // again, or AT/AC1/AC2 fitted on one dataset serving the same user —
 // rebuild byte-identical induced CSRs. The cache keys an entry by the exact
-// extraction inputs (graph fingerprint, seed sequence, µ) and stores the
-// extracted subgraph; a hit installs it into the caller's WalkWorkspace via
-// WalkWorkspace::AdoptSubgraph, one sequential copy instead of the BFS +
-// degree-count + CSR-scatter rebuild. Results are bit-identical either way
-// (enforced by tests/subgraph_cache_test.cc).
+// extraction inputs (graph fingerprint, seed sequence, µ) and stores an
+// immutable payload holding everything a query needs: the extracted
+// subgraph, its WalkLayout, its WalkPlan (transitions + sweep plan, built
+// exactly once at admission) and a compact global→local node index. A hit
+// installs the payload into the caller's WalkWorkspace via
+// WalkWorkspace::AdoptSharedSubgraph — a single shared_ptr store, zero
+// O(E)/O(V) work; the query then compiles + sweeps against the shared plan
+// with private scratch. Results are bit-identical to a fresh extraction
+// (enforced by tests/subgraph_cache_test.cc and tests/warm_plan_test.cc).
 //
 // Single flight: GetOrExtract is the serving path's front door. The first
 // thread to miss a key becomes the *leader* — it registers an in-flight
@@ -76,6 +80,10 @@ struct SubgraphCacheStats {
   uint64_t coalesced_waits = 0;
   size_t entries = 0;
   size_t resident_bytes = 0;
+  /// Slice of resident_bytes owned by admission-built plan structures (the
+  /// WalkPlan's materialized values plus the payload node index), reported
+  /// separately so the cost of the zero-copy warm path stays visible.
+  size_t plan_resident_bytes = 0;
 
   /// hits / (hits + misses): coalesced waits are neither (they are
   /// de-duplicated misses) and are reported via CoalescedRate().
@@ -103,7 +111,8 @@ class SubgraphCache {
 
   /// Exports the cache's counters into `registry` as callback series
   /// (longtail_subgraph_cache_*: hit/miss/insert/eviction/coalesced-wait
-  /// totals, plus entries and resident-bytes gauges), sampled from the
+  /// totals, plus entries, resident-bytes and plan-resident-bytes
+  /// gauges), sampled from the
   /// shard atomics at scrape time — no new work on the lookup path. The
   /// registry must outlive the cache or BindMetrics(nullptr) must be
   /// called first; the destructor releases the callbacks itself. Beware
@@ -130,10 +139,10 @@ class SubgraphCache {
   void GetOrExtract(const BipartiteGraph& g, const std::vector<NodeId>& seeds,
                     const SubgraphOptions& options, WalkWorkspace* ws);
 
-  /// On hit, installs the cached subgraph into `*ws` (AdoptSubgraph against
-  /// `g`) and refreshes the entry's recency. `g`, `seeds` and `options`
-  /// must be the inputs `key` was computed from; they double as the
-  /// collision check. Does not consult the in-flight table — use
+  /// On hit, installs the cached payload into `*ws` (zero-copy
+  /// AdoptSharedSubgraph) and refreshes the entry's recency. `g`, `seeds`
+  /// and `options` must be the inputs `key` was computed from; they double
+  /// as the collision check. Does not consult the in-flight table — use
   /// GetOrExtract for coalescing.
   bool Lookup(uint64_t key, const BipartiteGraph& g,
               std::span<const NodeId> seeds, const SubgraphOptions& options,
@@ -174,6 +183,8 @@ class SubgraphCache {
     std::vector<NodeId> seeds;
     std::shared_ptr<const Subgraph> sub;
     size_t bytes = 0;
+    /// Slice of `bytes` owned by the plan + node index (metrics only).
+    size_t plan_bytes = 0;
   };
 
   /// One open extraction. Waiters block on `cv` until the leader publishes
@@ -197,6 +208,7 @@ class SubgraphCache {
     /// Open extractions keyed like the index; erased on publish/abandon.
     std::unordered_map<uint64_t, std::shared_ptr<FlightTicket>> inflight;
     size_t bytes = 0;
+    size_t plan_bytes = 0;
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> inserts{0};
@@ -212,10 +224,13 @@ class SubgraphCache {
   static bool Matches(const Entry& e, uint64_t fingerprint,
                       std::span<const NodeId> seeds, int32_t max_items);
   /// Detaches a self-contained copy of the workspace's current subgraph
-  /// (the payload format entries and tickets share), building its walk
-  /// layout when the subgraph crosses the reorder threshold (or always,
-  /// under options.always_build_layout) — the one-time permutation every
-  /// adopter of this payload reuses.
+  /// (the payload format entries and tickets share) and finishes it for
+  /// zero-copy adoption: builds its walk layout when the subgraph crosses
+  /// the reorder threshold (or always, under options.always_build_layout),
+  /// then the full WalkPlan (row-stochastic transitions + sweep-plan
+  /// selection, bound to the payload's own graph/layout) and the compact
+  /// global→local node index. This is the *only* place plans are built for
+  /// cached subgraphs — every adopter shares this one.
   std::shared_ptr<const Subgraph> DetachPayload(const WalkWorkspace& ws) const;
   /// Inserts `sub` under `key`, refreshing recency if an identical entry
   /// raced in. Takes the shard lock itself.

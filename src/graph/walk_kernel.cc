@@ -82,21 +82,49 @@ void WalkKernel::ForceGenericIsaForTesting() {
   isa_ = internal::GenericWalkKernelIsa();
 }
 
-const char* WalkKernel::sweep_strategy() const {
+const char* WalkPlan::sweep_strategy() const {
   if (norm_fly_ && row_tile_ == 0) return "simple";
   return perm_ != nullptr ? "blocked_reordered" : "blocked";
 }
 
+size_t WalkPlan::OwnedBytes() const {
+  size_t bytes = sizeof(WalkPlan);
+  bytes += prob_.capacity() * sizeof(double);
+  bytes += own_layout_.perm.capacity() * sizeof(int32_t);
+  bytes += own_layout_.ptr.capacity() * sizeof(int64_t);
+  bytes += own_layout_.col.capacity() * sizeof(NodeId);
+  bytes += own_layout_.row_prob.capacity() * sizeof(double);
+  return bytes;
+}
+
+const char* WalkKernel::sweep_strategy() const {
+  if (plan_ == nullptr) return "unbound";
+  return plan_->sweep_strategy();
+}
+
 void WalkKernel::BuildTransitions(const BipartiteGraph& g, Normalization norm,
                                   std::shared_ptr<const WalkLayout> layout) {
+  // Rebuild the kernel-owned plan in place (buffer capacity survives, so
+  // steady-state cold queries stay allocation-free) and drop any
+  // previously adopted shared plan.
+  own_plan_.Build(g, norm, std::move(layout), forced_plan_);
+  adopted_.reset();
+  plan_ = &own_plan_;
+}
+
+void WalkKernel::AdoptPlan(std::shared_ptr<const WalkPlan> plan) {
+  LT_CHECK(plan != nullptr && plan->built())
+      << "AdoptPlan needs a built WalkPlan";
+  adopted_ = std::move(plan);
+  plan_ = adopted_.get();
+}
+
+void WalkPlan::Build(const BipartiteGraph& g, WalkNormalization norm,
+                     std::shared_ptr<const WalkLayout> layout,
+                     WalkSweepMode forced) {
   graph_ = &g;
   norm_ = norm;
   num_nodes_ = g.num_nodes();
-  BindPlan(g, std::move(layout));
-}
-
-void WalkKernel::BindPlan(const BipartiteGraph& g,
-                          std::shared_ptr<const WalkLayout> layout) {
   const int32_t n = num_nodes_;
   const auto gptr = g.RowPointers();
   const auto gcol = g.FlatNeighbors();
@@ -106,16 +134,16 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
   // ---- Pick the plan (one-time cost probe per build) ----
   bool simple = false;
   bool reorder = false;
-  switch (forced_plan_) {
-    case SweepMode::kSimple:
+  switch (forced) {
+    case WalkSweepMode::kSimple:
       simple = true;
       break;
-    case SweepMode::kBlocked:
+    case WalkSweepMode::kBlocked:
       break;
-    case SweepMode::kBlockedReordered:
+    case WalkSweepMode::kBlockedReordered:
       reorder = true;
       break;
-    case SweepMode::kAuto:
+    case WalkSweepMode::kAuto:
       if (layout != nullptr) {
         // A pre-built permutation rides in (SubgraphCache payload): the
         // reorder decision was made at insert time; adopt it.
@@ -126,13 +154,13 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
         // e2e at the sizes where the reordered sweep itself wins 1.5x).
         // Reordered plans arrive via SubgraphCache payloads, where the
         // permutation is paid once and shared by every adopter.
-        simple = norm_ == Normalization::kRowStochastic &&
+        simple = norm_ == WalkNormalization::kRowStochastic &&
                  static_cast<size_t>(n) * sizeof(double) <=
-                     SimplePlanMaxValueBytes();
+                     WalkKernel::SimplePlanMaxValueBytes();
       }
       break;
   }
-  LT_CHECK(!simple || norm_ == Normalization::kRowStochastic)
+  LT_CHECK(!simple || norm_ == WalkNormalization::kRowStochastic)
       << "simple sweeps normalize rows on the fly (row-stochastic only)";
   // An empty graph has nothing to permute (and n == 0 skips the CSR bind
   // below); fall back to the identity plan so a forced kBlockedReordered
@@ -144,9 +172,9 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
   // materialized sweep would read as the prob strip — same bytes moved)
   // and folds the one divide per row into a register, so skipping the
   // O(entries) prob build is free per sweep and saves its full cost per
-  // BuildTransitions. The rounding sequence is identical — w·(1/d), then
-  // ·x — so results are bit-identical (enforced by walk_kernel_test.cc).
-  norm_fly_ = !reorder && norm_ == Normalization::kRowStochastic;
+  // build. The rounding sequence is identical — w·(1/d), then ·x — so
+  // results are bit-identical (enforced by walk_kernel_test.cc).
+  norm_fly_ = !reorder && norm_ == WalkNormalization::kRowStochastic;
   row_tile_ = simple ? 0 : RowTileForL1();
   perm_ = nullptr;
   layout_.reset();
@@ -174,7 +202,7 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
     } else {
       // One-shot large build: pay the O(nodes + entries) permutation here;
       // it amortizes over the τ sweep iterations that follow.
-      BuildWalkLayout(g, norm_ == Normalization::kRowStochastic,
+      BuildWalkLayout(g, norm_ == WalkNormalization::kRowStochastic,
                       &own_layout_);
       lay = &own_layout_;
     }
@@ -189,11 +217,11 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
   // ---- Materialize transition values in sweep order ----
   if (perm_ == nullptr) {
     switch (norm_) {
-      case Normalization::kRowStochastic:
+      case WalkNormalization::kRowStochastic:
         LT_CHECK(false)
             << "identity row-stochastic plans normalize on the fly";
         break;
-      case Normalization::kColumnStochastic: {
+      case WalkNormalization::kColumnStochastic: {
         prob_.resize(w.size());
         for (size_t k = 0; k < w.size(); ++k) {
           const double d = g.WeightedDegree(gcol[k]);
@@ -202,7 +230,7 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
         prob_data_ = prob_.data();
         break;
       }
-      case Normalization::kRaw:
+      case WalkNormalization::kRaw:
         // Raw gathers read the graph's weight array as-is; no copy.
         prob_data_ = w.data();
         break;
@@ -210,7 +238,7 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
     return;
   }
 
-  if (norm_ == Normalization::kRowStochastic &&
+  if (norm_ == WalkNormalization::kRowStochastic &&
       static_cast<int64_t>(lay->row_prob.size()) == entries) {
     // The layout carries the row-stochastic values (same rounding as the
     // identity build; see BuildWalkLayout).
@@ -228,15 +256,15 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
     for (int64_t k = gptr[v]; k < gptr[v + 1]; ++k) {
       double p;
       switch (norm_) {
-        case Normalization::kRowStochastic:
+        case WalkNormalization::kRowStochastic:
           p = w[k] * row_inv;
           break;
-        case Normalization::kColumnStochastic: {
+        case WalkNormalization::kColumnStochastic: {
           const double d = g.WeightedDegree(gcol[k]);
           p = d > 0.0 ? w[k] / d : 0.0;
           break;
         }
-        case Normalization::kRaw:
+        case WalkNormalization::kRaw:
         default:
           p = w[k];
           break;
@@ -249,20 +277,22 @@ void WalkKernel::BindPlan(const BipartiteGraph& g,
 
 void WalkKernel::CompileAbsorbingSweep(const std::vector<bool>& absorbing,
                                        const std::vector<double>& node_cost) {
-  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
-  LT_CHECK(norm_ == Normalization::kRowStochastic)
+  LT_CHECK(plan_ != nullptr) << "BuildTransitions/AdoptPlan must run first";
+  const WalkPlan& p = *plan_;
+  LT_CHECK(p.norm_ == Normalization::kRowStochastic)
       << "absorbing sweeps need row-stochastic transitions";
-  const int32_t n = num_nodes_;
+  const int32_t n = p.num_nodes_;
   LT_CHECK_EQ(static_cast<size_t>(n), absorbing.size());
   LT_CHECK_EQ(static_cast<size_t>(n), node_cost.size());
   add_.resize(n);
   scale_.resize(n);
   self_.resize(n);
-  const BipartiteGraph& g = *graph_;
+  const BipartiteGraph& g = *p.graph_;
+  const int32_t* perm = p.perm_;
   // Coefficients live in sweep space: scattered through the permutation
   // when the plan reordered, so the row passes stay oblivious to layout.
   for (int32_t v = 0; v < n; ++v) {
-    const int32_t row = perm_ != nullptr ? perm_[v] : v;
+    const int32_t row = perm != nullptr ? perm[v] : v;
     if (absorbing[v]) {
       add_[row] = 0.0;
       scale_[row] = 0.0;
@@ -285,16 +315,17 @@ void WalkKernel::PrefetchRows(int32_t lo, int32_t hi) const {
   // Warm the next tile's column-index and value strips while the current
   // tile's gathers are in flight. Bounded: past ~4 KiB per strip the
   // lines would be evicted again before the tile is reached.
+  const WalkPlan& p = *plan_;
   constexpr int64_t kMaxPrefetchBytes = 4096;
-  const int64_t k0 = ptr_[lo];
-  const int64_t span = ptr_[hi] - k0;
+  const int64_t k0 = p.ptr_[lo];
+  const int64_t span = p.ptr_[hi] - k0;
   const int64_t col_bytes = std::min<int64_t>(
       span * static_cast<int64_t>(sizeof(NodeId)), kMaxPrefetchBytes);
-  const char* cp = reinterpret_cast<const char*>(col_ + k0);
+  const char* cp = reinterpret_cast<const char*>(p.col_ + k0);
   for (int64_t off = 0; off < col_bytes; off += 64) {
     __builtin_prefetch(cp + off, 0, 1);
   }
-  const double* vals = norm_fly_ ? w_ : prob_data_;
+  const double* vals = p.norm_fly_ ? p.w_ : p.prob_data_;
   const int64_t val_bytes = std::min<int64_t>(
       span * static_cast<int64_t>(sizeof(double)), kMaxPrefetchBytes);
   const char* pp = reinterpret_cast<const char*>(vals + k0);
@@ -309,50 +340,52 @@ void WalkKernel::PrefetchRows(int32_t lo, int32_t hi) const {
 
 void WalkKernel::RunAbsorbingRange(int32_t lo, int32_t hi, const double* cur,
                                    double* nxt) const {
+  const WalkPlan& p = *plan_;
   const double* add = add_.data();
   const double* scale = scale_.data();
   const double* self = self_.data();
-  if (row_tile_ <= 0) {
+  if (p.row_tile_ <= 0) {
     // Simple plan: tiny working set by construction — tiling would only
     // add loop overhead.
-    isa_->absorbing_rows_norm(lo, hi, ptr_, col_, w_, wdeg_, add, scale,
-                              self, cur, nxt);
+    isa_->absorbing_rows_norm(lo, hi, p.ptr_, p.col_, p.w_, p.wdeg_, add,
+                              scale, self, cur, nxt);
     return;
   }
-  for (int32_t b = lo; b < hi; b += row_tile_) {
-    const int32_t b_end = b + row_tile_ < hi ? b + row_tile_ : hi;
+  for (int32_t b = lo; b < hi; b += p.row_tile_) {
+    const int32_t b_end = b + p.row_tile_ < hi ? b + p.row_tile_ : hi;
     if (b_end < hi) {
-      PrefetchRows(b_end, b_end + row_tile_ < hi ? b_end + row_tile_ : hi);
+      PrefetchRows(b_end, b_end + p.row_tile_ < hi ? b_end + p.row_tile_ : hi);
     }
-    if (norm_fly_) {
-      isa_->absorbing_rows_norm(b, b_end, ptr_, col_, w_, wdeg_, add, scale,
-                                self, cur, nxt);
+    if (p.norm_fly_) {
+      isa_->absorbing_rows_norm(b, b_end, p.ptr_, p.col_, p.w_, p.wdeg_, add,
+                                scale, self, cur, nxt);
     } else {
-      isa_->absorbing_rows(b, b_end, ptr_, col_, prob_data_, add, scale,
+      isa_->absorbing_rows(b, b_end, p.ptr_, p.col_, p.prob_data_, add, scale,
                            self, cur, nxt);
     }
   }
 }
 
 void WalkKernel::RunFusedRange(int32_t lo, int32_t hi, double* x) const {
+  const WalkPlan& p = *plan_;
   const double* add = add_.data();
   const double* scale = scale_.data();
   const double* self = self_.data();
-  if (row_tile_ <= 0) {
-    isa_->absorbing_rows_fused_norm(lo, hi, ptr_, col_, w_, wdeg_, add,
-                                    scale, self, x);
+  if (p.row_tile_ <= 0) {
+    isa_->absorbing_rows_fused_norm(lo, hi, p.ptr_, p.col_, p.w_, p.wdeg_,
+                                    add, scale, self, x);
     return;
   }
-  for (int32_t b = lo; b < hi; b += row_tile_) {
-    const int32_t b_end = b + row_tile_ < hi ? b + row_tile_ : hi;
+  for (int32_t b = lo; b < hi; b += p.row_tile_) {
+    const int32_t b_end = b + p.row_tile_ < hi ? b + p.row_tile_ : hi;
     if (b_end < hi) {
-      PrefetchRows(b_end, b_end + row_tile_ < hi ? b_end + row_tile_ : hi);
+      PrefetchRows(b_end, b_end + p.row_tile_ < hi ? b_end + p.row_tile_ : hi);
     }
-    if (norm_fly_) {
-      isa_->absorbing_rows_fused_norm(b, b_end, ptr_, col_, w_, wdeg_, add,
-                                      scale, self, x);
+    if (p.norm_fly_) {
+      isa_->absorbing_rows_fused_norm(b, b_end, p.ptr_, p.col_, p.w_, p.wdeg_,
+                                      add, scale, self, x);
     } else {
-      isa_->absorbing_rows_fused(b, b_end, ptr_, col_, prob_data_, add,
+      isa_->absorbing_rows_fused(b, b_end, p.ptr_, p.col_, p.prob_data_, add,
                                  scale, self, x);
     }
   }
@@ -360,8 +393,9 @@ void WalkKernel::RunFusedRange(int32_t lo, int32_t hi, double* x) const {
 
 void WalkKernel::SweepTruncated(int iterations, std::vector<double>* value,
                                 std::vector<double>* scratch) const {
-  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
-  const int32_t n = num_nodes_;
+  LT_CHECK(plan_ != nullptr) << "BuildTransitions/AdoptPlan must run first";
+  const WalkPlan& p = *plan_;
+  const int32_t n = p.num_nodes_;
   LT_CHECK_EQ(static_cast<size_t>(n), add_.size())
       << "CompileAbsorbingSweep must run first";
   value->assign(n, 0.0);
@@ -369,7 +403,7 @@ void WalkKernel::SweepTruncated(int iterations, std::vector<double>* value,
   if (n == 0) return;
   double* cur;
   double* nxt;
-  if (perm_ == nullptr) {
+  if (p.perm_ == nullptr) {
     cur = value->data();
     nxt = scratch->data();
   } else {
@@ -386,24 +420,25 @@ void WalkKernel::SweepTruncated(int iterations, std::vector<double>* value,
     cur = nxt;
     nxt = tmp;
   }
-  if (perm_ == nullptr) {
+  if (p.perm_ == nullptr) {
     if (cur != value->data()) value->swap(*scratch);
   } else {
     double* out = value->data();
-    for (int32_t v = 0; v < n; ++v) out[v] = cur[perm_[v]];
+    for (int32_t v = 0; v < n; ++v) out[v] = cur[p.perm_[v]];
   }
 }
 
 void WalkKernel::SweepTruncatedItemValues(int iterations,
                                           std::vector<double>* value) const {
-  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
-  const int32_t n = num_nodes_;
+  LT_CHECK(plan_ != nullptr) << "BuildTransitions/AdoptPlan must run first";
+  const WalkPlan& p = *plan_;
+  const int32_t n = p.num_nodes_;
   LT_CHECK_EQ(static_cast<size_t>(n), add_.size())
       << "CompileAbsorbingSweep must run first";
   value->assign(n, 0.0);
   if (n == 0 || iterations <= 0) return;
   double* x;
-  if (perm_ == nullptr) {
+  if (p.perm_ == nullptr) {
     x = value->data();
   } else {
     pval_.assign(n, 0.0);
@@ -411,7 +446,7 @@ void WalkKernel::SweepTruncatedItemValues(int iterations,
   }
   // The permutation preserves sides, so the side boundary — and with it
   // the alternating chain — is the same in sweep space.
-  const int32_t num_users = graph_->num_users();
+  const int32_t num_users = p.graph_->num_users();
   // Step t updates the side whose value the chain labels "iteration t":
   // items when (τ - t) is even, users otherwise, ending on items at t = τ.
   // In-place is safe because a side's gathers read only the *other* side.
@@ -431,19 +466,20 @@ void WalkKernel::SweepTruncatedItemValues(int iterations,
       RunFusedRange(lo, hi, x);
     }
   }
-  if (perm_ != nullptr) {
+  if (p.perm_ != nullptr) {
     double* out = value->data();
-    for (int32_t v = 0; v < n; ++v) out[v] = x[perm_[v]];
+    for (int32_t v = 0; v < n; ++v) out[v] = x[p.perm_[v]];
   }
 }
 
 void WalkKernel::Apply(double alpha, const double* x, double beta,
                        const double* restart, double* y) const {
-  LT_CHECK(graph_ != nullptr) << "BuildTransitions must run first";
-  LT_CHECK(!norm_fly_)
+  LT_CHECK(plan_ != nullptr) << "BuildTransitions/AdoptPlan must run first";
+  const WalkPlan& p = *plan_;
+  LT_CHECK(!p.norm_fly_)
       << "Apply needs materialized transitions; no caller applies "
          "row-stochastic transitions, see walk_kernel.h";
-  const int32_t n = num_nodes_;
+  const int32_t n = p.num_nodes_;
   // Sparse-input fast path: a dense pull always walks every adjacency
   // entry, which would make the first Katz steps / PPR iterations (a
   // frontier of one user node) cost O(total edges) where the pre-kernel
@@ -454,9 +490,9 @@ void WalkKernel::Apply(double alpha, const double* x, double beta,
   // agree to rounding, and the branch is a pure function of x. It runs
   // in original id space off the graph's own CSR, independent of the
   // sweep plan's layout.
-  if (norm_ != Normalization::kRowStochastic && n > 0) {
-    const int64_t* gp = graph_->RowPointers().data();
-    const NodeId* gc = graph_->FlatNeighbors().data();
+  if (p.norm_ != Normalization::kRowStochastic && n > 0) {
+    const int64_t* gp = p.graph_->RowPointers().data();
+    const NodeId* gc = p.graph_->FlatNeighbors().data();
     const int64_t total_entries = gp[n];
     int64_t nonzero_entries = 0;
     for (int32_t v = 0; v < n; ++v) {
@@ -468,15 +504,15 @@ void WalkKernel::Apply(double alpha, const double* x, double beta,
       } else {
         for (int32_t v = 0; v < n; ++v) y[v] = 0.0;
       }
-      const double* w = graph_->FlatWeights().data();
+      const double* w = p.graph_->FlatWeights().data();
       for (int32_t v = 0; v < n; ++v) {
         const double mass = x[v];
         if (mass == 0.0) continue;
         double out;
-        if (norm_ == Normalization::kColumnStochastic) {
+        if (p.norm_ == Normalization::kColumnStochastic) {
           // Symmetric graph: pushing x[v]·w/d(v) along row v produces
           // exactly the pull's Σ_u (w_vu/d_u)·x[u] terms.
-          const double d = graph_->WeightedDegree(v);
+          const double d = p.graph_->WeightedDegree(v);
           if (d <= 0.0) continue;
           out = alpha * mass / d;
         } else {  // kRaw
@@ -492,29 +528,29 @@ void WalkKernel::Apply(double alpha, const double* x, double beta,
   const double* in = x;
   const double* rst = restart;
   double* out = y;
-  if (perm_ != nullptr && n > 0) {
+  if (p.perm_ != nullptr && n > 0) {
     // Permute the operands into sweep space, pull there, scatter back.
     px_.resize(n);
     pval_.resize(n);
-    for (int32_t v = 0; v < n; ++v) px_[perm_[v]] = x[v];
+    for (int32_t v = 0; v < n; ++v) px_[p.perm_[v]] = x[v];
     in = px_.data();
     out = pval_.data();
     if (restart != nullptr) {
       pscratch_.resize(n);
-      for (int32_t v = 0; v < n; ++v) pscratch_[perm_[v]] = restart[v];
+      for (int32_t v = 0; v < n; ++v) pscratch_[p.perm_[v]] = restart[v];
       rst = pscratch_.data();
     }
   }
-  for (int32_t b = 0; b < n; b += row_tile_) {
-    const int32_t b_end = b + row_tile_ < n ? b + row_tile_ : n;
+  for (int32_t b = 0; b < n; b += p.row_tile_) {
+    const int32_t b_end = b + p.row_tile_ < n ? b + p.row_tile_ : n;
     if (b_end < n) {
-      PrefetchRows(b_end, b_end + row_tile_ < n ? b_end + row_tile_ : n);
+      PrefetchRows(b_end, b_end + p.row_tile_ < n ? b_end + p.row_tile_ : n);
     }
-    isa_->apply_rows(b, b_end, ptr_, col_, prob_data_, alpha, in, beta, rst,
-                     out);
+    isa_->apply_rows(b, b_end, p.ptr_, p.col_, p.prob_data_, alpha, in, beta,
+                     rst, out);
   }
-  if (perm_ != nullptr && n > 0) {
-    for (int32_t v = 0; v < n; ++v) y[v] = pval_[perm_[v]];
+  if (p.perm_ != nullptr && n > 0) {
+    for (int32_t v = 0; v < n; ++v) y[v] = pval_[p.perm_[v]];
   }
 }
 

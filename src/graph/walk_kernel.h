@@ -7,14 +7,25 @@
 // bespoke loop over BipartiteGraph adjacency, re-deriving transition
 // probabilities (a weighted-degree load plus a divide per row) and
 // re-branching on absorbing/isolated nodes every iteration. WalkKernel
-// retires those loops:
+// retires those loops, and is itself split along the immutable/mutable
+// seam:
 //
-//  * BuildTransitions compiles the graph into a *normalized transition
-//    CSR*: a contiguous value array parallel to the graph's adjacency with
-//    edge weights pre-divided by weighted degree (row- or
-//    column-stochastic) or copied raw (Katz). Built once per extracted
-//    subgraph (or once per fitted global graph) and reused across every
-//    sweep iteration.
+//  * WalkPlan is the *immutable, shareable* half: the normalized transition
+//    CSR (or the on-the-fly-normalization binding that skips materializing
+//    it), the execution-plan selection from the probed cache geometry, and
+//    the optional WalkLayout permutation. A plan is built once per graph —
+//    at SubgraphCache admission for cached subgraphs, at Fit/LoadModel for
+//    the PPR/Katz global graphs — and shared by shared_ptr across any
+//    number of concurrently sweeping workers. After Build it is never
+//    mutated, so N pool threads can sweep one plan at once.
+//  * WalkKernel is the *per-worker scratch* half: the branch-free
+//    coefficient vectors CompileAbsorbingSweep fills per query, the
+//    permuted-space value buffers, and the runtime ISA binding. One kernel
+//    lives in each WalkWorkspace and inside each PPR/Katz recommender;
+//    kernels either build their own private plan (BuildTransitions — the
+//    cold path, capacity reused across queries) or adopt a shared one
+//    (AdoptPlan — the warm path, zero per-query O(E)/O(V) setup).
+//
 //  * CompileAbsorbingSweep folds per-query absorbing flags, isolated
 //    nodes, and per-node costs into three dense coefficient vectors so the
 //    sweep's inner loop is branch-free:
@@ -39,9 +50,11 @@
 // Σ (w/d)·v and the unroll changes the summation tree, so bit-identity
 // with the *old* loop is impossible; what the system guarantees instead is
 // that every production path (single-user, batch at any thread count,
-// cache-hit, checkpoint-restored) runs the same kernel and is therefore
-// bit-identical across those paths. tests/walk_kernel_test.cc enforces
-// both properties.
+// cache-hit on a shared plan, checkpoint-restored) runs the same kernel
+// and is therefore bit-identical across those paths. A plan makes the
+// same decisions Build-by-kernel would for the same (graph, layout)
+// inputs, so adopted and privately built plans sweep identically.
+// tests/walk_kernel_test.cc and tests/warm_plan_test.cc enforce this.
 #ifndef LONGTAIL_GRAPH_WALK_KERNEL_H_
 #define LONGTAIL_GRAPH_WALK_KERNEL_H_
 
@@ -58,49 +71,136 @@ namespace internal {
 struct WalkKernelIsa;
 }  // namespace internal
 
-/// Per-graph normalized transition CSR plus per-query sweep coefficients.
-/// One kernel lives in each WalkWorkspace (rebuilt per extracted subgraph)
-/// and inside each PPR/Katz recommender (built once at Fit/LoadModel).
-/// Buffers are sized lazily and keep their capacity, so steady-state reuse
-/// performs no heap allocation. Not thread-safe: one kernel per worker.
+/// How a plan derives the contiguous transition-value array from the
+/// graph's edge weights. (Namespace-scope so WalkPlan can use it; WalkKernel
+/// re-exports it as WalkKernel::Normalization for call-site continuity.)
+enum class WalkNormalization {
+  /// prob[k] = w[k] / weighted_degree(row): row-stochastic. The DP
+  /// gather ⟨prob_row(v), value⟩ is then exactly Σ_j p_vj·value[j] of
+  /// Eq. 1 — what the truncated absorbing-value sweeps consume.
+  kRowStochastic,
+  /// prob[k] = w[k] / weighted_degree(col[k]): column-stochastic. On a
+  /// symmetric graph, gathering row v yields (Pᵀx)[v] — the push step of
+  /// the PPR power iteration expressed as a pull, which vectorizes.
+  kColumnStochastic,
+  /// prob[k] = w[k] unchanged: raw adjacency gathers (Katz's β-damped
+  /// path counting).
+  kRaw,
+};
+
+/// The execution plan WalkPlan::Build picks per graph shape (one-time
+/// cost probe against the machine's measured cache geometry; see
+/// docs/KERNELS.md for the thresholds):
+///  * kSimple — flat reference-style loop, no row tiling. Wins while
+///    one value vector (the window row gathers read from) still fits in
+///    L2, where tile bookkeeping is pure overhead. Row-stochastic only.
+///  * kBlocked — L1-tiled row pass with next-tile prefetch, identity
+///    node order; wins once the value vector exceeds L2.
+/// Both identity-order plans normalize row-stochastic transitions on the
+/// fly from the raw weights — the O(entries) transition materialization
+/// is skipped entirely, with the same per-entry rounding sequence (w·(1/d)
+/// then ·x), so results are bit-identical to a materialized sweep. Other
+/// normalizations (PPR/Katz) materialize once and amortize over many
+/// Apply calls.
+///  * kBlockedReordered — kBlocked over a WalkLayout-permuted CSR
+///    (adopted from the SubgraphCache or built here); seeds are injected
+///    and values read back through the permutation, outputs bit-identical
+///    in original id space.
+/// kAuto is only a ForcePlanForTesting value: restore the cost probe.
+enum class WalkSweepMode { kAuto, kSimple, kBlocked, kBlockedReordered };
+
+/// The immutable half of the walk kernel: one graph's normalized transition
+/// CSR (or on-the-fly binding), the sweep-plan selection, and the optional
+/// layout permutation. Built exactly once per graph and shared by
+/// shared_ptr — a SubgraphCache payload carries the plan for its subgraph,
+/// PPR/Katz carry one for their fitted global graph. Immutable after
+/// Build(), so any number of WalkKernels (one per worker, each with private
+/// scratch) may sweep one plan concurrently.
+///
+/// Lifetime: the plan points into the graph's CSR arrays (and the layout's,
+/// when adopted) but owns neither — the graph and layout must outlive every
+/// use of the plan. Cache payloads satisfy this structurally: graph, layout
+/// and plan all live in one shared, immutable Subgraph payload.
+class WalkPlan {
+ public:
+  WalkPlan() = default;
+  WalkPlan(const WalkPlan&) = delete;
+  WalkPlan& operator=(const WalkPlan&) = delete;
+
+  /// Compiles `g` into transition bindings and picks the sweep plan.
+  /// Identical decision procedure to the kernel's own BuildTransitions:
+  /// passing the same (graph, norm, layout) here and there yields plans
+  /// that sweep bit-identically. `forced` pins the plan for tests/benches
+  /// (kAuto = cost probe). Reuses this object's buffer capacity, so a
+  /// kernel-owned plan rebuilt per cold query performs no steady-state
+  /// allocation. Rows with weighted degree <= 0 get all-zero transition
+  /// values (compiled as isolated by CompileAbsorbingSweep).
+  void Build(const BipartiteGraph& g, WalkNormalization norm,
+             std::shared_ptr<const WalkLayout> layout = nullptr,
+             WalkSweepMode forced = WalkSweepMode::kAuto);
+
+  /// True once Build has run.
+  bool built() const { return graph_ != nullptr; }
+  /// The graph the plan was built from (nullptr before Build).
+  const BipartiteGraph* graph() const { return graph_; }
+  WalkNormalization normalization() const { return norm_; }
+  int32_t num_nodes() const { return num_nodes_; }
+  /// "simple", "blocked" or "blocked_reordered"; bench/introspection only.
+  const char* sweep_strategy() const;
+  /// True when the plan sweeps a permuted CSR (adopted or privately built).
+  bool reordered() const { return perm_ != nullptr; }
+  /// Rows per L1 tile of the blocked row pass (0 in simple mode).
+  int32_t row_tile() const { return row_tile_; }
+  /// Heap bytes this plan owns beyond the graph/layout it points into
+  /// (materialized transition values + any privately built layout). The
+  /// SubgraphCache adds this to its resident-byte accounting.
+  size_t OwnedBytes() const;
+
+ private:
+  friend class WalkKernel;
+
+  const BipartiteGraph* graph_ = nullptr;
+  WalkNormalization norm_ = WalkNormalization::kRowStochastic;
+  int32_t num_nodes_ = 0;
+  /// True when the plan normalizes rows on the fly from w_/wdeg_ instead
+  /// of a materialized transition array (kRowStochastic, identity order —
+  /// both the simple and the blocked plan).
+  bool norm_fly_ = false;
+  /// Rows per L1 tile of the blocked row pass (0 = flat simple loop).
+  int32_t row_tile_ = 0;
+  /// The CSR the sweeps walk: the graph's own arrays (identity order) or a
+  /// WalkLayout's permuted arrays.
+  const int64_t* ptr_ = nullptr;
+  const NodeId* col_ = nullptr;
+  /// Materialized transition values parallel to col_ (null when norm_fly_):
+  /// layout row_prob, prob_.data(), or the graph's raw weights.
+  const double* prob_data_ = nullptr;
+  /// Raw weights + weighted degrees for the normalizing row passes.
+  const double* w_ = nullptr;
+  const double* wdeg_ = nullptr;
+  /// Original local id → sweep-space row (null ⇔ identity layout).
+  /// CompileAbsorbingSweep scatters coefficients through it; sweeps gather
+  /// outputs back through it.
+  const int32_t* perm_ = nullptr;
+  /// Keeps an adopted layout alive for the lifetime of the plan.
+  std::shared_ptr<const WalkLayout> layout_;
+  /// Privately built layout (large one-shot builds); capacity reused.
+  WalkLayout own_layout_;
+  /// Normalized transition values in sweep order, parallel to col_ (unused
+  /// when the layout supplies row_prob or the plan normalizes on the fly).
+  std::vector<double> prob_;
+};
+
+/// The mutable, per-worker half: per-query sweep coefficients, value
+/// buffers, and the runtime ISA binding, executing against a bound
+/// WalkPlan. One kernel lives in each WalkWorkspace and inside each
+/// PPR/Katz recommender. Buffers are sized lazily and keep their capacity,
+/// so steady-state reuse performs no heap allocation. Not thread-safe: one
+/// kernel per worker — but many kernels may share one adopted plan.
 class WalkKernel {
  public:
-  /// How BuildTransitions derives the contiguous transition-value array
-  /// from the graph's edge weights.
-  enum class Normalization {
-    /// prob[k] = w[k] / weighted_degree(row): row-stochastic. The DP
-    /// gather ⟨prob_row(v), value⟩ is then exactly Σ_j p_vj·value[j] of
-    /// Eq. 1 — what the truncated absorbing-value sweeps consume.
-    kRowStochastic,
-    /// prob[k] = w[k] / weighted_degree(col[k]): column-stochastic. On a
-    /// symmetric graph, gathering row v yields (Pᵀx)[v] — the push step of
-    /// the PPR power iteration expressed as a pull, which vectorizes.
-    kColumnStochastic,
-    /// prob[k] = w[k] unchanged: raw adjacency gathers (Katz's β-damped
-    /// path counting).
-    kRaw,
-  };
-
-  /// The execution plan BuildTransitions picks per graph shape (one-time
-  /// cost probe against the machine's measured cache geometry; see
-  /// docs/KERNELS.md for the thresholds):
-  ///  * kSimple — flat reference-style loop, no row tiling. Wins while
-  ///    one value vector (the window row gathers read from) still fits in
-  ///    L2, where tile bookkeeping is pure overhead. Row-stochastic only.
-  ///  * kBlocked — L1-tiled row pass with next-tile prefetch, identity
-  ///    node order; wins once the value vector exceeds L2.
-  /// Both identity-order plans normalize row-stochastic transitions on the
-  /// fly from the raw weights — the O(entries) transition materialization
-  /// is skipped entirely, with the same per-entry rounding sequence (w·(1/d)
-  /// then ·x), so results are bit-identical to a materialized sweep. Other
-  /// normalizations (PPR/Katz) materialize once and amortize over many
-  /// Apply calls.
-  ///  * kBlockedReordered — kBlocked over a WalkLayout-permuted CSR
-  ///    (adopted from the SubgraphCache or built here); seeds are injected
-  ///    and values read back through the permutation, outputs bit-identical
-  ///    in original id space.
-  /// kAuto is only a ForcePlanForTesting value: restore the cost probe.
-  enum class SweepMode { kAuto, kSimple, kBlocked, kBlockedReordered };
+  using Normalization = WalkNormalization;
+  using SweepMode = WalkSweepMode;
 
   /// Binds the kernel to the best row-gather implementation the running
   /// CPU supports (one CPUID probe per process, cached; see
@@ -121,43 +221,53 @@ class WalkKernel {
   /// parity tests can compare both paths within one process.
   void ForceGenericIsaForTesting();
 
-  /// Builds (or rebuilds) the normalized transition CSR for `g` and picks
-  /// the sweep plan (simple / blocked / blocked+reordered) for its shape.
-  /// O(edges); call once per extracted subgraph / fitted graph, then reuse
-  /// across any number of sweeps. The kernel keeps a pointer to `g` and
-  /// reads its CSR arrays during sweeps, so `g` must outlive the kernel's
-  /// use and must not be rebuilt in between.
+  /// Cold path: (re)builds this kernel's private plan for `g` and binds to
+  /// it. O(edges); call once per extracted subgraph / fitted graph, then
+  /// reuse across any number of sweeps. The plan keeps a pointer to `g`
+  /// and reads its CSR arrays during sweeps, so `g` must outlive the
+  /// kernel's use and must not be rebuilt in between.
   ///
   /// `layout` is an optional pre-built permutation of `g` (typically the
   /// one riding on a SubgraphCache payload): passing it makes the kernel
-  /// sweep the permuted CSR without re-permuting — steady-state serving
-  /// pays the reordering once per cached subgraph. When absent, auto
-  /// plans stay in identity order (a one-shot query cannot amortize the
+  /// sweep the permuted CSR without re-permuting. When absent, auto plans
+  /// stay in identity order (a one-shot query cannot amortize the
   /// permutation build; only ForcePlanForTesting(kBlockedReordered)
   /// self-builds one). Either way every public input/output stays in
   /// original local id space, bit-identical to the identity layout.
-  ///
-  /// Rows with weighted degree <= 0 get all-zero transition values (they
-  /// are compiled as isolated by CompileAbsorbingSweep).
   void BuildTransitions(const BipartiteGraph& g, Normalization norm,
                         std::shared_ptr<const WalkLayout> layout = nullptr);
 
-  /// True once BuildTransitions has run; sweeps LT_CHECK this.
-  bool has_transitions() const { return graph_ != nullptr; }
-  /// The graph the transitions were built from (nullptr before any build).
-  const BipartiteGraph* graph() const { return graph_; }
-  Normalization normalization() const { return norm_; }
+  /// Warm path: binds to a shared, already-built plan — zero O(E) or O(V)
+  /// work, just two pointer stores. The plan (and the graph/layout it
+  /// points into) must stay alive while bound; SubgraphCache payloads
+  /// guarantee this by carrying graph, layout and plan together. Any
+  /// number of kernels may adopt one plan and sweep concurrently.
+  void AdoptPlan(std::shared_ptr<const WalkPlan> plan);
 
-  /// The plan the last BuildTransitions picked ("simple", "blocked" or
-  /// "blocked_reordered"); bench/introspection only.
+  /// True once BuildTransitions or AdoptPlan has bound a plan; sweeps
+  /// LT_CHECK this.
+  bool has_transitions() const { return plan_ != nullptr; }
+  /// The bound plan (nullptr before any build/adopt).
+  const WalkPlan* plan() const { return plan_; }
+  /// The graph the bound plan was built from (nullptr before any build).
+  const BipartiteGraph* graph() const {
+    return plan_ != nullptr ? plan_->graph_ : nullptr;
+  }
+  Normalization normalization() const {
+    return plan_ != nullptr ? plan_->norm_ : Normalization::kRowStochastic;
+  }
+
+  /// The bound plan's strategy ("simple", "blocked" or "blocked_reordered");
+  /// bench/introspection only.
   const char* sweep_strategy() const;
-  /// True when the last build swept a permuted CSR (adopted or private).
-  bool reordered() const { return perm_ != nullptr; }
+  /// True when the bound plan sweeps a permuted CSR (adopted or private).
+  bool reordered() const { return plan_ != nullptr && plan_->reordered(); }
   /// Rows per L1 tile of the blocked row pass (0 in simple mode).
-  int32_t row_tile() const { return row_tile_; }
+  int32_t row_tile() const { return plan_ != nullptr ? plan_->row_tile_ : 0; }
   /// Test/bench hook: pin the plan for subsequent BuildTransitions calls
   /// (kAuto restores the cost probe). kSimple requires kRowStochastic;
-  /// kBlockedReordered builds a private layout when none is passed.
+  /// kBlockedReordered builds a private layout when none is passed. Has no
+  /// effect on AdoptPlan — adopted plans were decided at build time.
   void ForcePlanForTesting(SweepMode mode) { forced_plan_ = mode; }
 
   /// Plan constants on this machine (bench/introspection): the
@@ -173,7 +283,9 @@ class WalkKernel {
   /// local (subgraph) node-indexed, sizes == graph()->num_nodes();
   /// `node_cost[v]` is the cost paid per step leaving v (1.0 for absorbing
   /// *time*, the Eq. 9 entropy costs for absorbing *cost*). Absorbing
-  /// nodes are pinned at exactly 0 regardless of cost. O(nodes).
+  /// nodes are pinned at exactly 0 regardless of cost. O(nodes). Writes
+  /// only this kernel's scratch — safe to run concurrently with other
+  /// kernels compiled against the same shared plan.
   void CompileAbsorbingSweep(const std::vector<bool>& absorbing,
                              const std::vector<double>& node_cost);
 
@@ -222,11 +334,6 @@ class WalkKernel {
              const double* restart, double* y) const;
 
  private:
-  /// Applies the plan chosen by BuildTransitions: binds the active CSR
-  /// views (identity or permuted), materializes transition values when the
-  /// plan needs them, and sizes the row tile.
-  void BindPlan(const BipartiteGraph& g,
-                std::shared_ptr<const WalkLayout> layout);
   /// Tiled absorbing pass over sweep-space rows [lo, hi): simple mode
   /// dispatches the normalizing rows once, blocked modes walk L1-sized row
   /// tiles and prefetch the next tile's index/value strips.
@@ -240,40 +347,17 @@ class WalkKernel {
   /// The instruction-set flavour every sweep dispatches through; bound at
   /// construction, never null.
   const internal::WalkKernelIsa* isa_;
-  const BipartiteGraph* graph_ = nullptr;
-  Normalization norm_ = Normalization::kRowStochastic;
-  int32_t num_nodes_ = 0;
   SweepMode forced_plan_ = SweepMode::kAuto;
 
-  // ---- Active plan, bound by BuildTransitions ----
-  /// True when the plan normalizes rows on the fly from w_/wdeg_ instead
-  /// of a materialized transition array (kRowStochastic, identity order —
-  /// both the simple and the blocked plan).
-  bool norm_fly_ = false;
-  /// Rows per L1 tile of the blocked row pass (0 = flat simple loop).
-  int32_t row_tile_ = 0;
-  /// The CSR the sweeps walk: the graph's own arrays (identity order) or a
-  /// WalkLayout's permuted arrays.
-  const int64_t* ptr_ = nullptr;
-  const NodeId* col_ = nullptr;
-  /// Materialized transition values parallel to col_ (null when norm_fly_):
-  /// layout row_prob, prob_.data(), or the graph's raw weights.
-  const double* prob_data_ = nullptr;
-  /// Raw weights + weighted degrees for the normalizing row passes.
-  const double* w_ = nullptr;
-  const double* wdeg_ = nullptr;
-  /// Original local id → sweep-space row (null ⇔ identity layout).
-  /// CompileAbsorbingSweep scatters coefficients through it; sweeps gather
-  /// outputs back through it.
-  const int32_t* perm_ = nullptr;
-  /// Keeps an adopted layout alive for the lifetime of the transitions.
-  std::shared_ptr<const WalkLayout> layout_;
-  /// Privately built layout (large one-shot builds); capacity reused.
-  WalkLayout own_layout_;
+  /// The bound plan: &own_plan_ after BuildTransitions, adopted_.get()
+  /// after AdoptPlan, null before either.
+  const WalkPlan* plan_ = nullptr;
+  /// Kernel-owned plan for the cold BuildTransitions path; capacity kept
+  /// across rebuilds.
+  WalkPlan own_plan_;
+  /// Keeps an adopted shared plan alive while bound.
+  std::shared_ptr<const WalkPlan> adopted_;
 
-  /// Normalized transition values in sweep order, parallel to col_ (unused
-  /// when the layout supplies row_prob or the plan normalizes on the fly).
-  std::vector<double> prob_;
   /// Per-row sweep coefficients compiled by CompileAbsorbingSweep, indexed
   /// in sweep space (permuted when reordered).
   std::vector<double> add_;    // constant term (0 for absorbing rows)
