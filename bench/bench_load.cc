@@ -38,6 +38,9 @@
 
 #include "core/absorbing_time.h"
 #include "graph/subgraph_cache.h"
+#include "http/http_client.h"
+#include "http/http_server.h"
+#include "http/serving_http.h"
 #include "serving/load_gen.h"
 #include "serving/serving_engine.h"
 #include "tests/prometheus_text_checker.h"
@@ -71,6 +74,10 @@ struct LoadFlags {
   // 64 clients keep the queue deep enough that the best rung is a real
   // capacity ceiling and 2x of it genuinely overruns the admission queue.
   int max_clients = 64;
+  // Re-run the closed ladder through a loopback HttpServer on the same
+  // engine: the rung-by-rung delta against the direct ladder is the full
+  // transport cost (socket round trip + parse + JSON + dispatch).
+  bool http = false;
   bool smoke = false;           // CI mode: tiny corpus, short windows
   std::string out = "BENCH_load.json";
 };
@@ -128,6 +135,76 @@ ClosedPoint RunClosedLoop(ServingEngine& engine, const std::string& model,
         const Clock::time_point t0 = Clock::now();
         const UserQueryResult result = engine.Query(model, request);
         if (result.status.ok()) {
+          my_latency += SecondsSince(t0);
+          ++my_completed;
+        } else {
+          ++my_rejected;
+        }
+      }
+      completed.fetch_add(my_completed, std::memory_order_relaxed);
+      rejected.fetch_add(my_rejected, std::memory_order_relaxed);
+      double seen = latency_sum.load(std::memory_order_relaxed);
+      while (!latency_sum.compare_exchange_weak(seen, seen + my_latency,
+                                                std::memory_order_relaxed)) {
+      }
+    });
+  }
+  const Clock::time_point start = Clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+
+  ClosedPoint point;
+  point.clients = clients;
+  point.completed = completed.load();
+  point.rejected = rejected.load();
+  point.seconds = SecondsSince(start);
+  point.throughput = point.completed / std::max(1e-9, point.seconds);
+  point.mean_latency =
+      point.completed > 0 ? latency_sum.load() / point.completed : 0.0;
+  return point;
+}
+
+/// The same closed-loop rung driven over loopback HTTP: each client owns a
+/// keep-alive connection to the embedded server and POSTs /v1/recommend in
+/// submit→wait→repeat lockstep. Client c draws from the same seeded
+/// generator as RunClosedLoop's client c, so a rung here and its direct
+/// twin offer the same user stream — the throughput delta is purely the
+/// transport stack.
+ClosedPoint RunClosedLoopHttp(uint16_t port, const std::string& model,
+                              const LoadGenOptions& gen_options, int clients,
+                              double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0}, rejected{0};
+  std::atomic<double> latency_sum{0.0};
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      LoadGenOptions my_options = gen_options;
+      my_options.seed = gen_options.seed + 7919ull * (c + 1);
+      LoadGenerator gen(my_options);
+      double my_latency = 0.0;
+      uint64_t my_completed = 0, my_rejected = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const ServeRequest request = gen.Next();
+        const std::string body =
+            "{\"model\":\"" + model +
+            "\",\"user\":" + std::to_string(request.user) +
+            ",\"top_k\":" + std::to_string(request.top_k) + "}";
+        const Clock::time_point t0 = Clock::now();
+        const auto response = client.Request("POST", "/v1/recommend", body);
+        if (!response.ok()) {
+          // Connection torn down (e.g. max_requests_per_connection):
+          // reconnect and keep going, like a pooled client would.
+          ++my_rejected;
+          client.Close();
+          if (!client.Connect("127.0.0.1", port).ok()) break;
+          continue;
+        }
+        if (response.value().status == 200) {
           my_latency += SecondsSince(t0);
           ++my_completed;
         } else {
@@ -248,6 +325,8 @@ void WriteJson(const LoadFlags& flags, const Dataset& d,
                const ServingEngineOptions& engine_options,
                const LoadGenOptions& gen_options,
                const std::vector<ClosedPoint>& ladder, double saturation,
+               const std::vector<ClosedPoint>& http_ladder,
+               double http_saturation,
                const std::vector<OpenPoint>& points,
                double rejection_at_2x, size_t metrics_series,
                bool exposition_ok) {
@@ -298,6 +377,30 @@ void WriteJson(const LoadFlags& flags, const Dataset& d,
   }
   std::fprintf(f, "    ],\n    \"saturation_rps\": %.2f\n  },\n",
                saturation);
+  if (!http_ladder.empty()) {
+    // Additive section (--http): same closed ladder through the loopback
+    // HTTP front. Validators that check required fields ignore it.
+    std::fprintf(f, "  \"http\": {\n    \"ladder\": [\n");
+    for (size_t i = 0; i < http_ladder.size(); ++i) {
+      const ClosedPoint& p = http_ladder[i];
+      std::fprintf(f,
+                   "      {\"name\": \"http_clients_%d\", \"clients\": %d, "
+                   "\"seconds\": %.3f, \"completed\": %llu, "
+                   "\"rejected\": %llu, \"throughput_rps\": %.2f, "
+                   "\"mean_latency_seconds\": %.6f}%s\n",
+                   p.clients, p.clients, p.seconds,
+                   static_cast<unsigned long long>(p.completed),
+                   static_cast<unsigned long long>(p.rejected), p.throughput,
+                   p.mean_latency, i + 1 < http_ladder.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ],\n    \"saturation_rps\": %.2f,\n"
+                 "    \"transport_cost_fraction\": %.4f\n  },\n",
+                 http_saturation,
+                 saturation > 0.0
+                     ? 1.0 - http_saturation / saturation
+                     : 0.0);
+  }
   std::fprintf(f, "  \"open_loop\": {\n    \"points\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const OpenPoint& p = points[i];
@@ -412,6 +515,47 @@ void Run(const LoadFlags& flags) {
   }
   LT_CHECK(saturation > 0.0) << "no closed-loop completions";
 
+  // Loopback HTTP discipline (--http): the same ladder through an embedded
+  // HttpServer + ServingHttpFront on this engine. The rung-by-rung delta
+  // against the direct ladder prices the transport stack.
+  std::vector<ClosedPoint> http_ladder;
+  double http_saturation = 0.0;
+  if (flags.http) {
+    ServingHttpFrontOptions front_options;
+    front_options.ready_at_start = true;  // models are already registered
+    ServingHttpFront front(&engine, front_options);
+    HttpServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.num_workers = static_cast<size_t>(max_clients);
+    server_options.metrics = engine.metrics();
+    HttpServer server(
+        [&front](const RequestContext& ctx) { return front.Dispatch(ctx); },
+        server_options);
+    LT_CHECK_OK(server.Start());
+    std::printf("\n# closed loop over loopback HTTP on 127.0.0.1:%u "
+                "(%.1fs per rung)\n\n",
+                server.port(), closed_seconds);
+    std::printf("%8s %12s %14s %16s %10s %12s\n", "clients", "completed",
+                "throughput", "mean latency ms", "rejected", "vs direct");
+    for (int clients = 1; clients <= max_clients; clients *= 2) {
+      const ClosedPoint point = RunClosedLoopHttp(
+          server.port(), "AT", gen_options, clients, closed_seconds);
+      const ClosedPoint& direct = ladder[http_ladder.size()];
+      std::printf("%8d %12llu %11.1f/s %16.3f %10llu %11.1f%%\n",
+                  point.clients,
+                  static_cast<unsigned long long>(point.completed),
+                  point.throughput, 1e3 * point.mean_latency,
+                  static_cast<unsigned long long>(point.rejected),
+                  direct.throughput > 0.0
+                      ? 100.0 * point.throughput / direct.throughput
+                      : 0.0);
+      http_saturation = std::max(http_saturation, point.throughput);
+      http_ladder.push_back(point);
+    }
+    server.Stop();
+    LT_CHECK(http_saturation > 0.0) << "no HTTP closed-loop completions";
+  }
+
   // Open loop: sweep fractions of saturation through 2x past the knee.
   const std::vector<double> fractions =
       flags.smoke ? std::vector<double>{0.5, 2.0}
@@ -460,7 +604,8 @@ void Run(const LoadFlags& flags) {
               series_lines, exposition_ok ? "ok" : "INVALID");
 
   WriteJson(flags, d, engine_options, gen_options, ladder, saturation,
-            points, rejection_at_2x, series_lines, exposition_ok);
+            http_ladder, http_saturation, points, rejection_at_2x,
+            series_lines, exposition_ok);
   LT_CHECK(exposition_ok) << checker_error;
 }
 
@@ -487,6 +632,9 @@ int main(int argc, char** argv) {
                    "open-loop window per rate point");
   parser.AddInt("max_clients", &flags.max_clients,
                 "closed-loop ladder top (powers of two up to this)");
+  parser.AddBool("http", &flags.http,
+                 "also run the closed ladder through a loopback HTTP "
+                 "server (prices the transport stack)");
   parser.AddBool("smoke", &flags.smoke,
                  "CI mode: tiny corpus, short windows, 2-point sweep");
   parser.AddString("out", &flags.out, "output JSON path");

@@ -1,0 +1,238 @@
+// The deployable HTTP serving binary: checkpoint directory in, JSON API
+// out. This is the end of the fit → checkpoint → restart → serve story —
+// a process that never trains, only loads and answers.
+//
+//   $ ./serve_http                         # bootstrap demo corpus + serve
+//   $ ./serve_http --dir=ckpts --port=8080 # serve an existing fleet
+//
+// Boot order (the readiness story /readyz tells):
+//   1. bind the port and start answering — /healthz 200, /readyz 503,
+//      engine endpoints refuse with the 503 envelope;
+//   2. load the dataset + every *.ckpt through LoadCheckpointDirIntoEngine;
+//   3. MarkReady — /readyz flips to 200 and traffic flows.
+//
+// With --dir unset the binary first plays the offline trainer: it fits AT
+// and HT walkers on a synthetic corpus and persists dataset + checkpoints
+// under --work_dir, then serves from that directory via the cold-start
+// path (the served models are the *loaded* ones; Fit never touches them).
+//
+// Shutdown: SIGTERM/SIGINT trigger HttpServer::Stop — graceful drain,
+// in-flight requests answered, exit 0. CI's smoke step drives exactly
+// this: boot, curl the five endpoints, SIGTERM, assert clean exit.
+//
+// --self_check runs the five-endpoint probe in-process (own HttpClient
+// against the bound port) and exits 0/1 — the ctest smoke.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/absorbing_time.h"
+#include "core/hitting_time.h"
+#include "data/generator.h"
+#include "data/serialization.h"
+#include "http/http_client.h"
+#include "http/http_server.h"
+#include "http/serving_http.h"
+#include "serving/model_registry.h"
+#include "serving/serving_engine.h"
+#include "util/flags.h"
+
+using namespace longtail;
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true, std::memory_order_release); }
+
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+/// Offline-trainer bootstrap: synthetic corpus + AT/HT checkpoints.
+Status Bootstrap(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir);
+
+  SyntheticSpec spec;
+  spec.name = "serve-http-demo";
+  spec.num_users = 200;
+  spec.num_items = 150;
+  spec.mean_user_degree = 12;
+  spec.min_user_degree = 4;
+  spec.num_genres = 6;
+  spec.seed = 20120826;
+  auto generated = GenerateSyntheticData(spec);
+  LT_RETURN_IF_ERROR(generated.status());
+  const Dataset& train = generated.value().dataset;
+  LT_RETURN_IF_ERROR(SaveDatasetBinary(train, dir + "/dataset.bin"));
+
+  AbsorbingTimeRecommender at;
+  LT_RETURN_IF_ERROR(at.Fit(train));
+  LT_RETURN_IF_ERROR(SaveModelCheckpoint(at, dir + "/at.ckpt"));
+  HittingTimeRecommender ht;
+  LT_RETURN_IF_ERROR(ht.Fit(train));
+  LT_RETURN_IF_ERROR(SaveModelCheckpoint(ht, dir + "/ht.ckpt"));
+  std::printf("bootstrapped demo fleet in %s (dataset + at.ckpt + ht.ckpt)\n",
+              dir.c_str());
+  return Status::OK();
+}
+
+/// The ctest/CI probe: all five endpoints against the live server.
+int SelfCheck(uint16_t port, const std::string& model) {
+  HttpClient client;
+  if (Status s = client.Connect("127.0.0.1", port); !s.ok()) {
+    return Fail("self_check connect", s);
+  }
+  struct Probe {
+    const char* method;
+    const char* target;
+    std::string body;
+    int want_status;
+    const char* want_substring;
+  };
+  const std::vector<Probe> probes = {
+      {"GET", "/healthz", "", 200, "\"ok\""},
+      {"GET", "/readyz", "", 200, "\"ready\""},
+      {"POST", "/v1/recommend",
+       "{\"model\":\"" + model + "\",\"user\":7,\"top_k\":5}", 200,
+       "\"items\""},
+      {"POST", "/v1/score",
+       "{\"model\":\"" + model + "\",\"user\":7,\"items\":[1,2,3]}", 200,
+       "\"scores\""},
+      {"GET", "/metrics", "", 200, "longtail_http_requests_total"},
+      // And the failure taxonomy, straight off the wire:
+      {"POST", "/v1/recommend", "{\"model\":\"nope\",\"user\":1,\"top_k\":2}",
+       404, "\"NotFound\""},
+      {"POST", "/v1/recommend",
+       "{\"model\":\"" + model + "\",\"user\":1,\"top_k\":2,"
+       "\"deadline_ms\":0}",
+       504, "\"DeadlineExceeded\""},
+      {"POST", "/v1/recommend", "not json", 400, "\"InvalidArgument\""},
+  };
+  for (const Probe& probe : probes) {
+    auto response =
+        client.Request(probe.method, probe.target, probe.body);
+    if (!response.ok()) return Fail(probe.target, response.status());
+    if (response.value().status != probe.want_status) {
+      std::fprintf(stderr, "%s %s: got %d want %d (%s)\n", probe.method,
+                   probe.target, response.value().status, probe.want_status,
+                   response.value().body.c_str());
+      return 1;
+    }
+    if (response.value().body.find(probe.want_substring) ==
+        std::string::npos) {
+      std::fprintf(stderr, "%s %s: body lacks %s: %s\n", probe.method,
+                   probe.target, probe.want_substring,
+                   response.value().body.c_str());
+      return 1;
+    }
+    std::printf("self_check %-4s %-14s -> %d ok\n", probe.method,
+                probe.target, response.value().status);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string work_dir = "serve_http_demo";
+  std::string bind = "127.0.0.1";
+  std::string port_file;
+  int port = 0;
+  int workers = 4;
+  bool self_check = false;
+  FlagParser flags;
+  flags.AddString("dir", &dir,
+                  "checkpoint directory (dataset.bin + *.ckpt); empty = "
+                  "bootstrap a demo fleet under --work_dir first");
+  flags.AddString("work_dir", &work_dir,
+                  "where the bootstrapped demo fleet goes when --dir is "
+                  "unset");
+  flags.AddString("bind", &bind, "IPv4 address to bind");
+  flags.AddInt("port", &port, "TCP port; 0 = kernel-assigned ephemeral");
+  flags.AddInt("workers", &workers, "connection worker threads");
+  flags.AddString("port_file", &port_file,
+                  "write the bound port here after startup (for scripts "
+                  "driving an ephemeral port)");
+  flags.AddBool("self_check", &self_check,
+                "probe all endpoints in-process, then exit 0/1 (smoke "
+                "test mode)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    // --help comes back as FailedPrecondition with usage already printed.
+    if (s.code() != StatusCode::kFailedPrecondition) return Fail("flags", s);
+    return 0;
+  }
+
+  if (dir.empty()) {
+    dir = work_dir;
+    if (Status s = Bootstrap(dir); !s.ok()) return Fail("bootstrap", s);
+  }
+
+  // ---- 1. Port first: probes can tell "starting" from "dead". ---------
+  ServingEngine engine;
+  ServingHttpFront front(&engine);
+  HttpServerOptions server_options;
+  server_options.bind_address = bind;
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.num_workers = static_cast<size_t>(workers);
+  server_options.metrics = engine.metrics();
+  HttpServer server(
+      [&front](const RequestContext& ctx) { return front.Dispatch(ctx); },
+      server_options);
+  if (Status s = server.Start(); !s.ok()) return Fail("start", s);
+  std::printf("listening on %s:%u (readyz: not ready)\n", bind.c_str(),
+              server.port());
+  if (!port_file.empty()) {
+    if (FILE* f = std::fopen(port_file.c_str(), "w"); f != nullptr) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    } else {
+      return Fail("port_file", Status::IOError("cannot write " + port_file));
+    }
+  }
+
+  // ---- 2. Cold-start the fleet from disk. -----------------------------
+  auto dataset = LoadDatasetBinary(dir + "/dataset.bin");
+  if (!dataset.ok()) return Fail("load dataset", dataset.status());
+  auto loaded = LoadCheckpointDirIntoEngine(dir, dataset.value(), &engine);
+  if (!loaded.ok()) return Fail("load checkpoints", loaded.status());
+  if (loaded.value().empty()) {
+    return Fail("load checkpoints",
+                Status::NotFound("no loadable *.ckpt under " + dir));
+  }
+  std::string model_list;
+  for (const std::string& name : loaded.value()) {
+    if (!model_list.empty()) model_list += ", ";
+    model_list += name;
+  }
+
+  // ---- 3. Open for business. ------------------------------------------
+  front.MarkReady();
+  std::printf("ready: %zu model(s) [%s] on port %u\n", loaded.value().size(),
+              model_list.c_str(), server.port());
+
+  if (self_check) {
+    const int rc = SelfCheck(server.port(), loaded.value().front());
+    server.Stop();
+    std::printf("self_check %s\n", rc == 0 ? "passed" : "FAILED");
+    return rc;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (!g_shutdown.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("signal received: draining...\n");
+  server.Stop();
+  std::printf("shutdown complete\n");
+  return 0;
+}

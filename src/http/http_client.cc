@@ -1,0 +1,202 @@
+#include "http/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace longtail {
+
+namespace {
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Status::IOError(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    Close();
+    return status;
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status HttpClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type,
+    uint64_t timeout_ms) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: longtail\r\n";
+  if (!body.empty() || method != "GET") {
+    wire += "Content-Type: " + content_type + "\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  LT_RETURN_IF_ERROR(SendRaw(wire));
+  return ReadResponse(timeout_ms);
+}
+
+Status HttpClient::FillBuffer(uint64_t deadline_ms) {
+  while (true) {
+    const uint64_t now = NowMillis();
+    if (now >= deadline_ms) return Status::DeadlineExceeded("read timed out");
+    pollfd entry{fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&entry, 1, static_cast<int>(deadline_ms - now));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) return Status::DeadlineExceeded("read timed out");
+    char buf[8192];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    buffer_.append(buf, static_cast<size_t>(n));
+    return Status::OK();
+  }
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse(uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint64_t deadline_ms = NowMillis() + timeout_ms;
+
+  // Head: everything through the blank line.
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    LT_RETURN_IF_ERROR(FillBuffer(deadline_ms));
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  HttpClientResponse response;
+  size_t line_start = 0;
+  size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+    return Status::IOError("malformed status line '" + status_line + "'");
+  }
+  response.status = std::atoi(status_line.c_str() + 9);
+  if (response.status < 100 || response.status > 599) {
+    return Status::IOError("malformed status code in '" + status_line + "'");
+  }
+  response.keep_alive = status_line.compare(0, 8, "HTTP/1.1") == 0;
+
+  size_t content_length = 0;
+  while (line_end != std::string::npos) {
+    line_start = line_end + 2;
+    line_end = head.find("\r\n", line_start);
+    const std::string line = head.substr(
+        line_start, (line_end == std::string::npos ? head.size() : line_end) -
+                        line_start);
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(std::string_view(line).substr(0, colon));
+    std::string value(Trim(std::string_view(line).substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (name == "connection") {
+      const std::string lower = ToLower(value);
+      if (lower.find("close") != std::string::npos) {
+        response.keep_alive = false;
+      } else if (lower.find("keep-alive") != std::string::npos) {
+        response.keep_alive = true;
+      }
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  while (buffer_.size() < content_length) {
+    LT_RETURN_IF_ERROR(FillBuffer(deadline_ms));
+  }
+  response.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  return response;
+}
+
+}  // namespace longtail

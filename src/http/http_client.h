@@ -1,0 +1,67 @@
+// Minimal blocking HTTP/1.1 client for tests, the CI smoke and bench_load's
+// loopback discipline. Deliberately tiny: IPv4 connect, one request at a
+// time, keep-alive with leftover buffering (so pipelining tests can push
+// raw bytes with SendRaw and read responses back one by one). Not a general
+// client — no TLS, no chunked bodies, no redirects.
+#ifndef LONGTAIL_HTTP_HTTP_CLIENT_H_
+#define LONGTAIL_HTTP_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longtail {
+
+struct HttpClientResponse {
+  int status = 0;
+  /// Header names lowercased, order preserved.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  const std::string* FindHeader(std::string_view lower_name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to an IPv4 address ("127.0.0.1") and port.
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Serializes and sends one request, then reads one response. `body` may
+  /// be empty (Content-Length: 0 is still sent for non-GET methods).
+  Result<HttpClientResponse> Request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::string& content_type = "application/json",
+      uint64_t timeout_ms = 10000);
+
+  /// Sends raw bytes verbatim (hostile-input and pipelining tests).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads exactly one response off the wire. Bytes beyond it (pipelined
+  /// responses) stay buffered for the next call.
+  Result<HttpClientResponse> ReadResponse(uint64_t timeout_ms = 10000);
+
+ private:
+  /// Blocks until more bytes arrive or deadline; appends to buffer_.
+  Status FillBuffer(uint64_t deadline_ms);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_HTTP_HTTP_CLIENT_H_

@@ -1,0 +1,53 @@
+#include "http/http_envelope.h"
+
+#include "http/http_json.h"
+
+namespace longtail {
+
+int StatusToHttp(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 503;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+      return 500;
+  }
+  return 500;
+}
+
+std::string ErrorEnvelopeJson(const Status& status, int http_status) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(StatusCodeToString(status.code())));
+  error.Set("http_status", JsonValue::Number(http_status));
+  error.Set("message", JsonValue::String(status.message()));
+  JsonValue root = JsonValue::Object();
+  root.Set("error", std::move(error));
+  return WriteJson(root);
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return ErrorResponseWithHttpStatus(StatusToHttp(status.code()), status);
+}
+
+HttpResponse ErrorResponseWithHttpStatus(int http_status,
+                                         const Status& status) {
+  HttpResponse response;
+  response.status = http_status;
+  response.body = ErrorEnvelopeJson(status, http_status);
+  return response;
+}
+
+}  // namespace longtail

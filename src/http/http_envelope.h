@@ -1,0 +1,49 @@
+// Status → HTTP mapping and the JSON error envelope: the one place where
+// the library's typed error model (util/status.h) meets the wire.
+//
+// Every non-OK outcome the HTTP front emits — admission rejection, expired
+// deadline, unknown model, malformed request, shutdown — uses the same
+// envelope shape, so clients branch on one schema (the file_server ADR 0002
+// contract: internal Result/Status propagation, consistent HTTP JSON
+// envelopes):
+//
+//   HTTP/1.1 429 Too Many Requests
+//   {"error":{"code":"ResourceExhausted","http_status":429,
+//             "message":"model 'AC2' queue is full"}}
+//
+// `code` is the stable StatusCodeToString name, NOT the numeric HTTP
+// status, so retry logic written against the in-process API translates
+// 1:1. The full mapping table lives in docs/HTTP_API.md and is pinned by
+// tests/http_envelope_test.cc.
+#ifndef LONGTAIL_HTTP_HTTP_ENVELOPE_H_
+#define LONGTAIL_HTTP_HTTP_ENVELOPE_H_
+
+#include <string>
+
+#include "http/http_parser.h"
+#include "util/status.h"
+
+namespace longtail {
+
+/// The HTTP status code a Status maps to. kOk → 200; the serving-relevant
+/// codes: ResourceExhausted → 429, DeadlineExceeded → 504, NotFound → 404,
+/// InvalidArgument/OutOfRange → 400, FailedPrecondition → 503 (not ready /
+/// shutting down), Unimplemented → 501, Internal/IOError → 500.
+int StatusToHttp(StatusCode code);
+
+/// The envelope body for a non-OK status (see the header comment). The
+/// caller picks the HTTP status; pass StatusToHttp(status.code()) unless a
+/// parser-level code (413/414/431/505) overrides it.
+std::string ErrorEnvelopeJson(const Status& status, int http_status);
+
+/// A ready-to-serialize envelope response with StatusToHttp's code.
+HttpResponse ErrorResponse(const Status& status);
+
+/// Same, with an explicit HTTP status (parser rejections carry their own
+/// codes; the envelope's `code` field still reflects `status`).
+HttpResponse ErrorResponseWithHttpStatus(int http_status,
+                                         const Status& status);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_HTTP_HTTP_ENVELOPE_H_

@@ -1,0 +1,127 @@
+// Hand-rolled JSON reader/writer for the HTTP front's small request and
+// response schemas (http/serving_http.h, docs/HTTP_API.md).
+//
+// Scope is deliberately narrow — this is not a general JSON library. It
+// exists so the embedded server (http/http_server.h) has zero third-party
+// dependencies while still speaking strict, round-trippable JSON:
+//
+//  * The reader rejects everything outside RFC 8259: trailing content,
+//    unterminated strings, bare control characters, lone surrogates,
+//    malformed numbers, and documents nested past a fixed depth cap (no
+//    recursion-driven stack overflow on hostile input — parse errors come
+//    back as a typed Status, never a crash).
+//  * The writer emits doubles with std::to_chars (shortest round-trip
+//    form), so a score serialized into a response body parses back to the
+//    bit-identical double — the property the HTTP-vs-QueryBatch parity
+//    test pins (tests/http_server_integration_test.cc).
+//
+// JsonValue is a small ordered-map/vector variant; object key order is
+// preserved so serialized output is deterministic.
+#ifndef LONGTAIL_HTTP_HTTP_JSON_H_
+#define LONGTAIL_HTTP_HTTP_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longtail {
+
+/// A parsed JSON document node. Objects keep insertion order (serialization
+/// is deterministic and tests can compare strings); lookups are linear,
+/// which is right for the front's handful-of-keys schemas.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = value;
+    return v;
+  }
+  static JsonValue Number(double value) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+  static JsonValue String(std::string value) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(value);
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; calling the wrong one on a node is a programming
+  /// error (callers check kind() or use the As* helpers below).
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Builder mutators (used by response construction).
+  JsonValue& Set(std::string key, JsonValue value);  // object; returns *this
+  JsonValue& Append(JsonValue value);                // array; returns *this
+
+  /// The number as an integer in [lo, hi]; fails when this node is not a
+  /// number, not integral, or out of range. The request schemas are all
+  /// small integers (user id, top_k, deadline_ms), so range checking lives
+  /// here once.
+  Result<int64_t> AsInt64(int64_t lo, int64_t hi) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Strict RFC 8259 parse of a complete document. `max_depth` bounds
+/// object/array nesting (hostile deep nesting fails cleanly instead of
+/// recursing the stack away). Trailing non-whitespace after the document is
+/// an error.
+Result<JsonValue> ParseJson(std::string_view text, int max_depth = 32);
+
+/// Serializes a JsonValue. Strings are escaped per RFC 8259 (control
+/// characters as \u00XX); numbers use shortest-round-trip formatting —
+/// integral doubles within the exact-int53 range print without exponent or
+/// fraction. Non-finite numbers (never produced by the serving schemas)
+/// serialize as null.
+std::string WriteJson(const JsonValue& value);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_HTTP_HTTP_JSON_H_

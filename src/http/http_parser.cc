@@ -1,0 +1,393 @@
+#include "http/http_parser.h"
+
+#include <algorithm>
+
+namespace longtail {
+
+namespace {
+
+/// RFC 9110 token characters (header field names, methods).
+bool IsTokenChar(char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Case-insensitive membership of `needle` in a comma-separated header
+/// value ("Connection: keep-alive, TE").
+bool HeaderListContains(std::string_view value, std::string_view needle) {
+  const std::string lower = ToLower(value);
+  size_t pos = 0;
+  while (pos <= lower.size()) {
+    size_t comma = lower.find(',', pos);
+    if (comma == std::string::npos) comma = lower.size();
+    if (TrimOws(std::string_view(lower).substr(pos, comma - pos)) == needle) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view HttpRequest::path() const {
+  const std::string_view t(target);
+  const size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+HttpRequestParser::HttpRequestParser(HttpParserLimits limits)
+    : limits_(limits) {}
+
+void HttpRequestParser::Reset() {
+  state_ = State::kRequestLine;
+  started_ = false;
+  line_buf_.clear();
+  header_bytes_ = 0;
+  content_length_ = 0;
+  request_ = HttpRequest{};
+  error_ = Status::OK();
+  error_http_status_ = 0;
+}
+
+HttpRequestParser::ParseResult HttpRequestParser::Fail(int http_status,
+                                                       Status status) {
+  state_ = State::kError;
+  error_ = std::move(status);
+  error_http_status_ = http_status;
+  return ParseResult::kError;
+}
+
+HttpRequestParser::ParseResult HttpRequestParser::Consume(
+    std::string_view data, size_t* consumed) {
+  *consumed = 0;
+  if (state_ == State::kComplete) return ParseResult::kComplete;
+  if (state_ == State::kError) return ParseResult::kError;
+
+  while (*consumed < data.size()) {
+    if (state_ == State::kBody) {
+      const uint64_t need = content_length_ - request_.body.size();
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(need, data.size() - *consumed));
+      request_.body.append(data.data() + *consumed, take);
+      *consumed += take;
+      if (request_.body.size() == content_length_) {
+        state_ = State::kComplete;
+        return ParseResult::kComplete;
+      }
+      return ParseResult::kNeedMore;
+    }
+
+    // Line-oriented states: accumulate until LF, with the cap enforced on
+    // the partial line so an endless unterminated line cannot buffer past
+    // the limit.
+    const size_t nl = data.find('\n', *consumed);
+    const size_t chunk_end = nl == std::string_view::npos ? data.size() : nl;
+    const size_t chunk_len = chunk_end - *consumed;
+    if (state_ == State::kRequestLine) {
+      if (line_buf_.size() + chunk_len > limits_.max_request_line_bytes) {
+        return Fail(414, Status::InvalidArgument(
+                             "request line exceeds " +
+                             std::to_string(limits_.max_request_line_bytes) +
+                             " bytes"));
+      }
+    } else {
+      header_bytes_ += chunk_len;
+      if (header_bytes_ > limits_.max_header_bytes) {
+        return Fail(431, Status::InvalidArgument(
+                             "header section exceeds " +
+                             std::to_string(limits_.max_header_bytes) +
+                             " bytes"));
+      }
+    }
+    line_buf_.append(data.data() + *consumed, chunk_len);
+    *consumed = chunk_end;
+    if (nl == std::string_view::npos) return ParseResult::kNeedMore;
+    ++*consumed;  // the LF itself
+    if (state_ == State::kHeaders) ++header_bytes_;
+
+    // Strict CRLF framing: the accumulated line must end with CR.
+    if (line_buf_.empty() || line_buf_.back() != '\r') {
+      return Fail(400, Status::InvalidArgument(
+                           "header line not terminated by CRLF"));
+    }
+    line_buf_.pop_back();
+    std::string line = std::move(line_buf_);
+    line_buf_.clear();
+    const ParseResult result = ConsumeLine(line);
+    if (result != ParseResult::kNeedMore) return result;
+  }
+  return ParseResult::kNeedMore;
+}
+
+HttpRequestParser::ParseResult HttpRequestParser::ConsumeLine(
+    std::string_view line) {
+  if (state_ == State::kRequestLine) {
+    if (line.empty() && !started_) {
+      // RFC 9112 §2.2: ignore empty line(s) before the request line
+      // (robustness against sloppy pipelined clients).
+      return ParseResult::kNeedMore;
+    }
+    return ParseRequestLine(line);
+  }
+  if (line.empty()) return FinishHeaders();
+  return ParseHeaderLine(line);
+}
+
+HttpRequestParser::ParseResult HttpRequestParser::ParseRequestLine(
+    std::string_view line) {
+  started_ = true;
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, Status::InvalidArgument(
+                         "request line is not 'METHOD target HTTP/x.y'"));
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    return Fail(400, Status::InvalidArgument("invalid request method"));
+  }
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, Status::InvalidArgument(
+                         "request target must be origin-form (start '/')"));
+  }
+  for (const char c : target) {
+    if (c <= 0x20 || c == 0x7F) {
+      return Fail(400, Status::InvalidArgument(
+                           "control byte in request target"));
+    }
+  }
+  if (version.rfind("HTTP/", 0) != 0) {
+    return Fail(400, Status::InvalidArgument("malformed HTTP version"));
+  }
+  if (version == "HTTP/1.1") {
+    request_.minor_version = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.minor_version = 0;
+  } else {
+    return Fail(505, Status::Unimplemented("only HTTP/1.0 and HTTP/1.1 are "
+                                           "supported"));
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  state_ = State::kHeaders;
+  return ParseResult::kNeedMore;
+}
+
+HttpRequestParser::ParseResult HttpRequestParser::ParseHeaderLine(
+    std::string_view line) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Obsolete line folding: a continuation would silently change the
+    // previous field's value; reject per RFC 9112 §5.2.
+    return Fail(400, Status::InvalidArgument("obsolete header folding"));
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    return Fail(431, Status::InvalidArgument(
+                         "more than " + std::to_string(limits_.max_headers) +
+                         " headers"));
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return Fail(400, Status::InvalidArgument("header line without ':'"));
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Also catches "name : value" — whitespace before the colon smuggles
+    // header mismatches through proxies and is forbidden.
+    return Fail(400, Status::InvalidArgument("invalid header field name"));
+  }
+  const std::string_view value = TrimOws(line.substr(colon + 1));
+  for (const char c : value) {
+    if ((static_cast<unsigned char>(c) < 0x20 && c != '\t') || c == 0x7F) {
+      return Fail(400,
+                  Status::InvalidArgument("control byte in header value"));
+    }
+  }
+  request_.headers.emplace_back(ToLower(name), std::string(value));
+  return ParseResult::kNeedMore;
+}
+
+HttpRequestParser::ParseResult HttpRequestParser::FinishHeaders() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    // The serving API's request bodies are tiny JSON documents; chunked
+    // framing is deliberately out of scope, and silently ignoring the
+    // header would desynchronize the connection.
+    return Fail(501, Status::Unimplemented(
+                         "Transfer-Encoding is not supported; send "
+                         "Content-Length-framed bodies"));
+  }
+  bool have_length = false;
+  uint64_t length = 0;
+  for (const auto& [name, value] : request_.headers) {
+    if (name != "content-length") continue;
+    // Strict digit-only parse with an explicit overflow guard: "+5",
+    // "0x10", "5 5", "" and 40-digit values are all hostile framing.
+    if (value.empty()) {
+      return Fail(400, Status::InvalidArgument("empty Content-Length"));
+    }
+    uint64_t parsed = 0;
+    for (const char c : value) {
+      if (c < '0' || c > '9') {
+        return Fail(400, Status::InvalidArgument(
+                             "non-digit Content-Length '" + value + "'"));
+      }
+      if (parsed > (UINT64_MAX - 9) / 10) {
+        return Fail(400, Status::InvalidArgument(
+                             "Content-Length overflows 64 bits"));
+      }
+      parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (have_length && parsed != length) {
+      return Fail(400, Status::InvalidArgument(
+                           "conflicting Content-Length headers"));
+    }
+    have_length = true;
+    length = parsed;
+  }
+  if (have_length && length > limits_.max_body_bytes) {
+    return Fail(413, Status::InvalidArgument(
+                         "declared body of " + std::to_string(length) +
+                         " bytes exceeds the " +
+                         std::to_string(limits_.max_body_bytes) +
+                         "-byte limit"));
+  }
+  content_length_ = have_length ? length : 0;
+
+  request_.keep_alive = request_.minor_version >= 1;
+  if (const std::string* connection = request_.FindHeader("connection")) {
+    if (HeaderListContains(*connection, "close")) {
+      request_.keep_alive = false;
+    } else if (HeaderListContains(*connection, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+
+  if (content_length_ == 0) {
+    state_ = State::kComplete;
+    return ParseResult::kComplete;
+  }
+  request_.body.reserve(static_cast<size_t>(content_length_));
+  state_ = State::kBody;
+  return ParseResult::kNeedMore;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Content Too Large";
+    case 414:
+      return "URI Too Long";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpReasonPhrase(response.status);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: ";
+    out += response.content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += keep_alive && !response.close ? "Connection: keep-alive\r\n"
+                                       : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace longtail

@@ -1,0 +1,147 @@
+// Strict incremental HTTP/1.1 request parser + response serializer: the
+// message layer of the embedded serving front (http/http_server.h).
+//
+// The parser consumes bytes exactly as a socket delivers them — in any
+// fragmentation, including one byte at a time — and advances a small state
+// machine (request line → headers → body). Its contract, pinned by
+// tests/http_parser_fuzz_test.cc under ASan+UBSan:
+//
+//  * It NEVER over-reads: Consume reports exactly how many input bytes
+//    belong to the current request, so pipelined bytes after a complete
+//    message are left for the next Reset/Consume cycle.
+//  * It never crashes on hostile input — every malformed, oversized or
+//    unsupported message is rejected with a typed Status plus the HTTP
+//    status code the server should answer with (400, 413, 414, 431, 501,
+//    505), after which the parser is sticky-errored until Reset.
+//  * Bounds are enforced *while* reading, before buffering: the request
+//    line, cumulative header bytes, header count and declared body size
+//    each have a hard cap, so a hostile peer cannot make the server
+//    allocate more than the configured limits.
+//  * Content-Length handling is exact: strict digit-only parse with an
+//    overflow guard, duplicate headers must agree, Transfer-Encoding is
+//    rejected as unimplemented (the serving API never chunks requests),
+//    and the body completes after exactly the declared byte count.
+#ifndef LONGTAIL_HTTP_HTTP_PARSER_H_
+#define LONGTAIL_HTTP_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longtail {
+
+/// One parsed request. Header names are lowercased at parse time (HTTP
+/// field names are case-insensitive); values keep their bytes minus
+/// surrounding whitespace.
+struct HttpRequest {
+  std::string method;   // e.g. "GET", "POST" — token-validated, not limited
+  std::string target;   // origin-form, e.g. "/v1/recommend?verbose=1"
+  int minor_version = 1;  // HTTP/1.<minor>; only 0 and 1 are accepted
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Derived from the version + Connection header at parse completion.
+  bool keep_alive = true;
+
+  /// First header with this (lowercase) name; nullptr when absent.
+  const std::string* FindHeader(std::string_view lower_name) const;
+  /// `target` with any ?query suffix removed (the router matches paths).
+  std::string_view path() const;
+};
+
+/// Hard input bounds, enforced incrementally. Defaults fit the serving
+/// API's small JSON bodies with generous slack.
+struct HttpParserLimits {
+  size_t max_request_line_bytes = 8 * 1024;  // exceeded → 414
+  size_t max_header_bytes = 16 * 1024;       // all header lines → 431
+  size_t max_headers = 64;                   // exceeded → 431
+  size_t max_body_bytes = 1 * 1024 * 1024;   // declared length → 413
+};
+
+class HttpRequestParser {
+ public:
+  enum class ParseResult {
+    kNeedMore,  // consumed everything offered; message incomplete
+    kComplete,  // request() is ready; *consumed may be < data.size()
+    kError,     // error()/error_http_status() describe the rejection
+  };
+
+  explicit HttpRequestParser(HttpParserLimits limits = {});
+
+  /// Feeds bytes. `*consumed` is always set to how many of `data`'s bytes
+  /// were claimed by this request (complete requests claim only their own
+  /// bytes; errors claim everything offered, since the connection is dead).
+  /// After kComplete or kError further input is not consumed until Reset.
+  ParseResult Consume(std::string_view data, size_t* consumed);
+
+  /// Valid after kComplete.
+  const HttpRequest& request() const { return request_; }
+  HttpRequest TakeRequest() { return std::move(request_); }
+
+  /// Valid after kError.
+  const Status& error() const { return error_; }
+  int error_http_status() const { return error_http_status_; }
+
+  /// True once the request line has started arriving (used by the server
+  /// to distinguish an idle keep-alive connection from one mid-request at
+  /// shutdown).
+  bool mid_message() const { return started_ && !done(); }
+  bool done() const {
+    return state_ == State::kComplete || state_ == State::kError;
+  }
+
+  /// Ready for the next request on the same connection (keep-alive /
+  /// pipelining). Limits are retained.
+  void Reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kComplete, kError };
+
+  ParseResult Fail(int http_status, Status status);
+  /// Processes one complete header-section line (CRLF stripped).
+  ParseResult ConsumeLine(std::string_view line);
+  ParseResult ParseRequestLine(std::string_view line);
+  ParseResult ParseHeaderLine(std::string_view line);
+  /// Header section finished: validate framing headers, decide body plan.
+  ParseResult FinishHeaders();
+
+  HttpParserLimits limits_;
+  State state_ = State::kRequestLine;
+  bool started_ = false;
+  std::string line_buf_;      // current partial line (request line / header)
+  size_t header_bytes_ = 0;   // cumulative header-section bytes
+  uint64_t content_length_ = 0;
+  HttpRequest request_;
+  Status error_;
+  int error_http_status_ = 0;
+};
+
+/// A response the server serializes. `extra_headers` must not include
+/// Content-Length, Content-Type or Connection — the serializer owns framing.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+  /// Force Connection: close regardless of the request's keep-alive.
+  bool close = false;
+};
+
+/// Standard reason phrase for the status codes the front emits ("OK",
+/// "Too Many Requests", ...); "Unknown" for anything else.
+const char* HttpReasonPhrase(int status);
+
+/// Serializes status line + framing headers + body. `keep_alive` is the
+/// connection's decision (request keep-alive && !response.close && server
+/// not draining); the emitted Connection header matches what the server
+/// will actually do.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_HTTP_HTTP_PARSER_H_

@@ -1,0 +1,306 @@
+#include "http/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "http/http_envelope.h"
+#include "util/metrics.h"
+
+namespace longtail {
+
+namespace {
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string PeerString(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = "?";
+  inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpDispatchFn dispatch, HttpServerOptions options)
+    : dispatch_(std::move(dispatch)), options_(options) {
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  options_.max_pending_connections =
+      std::max<size_t>(1, options_.max_pending_connections);
+  options_.poll_interval_ms = std::max(1, options_.poll_interval_ms);
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire) || accept_thread_.joinable() ||
+      stopped_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "HttpServer already started (or already stopped; one Start per "
+        "instance)");
+  }
+  if (dispatch_ == nullptr) {
+    return Status::InvalidArgument("HttpServer needs a dispatch function");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad IPv4 bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status =
+        Status::IOError(std::string("bind ") + options_.bind_address + ":" +
+                        std::to_string(options_.port) + ": " +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (options_.metrics != nullptr) {
+    connections_total_ = options_.metrics->RegisterCounter(
+        "longtail_http_connections_total",
+        "TCP connections accepted by the HTTP front.");
+    connections_rejected_ = options_.metrics->RegisterCounter(
+        "longtail_http_connections_rejected_total",
+        "Connections shed at admission (worker queue full or draining).");
+    parse_errors_ = options_.metrics->RegisterCounter(
+        "longtail_http_parse_errors_total",
+        "Requests rejected by the HTTP parser (malformed or over-limit).");
+    connections_active_ = options_.metrics->RegisterGauge(
+        "longtail_http_connections_active",
+        "Connections currently being served by a worker.");
+  }
+
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  // Idempotent: the first caller wins; later calls see no joinable threads.
+  stopped_.store(true, std::memory_order_release);
+  if (!accept_thread_.joinable() && workers_.empty()) return;
+  draining_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Connections accepted but never claimed by a worker: answer a typed
+  // envelope instead of silently resetting them.
+  std::deque<std::pair<int, std::string>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    orphans.swap(pending_);
+  }
+  for (auto& [fd, peer] : orphans) {
+    RejectConnection(fd);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::AcceptLoop() {
+  // The listener stays blocking but is only accept()ed after poll reports
+  // readability, so the loop observes draining_ every poll slice and Stop
+  // never waits on a wedged accept.
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd entry{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&entry, 1, options_.poll_interval_ms);
+    if (draining_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                             &peer_len, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    if (connections_total_ != nullptr) connections_total_->Increment();
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (!draining_.load(std::memory_order_acquire) &&
+          pending_.size() < options_.max_pending_connections) {
+        pending_.emplace_back(fd, PeerString(peer));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      RejectConnection(fd);
+    }
+  }
+}
+
+void HttpServer::RejectConnection(int fd) {
+  if (connections_rejected_ != nullptr) connections_rejected_->Increment();
+  const Status status =
+      draining_.load(std::memory_order_acquire)
+          ? Status::FailedPrecondition("server is shutting down")
+          : Status::ResourceExhausted(
+                "connection queue is full; retry with backoff");
+  HttpResponse response = ErrorResponse(status);
+  SendAll(fd, SerializeHttpResponse(response, /*keep_alive=*/false));
+  ::close(fd);
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    std::string peer;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return draining_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) {
+        // Only reachable when draining (the predicate held).
+        return;
+      }
+      fd = pending_.front().first;
+      peer = std::move(pending_.front().second);
+      pending_.pop_front();
+    }
+    if (connections_active_ != nullptr) connections_active_->Increment();
+    ServeConnection(fd, peer);
+    if (connections_active_ != nullptr) connections_active_->Decrement();
+  }
+}
+
+void HttpServer::ServeConnection(int fd, const std::string& peer) {
+  HttpRequestParser parser(options_.parser_limits);
+  std::string leftover;  // pipelined bytes beyond the current request
+  char buf[8192];
+  size_t served = 0;
+  bool close_connection = false;
+
+  while (!close_connection) {
+    parser.Reset();
+    auto result = HttpRequestParser::ParseResult::kNeedMore;
+    if (!leftover.empty()) {
+      size_t used = 0;
+      result = parser.Consume(leftover, &used);
+      leftover.erase(0, used);
+    }
+    uint64_t last_byte_ms = NowMillis();
+    while (result == HttpRequestParser::ParseResult::kNeedMore) {
+      if (draining_.load(std::memory_order_acquire) && !parser.mid_message()) {
+        // Idle (or between pipelined requests) at shutdown: close without
+        // inventing a response nobody asked for.
+        close_connection = true;
+        break;
+      }
+      const uint64_t budget_ms = parser.mid_message()
+                                     ? options_.read_timeout_ms
+                                     : options_.idle_timeout_ms;
+      if (NowMillis() - last_byte_ms > budget_ms) {
+        close_connection = true;  // stalled peer / idle keep-alive expiry
+        break;
+      }
+      pollfd entry{fd, POLLIN, 0};
+      const int ready = ::poll(&entry, 1, options_.poll_interval_ms);
+      if (ready < 0) {
+        close_connection = true;
+        break;
+      }
+      if (ready == 0) continue;
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        close_connection = true;  // peer closed or reset
+        break;
+      }
+      last_byte_ms = NowMillis();
+      size_t used = 0;
+      result = parser.Consume(std::string_view(buf, static_cast<size_t>(n)),
+                              &used);
+      if (result == HttpRequestParser::ParseResult::kComplete &&
+          used < static_cast<size_t>(n)) {
+        leftover.append(buf + used, static_cast<size_t>(n) - used);
+      }
+    }
+
+    if (result == HttpRequestParser::ParseResult::kError) {
+      if (parse_errors_ != nullptr) parse_errors_->Increment();
+      const HttpResponse response = ErrorResponseWithHttpStatus(
+          parser.error_http_status(), parser.error());
+      SendAll(fd, SerializeHttpResponse(response, /*keep_alive=*/false));
+      break;
+    }
+    if (result != HttpRequestParser::ParseResult::kComplete) break;
+
+    const HttpRequest request = parser.TakeRequest();
+    ++served;
+    const RequestContext context{request, peer,
+                                 draining_.load(std::memory_order_acquire)};
+    const HttpResponse response = dispatch_(context);
+    const bool keep_alive =
+        request.keep_alive && !response.close &&
+        !draining_.load(std::memory_order_acquire) &&
+        served < options_.max_requests_per_connection;
+    if (!SendAll(fd, SerializeHttpResponse(response, keep_alive))) break;
+    if (!keep_alive) break;
+  }
+  ::close(fd);
+}
+
+bool HttpServer::SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; the connection closes either way
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace longtail

@@ -1,0 +1,152 @@
+// Embedded blocking HTTP/1.1 server: the transport layer of the serving
+// front. No third-party dependencies — POSIX sockets, a poll-sliced accept
+// loop, and a small fixed pool of connection worker threads.
+//
+// Division of labor: this class owns listening, connection admission,
+// framing (http/http_parser.h) and write-back; everything above the parsed
+// request — routing, JSON, engine calls — lives behind the dispatch
+// callable (usually Router::Dispatch wrapped with the front's
+// instrumentation, see http/serving_http.h). Connection workers are
+// deliberately *dedicated threads*, not ServingPool workers: a connection
+// spends its life blocked in poll/recv, and parking IO waits on the
+// caller-participating walk pool would starve CPU work. The CPU-heavy part
+// of every request — the walk batch — still executes on the shared
+// ServingPool, because handlers go through ServingEngine::Submit.
+//
+// Admission control mirrors the engine's: accepted connections that no
+// worker has claimed wait in a bounded queue; past the bound the server
+// answers a canned 429 ResourceExhausted envelope and closes immediately
+// (fail-fast, exactly like RequestQueue), instead of letting the accept
+// backlog grow unboundedly. During drain the same reject path answers 503.
+//
+// Graceful shutdown (Stop, also run by the destructor):
+//   1. draining() flips true — handlers observe it via
+//      RequestContext::draining and fail new work with typed envelopes;
+//   2. the accept loop exits (poll slice, never blocked in accept);
+//   3. queued-but-unclaimed connections get the 503 envelope;
+//   4. workers finish the request currently in flight — reads are bounded
+//      by read_timeout_ms and handler time is bounded by the engine
+//      deadline — answer with Connection: close, and exit.
+// Stop therefore never hangs (tests/http_readiness_test.cc hammers this
+// mid-flight, 5 rounds).
+#ifndef LONGTAIL_HTTP_HTTP_SERVER_H_
+#define LONGTAIL_HTTP_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/http_parser.h"
+#include "http/router.h"
+#include "util/status.h"
+
+namespace longtail {
+
+class MetricsRegistry;
+class Counter;
+class Gauge;
+
+struct HttpServerOptions {
+  /// IPv4 address to bind; the default serves loopback only (the
+  /// deployable story is a router tier in front, not a public listener).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks a free port, readable via port()
+  /// after Start (what every test and the CI smoke use).
+  uint16_t port = 0;
+  /// Connection worker threads (each drives one connection at a time).
+  size_t num_workers = 4;
+  /// Accepted connections waiting for a worker beyond which new arrivals
+  /// are answered 429 and closed (connection-level admission control).
+  size_t max_pending_connections = 64;
+  /// Framing bounds enforced by the request parser.
+  HttpParserLimits parser_limits;
+  /// Poll slice for accept/read waits; only bounds shutdown latency.
+  int poll_interval_ms = 50;
+  /// Close a keep-alive connection after this long with no next request.
+  uint64_t idle_timeout_ms = 5000;
+  /// Close a connection whose peer stalls mid-request this long.
+  uint64_t read_timeout_ms = 5000;
+  /// Keep-alive bound: answer Connection: close after this many requests.
+  size_t max_requests_per_connection = 1024;
+  /// Optional transport-level series (longtail_http_connections_*,
+  /// longtail_http_parse_errors_total). The registry must outlive the
+  /// server. Request-level series belong to the dispatch layer.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// The dispatch callable: parsed request in, response out. Must be
+/// thread-safe (invoked from every connection worker concurrently).
+using HttpDispatchFn = std::function<HttpResponse(const RequestContext&)>;
+
+class HttpServer {
+ public:
+  HttpServer(HttpDispatchFn dispatch, HttpServerOptions options = {});
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop + workers. Fails with
+  /// InvalidArgument (bad bind address) or IOError (socket/bind failures —
+  /// e.g. the port is taken). At most one successful Start per instance.
+  Status Start();
+
+  /// Graceful shutdown; see the class comment. Idempotent, thread-safe,
+  /// bounded — in-flight requests finish (or fail with typed envelopes)
+  /// and every socket is closed before it returns.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// The bound port (the kernel's choice when options.port was 0). Valid
+  /// after a successful Start.
+  uint16_t port() const { return port_; }
+
+  const HttpServerOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Runs one connection to completion (keep-alive loop). Closes `fd`.
+  void ServeConnection(int fd, const std::string& peer);
+  /// Best-effort write of a full serialized response.
+  static bool SendAll(int fd, std::string_view bytes);
+  /// Typed envelope (429 full / 503 draining) + close for shed connections.
+  void RejectConnection(int fd);
+
+  HttpDispatchFn dispatch_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  /// Latched by Stop: a stopped server never restarts (one Start per
+  /// instance keeps the thread lifecycle single-shot and auditable).
+  std::atomic<bool> stopped_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  /// (fd, peer) pairs accepted but not yet claimed by a worker.
+  std::deque<std::pair<int, std::string>> pending_;
+
+  // Transport metrics (null when options.metrics is null).
+  Counter* connections_total_ = nullptr;
+  Counter* connections_rejected_ = nullptr;
+  Counter* parse_errors_ = nullptr;
+  Gauge* connections_active_ = nullptr;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_HTTP_HTTP_SERVER_H_

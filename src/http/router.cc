@@ -1,0 +1,46 @@
+#include "http/router.h"
+
+#include "http/http_envelope.h"
+
+namespace longtail {
+
+void Router::Handle(std::string method, std::string path,
+                    HttpHandler handler) {
+  routes_[std::move(path)][std::move(method)] = std::move(handler);
+}
+
+HttpResponse Router::Dispatch(const RequestContext& context) const {
+  const std::string path(context.request.path());
+  const auto by_path = routes_.find(path);
+  if (by_path == routes_.end()) {
+    return ErrorResponse(
+        Status::NotFound("no route for '" + path + "'"));
+  }
+  const auto by_method = by_path->second.find(context.request.method);
+  if (by_method == by_path->second.end()) {
+    std::string allow;
+    for (const auto& [method, handler] : by_path->second) {
+      if (!allow.empty()) allow += ", ";
+      allow += method;
+    }
+    HttpResponse response = ErrorResponseWithHttpStatus(
+        405, Status::InvalidArgument("method " + context.request.method +
+                                     " not allowed for '" + path +
+                                     "' (allowed: " + allow + ")"));
+    response.extra_headers.emplace_back("Allow", std::move(allow));
+    return response;
+  }
+  return by_method->second(context);
+}
+
+std::vector<std::string> Router::RouteNames() const {
+  std::vector<std::string> names;
+  for (const auto& [path, methods] : routes_) {
+    for (const auto& [method, handler] : methods) {
+      names.push_back(method + " " + path);
+    }
+  }
+  return names;
+}
+
+}  // namespace longtail

@@ -1,0 +1,62 @@
+// Route table + request context: the dispatch layer between the transport
+// (http/http_server.h) and the application handlers (http/serving_http.h).
+//
+// The split mirrors the file_server exemplar's router/request-context
+// separation: the server owns sockets and framing, the router owns "which
+// handler", and handlers receive a RequestContext — the parsed request plus
+// connection-scoped facts (peer, draining flag) — so application code never
+// touches a file descriptor. Unknown paths answer a 404 envelope; known
+// paths with the wrong method answer 405 with an Allow header listing what
+// the path does support.
+#ifndef LONGTAIL_HTTP_ROUTER_H_
+#define LONGTAIL_HTTP_ROUTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/http_parser.h"
+
+namespace longtail {
+
+/// What a handler sees: the parsed request plus connection-scoped context.
+struct RequestContext {
+  const HttpRequest& request;
+  /// "ip:port" of the peer (diagnostics only).
+  std::string peer;
+  /// True once graceful shutdown began: in-flight handlers should answer a
+  /// typed 503 envelope instead of starting new engine work.
+  bool draining = false;
+};
+
+using HttpHandler = std::function<HttpResponse(const RequestContext&)>;
+
+/// Exact-path route table (the serving API has a fixed endpoint set; no
+/// parameterized segments needed). Query strings are stripped before
+/// matching. Immutable after setup — Handle() all routes before the server
+/// starts dispatching; Dispatch is then safe from concurrent connection
+/// workers.
+class Router {
+ public:
+  /// Registers `handler` for (method, path). Re-registering the same pair
+  /// replaces the handler.
+  void Handle(std::string method, std::string path, HttpHandler handler);
+
+  /// Routes one request: the handler's response, a 404 envelope for an
+  /// unknown path, or a 405 envelope (with Allow) for a known path with an
+  /// unsupported method.
+  HttpResponse Dispatch(const RequestContext& context) const;
+
+  /// Sorted "METHOD path" pairs (diagnostics / the root listing).
+  std::vector<std::string> RouteNames() const;
+
+ private:
+  // path -> method -> handler.
+  std::map<std::string, std::map<std::string, HttpHandler>> routes_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_HTTP_ROUTER_H_

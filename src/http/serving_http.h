@@ -1,0 +1,128 @@
+// ServingHttpFront: the application layer of the HTTP serving front — maps
+// the JSON API onto ServingEngine and owns the request-level metrics.
+//
+// Endpoints (full schemas in docs/HTTP_API.md):
+//   POST /v1/recommend  {model, user, top_k, deadline_ms?} -> ranked items
+//   POST /v1/score      {model, user, items[], deadline_ms?} -> scores
+//   GET  /healthz       liveness: 200 whenever the process can answer
+//   GET  /readyz        readiness: 503 until MarkReady() (checkpoint fleet
+//                       loaded) and again while draining; else 200
+//   GET  /metrics       Prometheus text 0.0.4 from the engine's registry
+//   GET  /              route listing (diagnostics)
+//
+// Error contract: every failure is the JSON envelope
+//   {"error": {"code": "<StatusCode name>", "http_status": N,
+//              "message": "..."}}
+// with the HTTP status from StatusToHttp — so ResourceExhausted (engine
+// admission control) surfaces as 429 and DeadlineExceeded as 504, byte-for-
+// byte the same taxonomy callers of the C++ API see.
+//
+// Deadlines: `deadline_ms` is a relative budget converted to an absolute
+// engine tick at parse time (SteadyTickClock: 1 tick = 1 ms). Absent ->
+// options.default_deadline_ms; 0 -> an already-expired budget, answered
+// DeadlineExceeded -> 504 before the queue is touched (deterministic at
+// any tick — useful for drills and pinned tests); negative -> 400; larger
+// than options.max_deadline_ms -> clamped.
+//
+// Dispatch() wraps the router with instrumentation: per-route request
+// counters, status-class response counters and a latency histogram
+// (longtail_http_* series, validated in the integration test).
+#ifndef LONGTAIL_HTTP_SERVING_HTTP_H_
+#define LONGTAIL_HTTP_SERVING_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "http/http_json.h"
+#include "http/router.h"
+#include "serving/serving_engine.h"
+
+namespace longtail {
+
+struct ServingHttpFrontOptions {
+  /// Deadline applied when a request carries no deadline_ms.
+  uint64_t default_deadline_ms = 30000;
+  /// Upper clamp for caller-supplied deadline_ms.
+  uint64_t max_deadline_ms = 120000;
+  /// Upper bound for top_k (InvalidArgument past it).
+  int max_top_k = 1000;
+  /// Upper bound on the items array of /v1/score.
+  size_t max_score_items = 4096;
+  /// Start in the ready state (true only in tests; production flips
+  /// readiness with MarkReady once the checkpoint fleet is loaded).
+  bool ready_at_start = false;
+  /// Registry for the longtail_http_* request series and the /metrics
+  /// scrape body; nullptr = engine->metrics() (the usual wiring, so one
+  /// scrape covers engine + transport + request series).
+  MetricsRegistry* metrics = nullptr;
+};
+
+class ServingHttpFront {
+ public:
+  /// `engine` must outlive the front.
+  explicit ServingHttpFront(ServingEngine* engine,
+                            ServingHttpFrontOptions options = {});
+
+  ServingHttpFront(const ServingHttpFront&) = delete;
+  ServingHttpFront& operator=(const ServingHttpFront&) = delete;
+
+  /// The instrumented dispatch entry — hand this to HttpServer:
+  ///   HttpServer server([&front](const RequestContext& ctx) {
+  ///     return front.Dispatch(ctx); }, options);
+  HttpResponse Dispatch(const RequestContext& context);
+
+  /// Flips /readyz to 200. Call after LoadCheckpointDirIntoEngine (or
+  /// whatever model registration the deployment does) has finished.
+  void MarkReady() { ready_.store(true, std::memory_order_release); }
+  void MarkUnready() { ready_.store(false, std::memory_order_release); }
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  const ServingHttpFrontOptions& options() const { return options_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  HttpResponse HandleRecommend(const RequestContext& context);
+  HttpResponse HandleScore(const RequestContext& context);
+  HttpResponse HandleHealthz(const RequestContext& context);
+  HttpResponse HandleReadyz(const RequestContext& context);
+  HttpResponse HandleMetrics(const RequestContext& context);
+  HttpResponse HandleRoot(const RequestContext& context);
+
+  /// Parses the shared fields (model/user/deadline_ms), checks readiness /
+  /// draining, and resolves the deadline tick. On failure fills *error
+  /// with the ready error response and returns false.
+  struct ParsedCommon {
+    std::string model;
+    UserId user = 0;
+    uint64_t deadline_tick = 0;
+  };
+  bool ParseCommon(const RequestContext& context, const JsonValue& body,
+                   ParsedCommon* out, HttpResponse* error);
+
+  /// Submit + wait: immediately-ready futures (rejections) return without
+  /// blocking; otherwise waits for the batch, self-pumping when the engine
+  /// runs without a dispatcher thread.
+  UserQueryResult SubmitAndWait(const std::string& model,
+                                const ServeRequest& request);
+
+  ServingEngine* engine_;
+  ServingHttpFrontOptions options_;
+  MetricsRegistry* metrics_;
+  Router router_;
+  std::atomic<bool> ready_{false};
+
+  std::mutex route_counter_mu_;
+  /// route label ("POST /v1/recommend", or "unmatched") -> counter.
+  std::map<std::string, Counter*> route_counters_;
+  Counter* responses_2xx_;
+  Counter* responses_4xx_;
+  Counter* responses_5xx_;
+  Histogram* request_duration_;
+};
+
+}  // namespace longtail
+
+#endif  // LONGTAIL_HTTP_SERVING_HTTP_H_
