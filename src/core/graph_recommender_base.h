@@ -66,11 +66,16 @@ class GraphRecommenderBase : public Recommender {
   Result<std::vector<double>> ScoreItems(
       UserId user, std::span<const ItemId> items) const override;
 
-  /// Batch engine: one walk per query (shared between the top-k and
-  /// scoring halves), fanned out on the long-lived ServingPool with one
+  /// Batch engine: queries whose seed sets are identical — equivalently,
+  /// whose subgraph-cache fingerprints collide, since extraction is a pure
+  /// function of (graph, seeds, µ) — are grouped and served by ONE fused
+  /// multi-query sweep: the shared subgraph is resolved once, each query
+  /// compiles its own absorbing lane, and a single CSR pass per truncated
+  /// iteration advances all lanes (SpMV → SpMM; see docs/KERNELS.md).
+  /// Groups and singletons fan out on the long-lived ServingPool with one
   /// pinned WalkWorkspace per worker thread. Results are bit-identical to
-  /// the sequential per-user calls at any thread count, with or without a
-  /// subgraph cache.
+  /// the sequential per-user calls at any thread count, any fused width,
+  /// with or without a subgraph cache.
   std::vector<UserQueryResult> QueryBatch(
       std::span<const UserQuery> queries,
       const BatchOptions& options = {}) const override;
@@ -147,6 +152,20 @@ class GraphRecommenderBase : public Recommender {
   /// Serves one batched query from a single walk.
   UserQueryResult RunQuery(const UserQuery& query, WalkWorkspace* ws,
                            SubgraphCache* cache) const;
+  /// Serves the top-k and scoring halves of `query` from the walk values
+  /// already in `ws` (shared by RunQuery and the fused group path).
+  void ServeFromWalk(const UserQuery& query, const WalkWorkspace& ws,
+                     UserQueryResult* out) const;
+  /// Serves `count` queries (indices `members[0..count)`) that share one
+  /// exact seed set: resolves the subgraph once, then sweeps the queries
+  /// as fused lanes in chunks of at most the probed width cap. Results are
+  /// bit-identical to per-query RunQuery. Callers guarantee every member
+  /// passed phase-A validation (fitted model, non-empty seeds, non-empty
+  /// query).
+  void RunFusedGroup(std::span<const UserQuery> queries,
+                     const size_t* members, int32_t count,
+                     const BatchOptions& options, WalkWorkspace* ws,
+                     UserQueryResult* results) const;
   Result<std::vector<ScoredItem>> TopKFromWalk(UserId user, int k,
                                                const WalkWorkspace& ws) const;
   Result<std::vector<double>> ScoresFromWalk(std::span<const ItemId> items,

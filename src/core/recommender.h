@@ -9,6 +9,7 @@
 #ifndef LONGTAIL_CORE_RECOMMENDER_H_
 #define LONGTAIL_CORE_RECOMMENDER_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -67,6 +68,21 @@ struct BatchOptions {
   /// (tests/subgraph_cache_test.cc). Other recommenders ignore it. The
   /// cache may be shared across recommenders and concurrent batches.
   SubgraphCache* subgraph_cache = nullptr;
+  /// Fused multi-query sweep width ceiling for graph recommenders: queries
+  /// whose seed sets are identical share one subgraph and sweep as K
+  /// interleaved lanes of a single CSR pass (see docs/KERNELS.md). 0 =
+  /// probe the cap from the machine's cache geometry
+  /// (WalkKernel::FusedWidthCap), 1 = disable grouping entirely (the
+  /// pre-fusion per-query dispatch), otherwise an explicit ceiling.
+  /// Results are bit-identical at every setting; other recommenders
+  /// ignore it.
+  int32_t max_fused_width = 0;
+  /// Optional observer invoked once per dispatched fused sweep with its
+  /// width (1 for queries that found no partner). May be called
+  /// concurrently from pool workers; the ServingEngine points this at its
+  /// longtail_engine_fused_width histogram. Not called on the
+  /// max_fused_width == 1 fallback path or by non-graph recommenders.
+  const std::function<void(int32_t width)>* fused_width_observer = nullptr;
 };
 
 /// One user's request in a batch: top-k recommendations, scores for an

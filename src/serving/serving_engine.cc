@@ -5,6 +5,7 @@
 #include <chrono>
 #include <utility>
 
+#include "graph/walk_kernel.h"
 #include "serving/model_registry.h"
 #include "util/serving_pool.h"
 
@@ -161,6 +162,25 @@ void ServingEngine::RegisterEngineMetrics() {
       "longtail_engine_queue_wait_ticks",
       "Per-request queue wait at dispatch, in ticks.",
       std::move(wait_bounds));
+  // Fused-sweep visibility: widths observed per dispatched kernel sweep
+  // (1, 2, 4, ..., 32 — the kernel cap), plus the process-wide kernel
+  // counters, so /metrics can answer both "are batches arriving fused?"
+  // and "what is the mean fused width?" (lanes / sweeps).
+  fused_width_hist_ = metrics_->RegisterHistogram(
+      "longtail_engine_fused_width",
+      "Fused group width per dispatched kernel sweep (post-grouping).",
+      ExponentialBuckets(1.0, 2.0, 6));
+  fused_width_observer_fn_ = [this](int32_t width) {
+    fused_width_hist_->Observe(static_cast<double>(width));
+  };
+  metrics_->RegisterCallbackCounter(
+      "longtail_walk_fused_sweeps_total",
+      "Fused multi-query kernel sweeps executed (process-wide).", {},
+      [] { return GetWalkKernelFusedStats().sweeps; }, this);
+  metrics_->RegisterCallbackCounter(
+      "longtail_walk_fused_lanes_total",
+      "Query lanes carried by fused kernel sweeps (process-wide).", {},
+      [] { return GetWalkKernelFusedStats().lanes; }, this);
 }
 
 void ServingEngine::RegisterEntryMetrics(ModelEntry* entry) {
@@ -446,6 +466,10 @@ void ServingEngine::ExecuteBatch(ModelEntry* entry,
   batch_options.num_threads = options_.batch_threads;
   batch_options.pool = options_.pool;
   batch_options.subgraph_cache = options_.subgraph_cache;
+  // Same-model batches arrive here intact (queues are per model), so
+  // QueryBatch's seed-set grouping sees every fusable pair; the observer
+  // records the widths it actually dispatched.
+  batch_options.fused_width_observer = &fused_width_observer_fn_;
   std::vector<UserQueryResult> batch_results =
       entry->model->QueryBatch(queries, batch_options);
   // Count before fulfilling: a blocking caller woken by set_value must

@@ -273,6 +273,15 @@ class ServingEngine {
   /// Owned by the registry; observed on the dispatch path.
   Histogram* batch_size_hist_ = nullptr;
   Histogram* queue_wait_hist_ = nullptr;
+  /// Post-grouping fused sweep widths (longtail_engine_fused_width):
+  /// batch_size_hist_ counts requests per micro-batch, this counts query
+  /// lanes per fused kernel sweep after QueryBatch groups by seed set —
+  /// the pair separates queue tuning from fusion efficiency.
+  Histogram* fused_width_hist_ = nullptr;
+  /// Bound once at construction and handed to every QueryBatch via
+  /// BatchOptions::fused_width_observer (pool workers call it
+  /// concurrently; Histogram::Observe is lock-free).
+  std::function<void(int32_t)> fused_width_observer_fn_;
 
   mutable std::mutex models_mu_;
   std::map<std::string, std::unique_ptr<ModelEntry>> models_;

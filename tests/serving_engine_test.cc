@@ -175,9 +175,10 @@ TEST_F(ServingEngineTest, EngineResultsBitIdenticalToDirectQueryBatch) {
 }
 
 // N identical cold queries through the engine perform exactly one subgraph
-// extraction: one miss fills, every duplicate resolves as a coalesced wait
-// (true concurrency) or a cache hit (serialized on a small pool) — never a
-// second extraction.
+// extraction. The fused batch engine groups identical seed sets before the
+// cache is even consulted, so the cache sees one resolution per dispatched
+// slice rather than one per query: exactly one miss fills, every further
+// slice resolves as a hit or coalesced wait — never a second extraction.
 TEST_F(ServingEngineTest, IdenticalConcurrentColdQueriesExtractOnce) {
   auto at = FittedAt();
   SubgraphCache cache;
@@ -203,7 +204,10 @@ TEST_F(ServingEngineTest, IdenticalConcurrentColdQueriesExtractOnce) {
   const SubgraphCacheStats stats = cache.Stats();
   EXPECT_EQ(stats.misses, 1u) << "duplicate extraction ran";
   EXPECT_EQ(stats.inserts, 1u);
-  EXPECT_EQ(stats.hits + stats.coalesced_waits, kDupes - 1);
+  // 32 duplicates collapse into one seed-set group sliced at the fused
+  // dispatch width, so lookups = slices, not queries.
+  EXPECT_GE(stats.hits + stats.coalesced_waits, 1u);
+  EXPECT_LE(stats.hits + stats.coalesced_waits, kDupes - 1);
 }
 
 // Deadline semantics: dead-on-arrival requests are rejected at Submit;
